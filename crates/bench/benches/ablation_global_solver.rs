@@ -1,0 +1,42 @@
+//! Ablation: GMRES (the paper's choice, §4.3) vs CG on the global reduced
+//! system. The global operator is SPD (Galerkin projection of SPD
+//! elasticity), so CG is admissible; the bench shows whether the paper's
+//! GMRES pick costs anything.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morestress_bench::{one_shot, Scale, DELTA_T};
+use morestress_core::{GlobalBc, GlobalStage, RomSolver};
+use morestress_mesh::{BlockKind, BlockLayout, TsvGeometry};
+
+fn bench_global_solver(c: &mut Criterion) {
+    let scale = Scale::small();
+    let geom = TsvGeometry::paper_defaults(15.0);
+    let shot = one_shot(&geom, &scale, false).expect("one-shot stage");
+
+    let mut group = c.benchmark_group("ablation_global_solver");
+    group.sample_size(10);
+    for size in [4usize, 8] {
+        let layout = BlockLayout::uniform(size, size, BlockKind::Tsv);
+        for (name, solver) in [
+            ("gmres", RomSolver::Gmres { tol: 1e-9 }),
+            ("cg", RomSolver::Cg { tol: 1e-9 }),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, size),
+                &(layout.clone(), solver),
+                |b, (layout, solver)| {
+                    b.iter(|| {
+                        GlobalStage::new(shot.sim.tsv_model())
+                            .with_solver(*solver)
+                            .solve(layout, DELTA_T, &GlobalBc::ClampedTopBottom)
+                            .expect("global solve")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_global_solver);
+criterion_main!(benches);

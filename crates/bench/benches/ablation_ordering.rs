@@ -1,0 +1,56 @@
+//! Ablation: RCM vs natural ordering for the local-stage sparse Cholesky.
+//! DESIGN.md calls out RCM as the fill-reducing ordering; this bench
+//! quantifies what it buys on the real unit-block operator (`A_ff`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use morestress_fem::{assemble_system, MaterialSet};
+use morestress_linalg::SparseCholesky;
+use morestress_mesh::{unit_block_mesh, BlockResolution, TsvGeometry};
+
+fn bench_ordering(c: &mut Criterion) {
+    let geom = TsvGeometry::paper_defaults(15.0);
+    let mesh = unit_block_mesh(&geom, &BlockResolution::coarse(), true);
+    let sys = assemble_system(&mesh, &MaterialSet::tsv_defaults()).expect("assembly");
+    // Interior block: drop the boundary rows/cols like the local stage does.
+    let boundary = mesh.boundary_box_nodes();
+    let mut fixed = vec![false; mesh.num_nodes()];
+    for &b in &boundary {
+        fixed[b] = true;
+    }
+    let free: Vec<usize> = (0..mesh.num_nodes())
+        .filter(|&n| !fixed[n])
+        .flat_map(|n| [3 * n, 3 * n + 1, 3 * n + 2])
+        .collect();
+    let mut col_map = vec![None; 3 * mesh.num_nodes()];
+    for (new, &old) in free.iter().enumerate() {
+        col_map[old] = Some(new);
+    }
+    let a_ff = sys.stiffness.extract(&free, &col_map, free.len());
+
+    let fill_rcm = SparseCholesky::factor(&a_ff).expect("rcm factor").factor_nnz();
+    let fill_nat = SparseCholesky::factor_natural(&a_ff)
+        .expect("natural factor")
+        .factor_nnz();
+    println!(
+        "A_ff: {} dofs, {} nnz; factor fill rcm = {fill_rcm}, natural = {fill_nat} ({:.2}x)",
+        a_ff.nrows(),
+        a_ff.nnz(),
+        fill_nat as f64 / fill_rcm as f64
+    );
+
+    let mut group = c.benchmark_group("ablation_ordering");
+    group.sample_size(10);
+    group.bench_function("factor_rcm", |b| {
+        b.iter(|| SparseCholesky::factor(&a_ff).expect("factor"))
+    });
+    group.bench_function("factor_natural", |b| {
+        b.iter(|| SparseCholesky::factor_natural(&a_ff).expect("factor"))
+    });
+    let chol = SparseCholesky::factor(&a_ff).expect("factor");
+    let rhs: Vec<f64> = (0..a_ff.nrows()).map(|i| (i % 13) as f64 - 6.0).collect();
+    group.bench_function("solve_rcm", |b| b.iter(|| chol.solve(&rhs)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_ordering);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Ablation: thread count of the one-shot local stage. The paper runs its
+//! local stage with 16 threads; the n+1 local solves share one Cholesky
+//! factor and parallelize at task level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morestress_core::{InterpolationGrid, LocalStage, LocalStageOptions};
+use morestress_fem::MaterialSet;
+use morestress_mesh::{BlockKind, BlockResolution, TsvGeometry};
+
+fn bench_parallel_local(c: &mut Criterion) {
+    let geom = TsvGeometry::paper_defaults(15.0);
+    let stage = LocalStage::new(
+        &geom,
+        &BlockResolution::coarse(),
+        InterpolationGrid::new([4, 4, 4]),
+        &MaterialSet::tsv_defaults(),
+        BlockKind::Tsv,
+    );
+
+    let mut group = c.benchmark_group("ablation_parallel_local");
+    group.sample_size(10);
+    let max = std::thread::available_parallelism().map_or(8, |p| p.get());
+    for threads in [1usize, 2, 4, 8] {
+        if threads > max {
+            continue;
+        }
+        group.bench_with_input(
+            BenchmarkId::new("local_stage", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| stage.build(&LocalStageOptions { threads }).expect("build"))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_local);
+criterion_main!(benches);

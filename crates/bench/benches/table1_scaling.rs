@@ -1,0 +1,62 @@
+//! Criterion bench for Table 1: per-method cost on clamped standalone
+//! arrays. FEM cost grows superlinearly with array size; the superposition
+//! evaluation and the ROM global stage stay cheap — the factors between the
+//! groups are the paper's headline speedups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morestress_bench::{one_shot, Scale, DELTA_T};
+use morestress_core::GlobalBc;
+use morestress_fem::{solve_thermal_stress, DirichletBcs, LinearSolver, MaterialSet};
+use morestress_mesh::{array_mesh, BlockKind, BlockLayout, TsvGeometry};
+
+fn bench_table1(c: &mut Criterion) {
+    let scale = Scale::small();
+    let geom = TsvGeometry::paper_defaults(15.0);
+    let shot = one_shot(&geom, &scale, false).expect("one-shot stage");
+    let mats = MaterialSet::tsv_defaults();
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+
+    for size in [2usize, 4] {
+        let layout = BlockLayout::uniform(size, size, BlockKind::Tsv);
+        group.bench_with_input(
+            BenchmarkId::new("fem_reference", size),
+            &layout,
+            |b, layout| {
+                b.iter(|| {
+                    let mesh = array_mesh(&geom, &scale.res, layout);
+                    let (_, _, npz) = mesh.lattice_dims();
+                    let mut bcs = DirichletBcs::new();
+                    bcs.clamp_nodes(&mesh.plane_nodes(2, 0));
+                    bcs.clamp_nodes(&mesh.plane_nodes(2, npz - 1));
+                    solve_thermal_stress(&mesh, &mats, DELTA_T, &bcs, LinearSolver::Auto)
+                        .expect("fem solve")
+                })
+            },
+        );
+    }
+    for size in [2usize, 4, 8] {
+        let layout = BlockLayout::uniform(size, size, BlockKind::Tsv);
+        group.bench_with_input(
+            BenchmarkId::new("superposition_eval", size),
+            &layout,
+            |b, layout| b.iter(|| shot.superpos.evaluate_array(layout, DELTA_T, scale.samples)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rom_global_stage", size),
+            &layout,
+            |b, layout| {
+                b.iter(|| {
+                    shot.sim
+                        .solve_array(layout, DELTA_T, &GlobalBc::ClampedTopBottom)
+                        .expect("rom solve")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

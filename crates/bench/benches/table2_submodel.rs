@@ -1,0 +1,54 @@
+//! Criterion bench for Table 2: sub-modeled array cost per chiplet location.
+//! The ROM time is location-independent (same reduced system, different
+//! lifted boundary data), which is exactly the flat "Ours / time" row of the
+//! paper's Table 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morestress_bench::{one_shot, table2_setup, Scale, DELTA_T};
+use morestress_chiplet::Submodel;
+use morestress_core::GlobalBc;
+use morestress_mesh::TsvGeometry;
+
+fn bench_table2(c: &mut Criterion) {
+    let scale = Scale::small();
+    let geom = TsvGeometry::paper_defaults(15.0);
+    let shot = one_shot(&geom, &scale, true).expect("one-shot stage");
+    let setup = table2_setup(&geom, &scale).expect("chiplet setup");
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for loc in [0usize, 2, 4] {
+        let sub = Submodel::new(&setup.chiplet, setup.locations[loc], setup.array_size);
+        let bc = GlobalBc::SubmodelBoundary(sub.boundary_displacement(&setup.chiplet));
+        group.bench_with_input(
+            BenchmarkId::new("rom_submodel_solve", format!("loc{}", loc + 1)),
+            &bc,
+            |b, bc| {
+                b.iter(|| {
+                    shot.sim
+                        .solve_array(&setup.layout, DELTA_T, bc)
+                        .expect("rom solve")
+                })
+            },
+        );
+        let bg = sub.background_stress(&setup.chiplet);
+        group.bench_with_input(
+            BenchmarkId::new("superposition_submodel", format!("loc{}", loc + 1)),
+            &bg,
+            |b, bg| {
+                b.iter(|| {
+                    shot.superpos.evaluate_array_with_background(
+                        &setup.layout,
+                        DELTA_T,
+                        scale.samples,
+                        |p| bg(p),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

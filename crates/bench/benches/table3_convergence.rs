@@ -1,0 +1,51 @@
+//! Criterion bench for Table 3 / Fig. 6: how local- and global-stage cost
+//! grows with the number of interpolation nodes (the accuracy knob). The
+//! paper's Table 3 shows both runtimes rising with n while the error falls;
+//! this bench reproduces the runtime halves of those columns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morestress_bench::{Scale, DELTA_T};
+use morestress_core::{
+    GlobalBc, InterpolationGrid, LocalStage, LocalStageOptions, MoreStressSimulator,
+    SimulatorOptions,
+};
+use morestress_fem::MaterialSet;
+use morestress_mesh::{BlockKind, BlockLayout, TsvGeometry};
+
+fn bench_table3(c: &mut Criterion) {
+    let scale = Scale::small();
+    let geom = TsvGeometry::paper_defaults(15.0);
+    let mats = MaterialSet::tsv_defaults();
+    let layout = BlockLayout::uniform(scale.table3_size, scale.table3_size, BlockKind::Tsv);
+
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    for m in [2usize, 3, 4] {
+        let interp = InterpolationGrid::new([m, m, m]);
+        group.bench_with_input(BenchmarkId::new("local_stage", m), &interp, |b, interp| {
+            b.iter(|| {
+                LocalStage::new(&geom, &scale.res, *interp, &mats, BlockKind::Tsv)
+                    .build(&LocalStageOptions::default())
+                    .expect("local stage")
+            })
+        });
+        let sim = MoreStressSimulator::build(
+            &geom,
+            &scale.res,
+            interp,
+            &mats,
+            &SimulatorOptions::default(),
+        )
+        .expect("simulator");
+        group.bench_with_input(BenchmarkId::new("global_stage", m), &sim, |b, sim| {
+            b.iter(|| {
+                sim.solve_array(&layout, DELTA_T, &GlobalBc::ClampedTopBottom)
+                    .expect("global stage")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,619 @@
+//! The global stage (§4.3 of the paper).
+//!
+//! Once the one-shot local stage has produced a [`ReducedOrderModel`], the
+//! unit block becomes an abstract "element" whose DoFs are the displacement
+//! components of its surface interpolation nodes. A TSV array is an abstract
+//! "mesh" of such elements sharing nodes on common faces; the global
+//! stiffness and load are assembled by the standard FEM procedure and the
+//! resulting small sparse system is solved with GMRES (the paper's choice)
+//! or CG.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use morestress_fem::{DirichletBcs, ReducedSystem};
+use morestress_linalg::{
+    solve_cg, solve_gmres, CgOptions, CsrMatrix, GmresOptions, JacobiPreconditioner,
+    MemoryFootprint,
+};
+use morestress_mesh::{BlockKind, BlockLayout};
+
+use crate::{ReducedOrderModel, RomError};
+
+/// Boundary conditions of the global problem.
+#[derive(Clone)]
+pub enum GlobalBc {
+    /// Scenario 1: the top and bottom surfaces of the array are clamped,
+    /// lateral surfaces free.
+    ClampedTopBottom,
+    /// Scenario 2 (sub-modeling, §4.4): every node on the outer boundary of
+    /// the array is assigned the displacement interpolated from a coarse
+    /// package-level solution. The closure receives the node position in the
+    /// array's local frame (origin at the array's lower corner).
+    SubmodelBoundary(Arc<dyn Fn([f64; 3]) -> [f64; 3] + Send + Sync>),
+}
+
+impl fmt::Debug for GlobalBc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GlobalBc::ClampedTopBottom => f.write_str("GlobalBc::ClampedTopBottom"),
+            GlobalBc::SubmodelBoundary(_) => f.write_str("GlobalBc::SubmodelBoundary(..)"),
+        }
+    }
+}
+
+/// Which solver the global stage uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RomSolver {
+    /// Jacobi-preconditioned restarted GMRES (the paper's prescription).
+    Gmres {
+        /// Relative residual tolerance.
+        tol: f64,
+    },
+    /// Jacobi-preconditioned CG (valid because the Galerkin projection of
+    /// the SPD elasticity operator is SPD; compared in the ablation bench).
+    Cg {
+        /// Relative residual tolerance.
+        tol: f64,
+    },
+}
+
+impl Default for RomSolver {
+    fn default() -> Self {
+        RomSolver::Gmres { tol: 1e-9 }
+    }
+}
+
+/// The lattice of global interpolation nodes of an array.
+///
+/// Within block `(I, J)`, local interpolation node `(i, j, k)` maps to
+/// lattice coordinates `(I·(nx−1)+i, J·(ny−1)+j, k)`; nodes on shared block
+/// faces coincide, which is exactly how the abstract elements are stitched
+/// together. Only nodes on some block surface exist ("active" nodes).
+#[derive(Debug, Clone)]
+pub struct GlobalLattice {
+    counts: [usize; 3],
+    spacing: [f64; 3],
+    interp_counts: [usize; 3],
+    /// lattice index -> active node id (usize::MAX if inactive)
+    ids: Vec<usize>,
+    /// active node id -> lattice coordinates
+    coords: Vec<[usize; 3]>,
+}
+
+const INACTIVE: usize = usize::MAX;
+
+impl GlobalLattice {
+    /// Builds the lattice for `layout` with per-block interpolation counts
+    /// `(nx, ny, nz)` and block extents `(p, p, h)`.
+    pub fn new(layout: &BlockLayout, interp_counts: [usize; 3], extents: [f64; 3]) -> Self {
+        let [nx, ny, nz] = interp_counts;
+        let counts = [
+            (nx - 1) * layout.nx() + 1,
+            (ny - 1) * layout.ny() + 1,
+            nz,
+        ];
+        let spacing = [
+            extents[0] / (nx - 1) as f64,
+            extents[1] / (ny - 1) as f64,
+            extents[2] / (nz - 1) as f64,
+        ];
+        let active = |a: usize, b: usize, c: usize| {
+            a.is_multiple_of(nx - 1) || b.is_multiple_of(ny - 1) || c == 0 || c == nz - 1
+        };
+        let mut ids = vec![INACTIVE; counts[0] * counts[1] * counts[2]];
+        let mut coords = Vec::new();
+        for c in 0..counts[2] {
+            for b in 0..counts[1] {
+                for a in 0..counts[0] {
+                    if active(a, b, c) {
+                        ids[(c * counts[1] + b) * counts[0] + a] = coords.len();
+                        coords.push([a, b, c]);
+                    }
+                }
+            }
+        }
+        Self {
+            counts,
+            spacing,
+            interp_counts,
+            ids,
+            coords,
+        }
+    }
+
+    /// Number of active (surface) nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Number of global DoFs (3 per active node).
+    pub fn num_dofs(&self) -> usize {
+        3 * self.num_nodes()
+    }
+
+    /// Active node id at lattice coordinates, if the node exists.
+    pub fn node_at(&self, a: usize, b: usize, c: usize) -> Option<usize> {
+        if a >= self.counts[0] || b >= self.counts[1] || c >= self.counts[2] {
+            return None;
+        }
+        match self.ids[(c * self.counts[1] + b) * self.counts[0] + a] {
+            INACTIVE => None,
+            id => Some(id),
+        }
+    }
+
+    /// Physical position of active node `id` in the array's local frame.
+    pub fn position(&self, id: usize) -> [f64; 3] {
+        let [a, b, c] = self.coords[id];
+        [
+            a as f64 * self.spacing[0],
+            b as f64 * self.spacing[1],
+            c as f64 * self.spacing[2],
+        ]
+    }
+
+    /// Whether active node `id` lies on the outer boundary of the array
+    /// (any of the 6 outer faces).
+    pub fn is_outer_boundary(&self, id: usize) -> bool {
+        let [a, b, c] = self.coords[id];
+        a == 0
+            || a == self.counts[0] - 1
+            || b == 0
+            || b == self.counts[1] - 1
+            || c == 0
+            || c == self.counts[2] - 1
+    }
+
+    /// Whether active node `id` lies on the top or bottom surface.
+    pub fn is_top_or_bottom(&self, id: usize) -> bool {
+        let c = self.coords[id][2];
+        c == 0 || c == self.counts[2] - 1
+    }
+
+    /// The active node ids of block `(bi, bj)`, in the canonical element-DoF
+    /// order (the [`InterpolationGrid::surface_nodes`] order).
+    ///
+    /// [`InterpolationGrid::surface_nodes`]: crate::InterpolationGrid::surface_nodes
+    pub fn block_nodes(&self, bi: usize, bj: usize) -> Vec<usize> {
+        let [nx, ny, nz] = self.interp_counts;
+        let mut out = Vec::new();
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let surface =
+                        i == 0 || i == nx - 1 || j == 0 || j == ny - 1 || k == 0 || k == nz - 1;
+                    if surface {
+                        let id = self
+                            .node_at(bi * (nx - 1) + i, bj * (ny - 1) + j, k)
+                            .expect("block surface nodes are always active");
+                        out.push(id);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Cost accounting of one global-stage solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlobalStats {
+    /// Wall-clock time of assembly + constraint reduction + solve.
+    pub wall_time: Duration,
+    /// Analytic peak heap estimate (bytes).
+    pub peak_bytes: usize,
+    /// Global DoFs before constraints.
+    pub total_dofs: usize,
+    /// Free DoFs after constraints.
+    pub free_dofs: usize,
+    /// Stored nonzeros of the reduced global operator.
+    pub nnz: usize,
+    /// Iterations of the iterative solver.
+    pub iterations: usize,
+}
+
+/// The solved global problem of one array.
+#[derive(Debug, Clone)]
+pub struct GlobalSolution {
+    lattice: GlobalLattice,
+    /// Displacements of all active nodes (3 per node).
+    nodal: Vec<f64>,
+    /// Cost accounting.
+    pub stats: GlobalStats,
+}
+
+impl GlobalSolution {
+    /// The global lattice of the solved problem.
+    pub fn lattice(&self) -> &GlobalLattice {
+        &self.lattice
+    }
+
+    /// The full nodal displacement vector (3 DoFs per active node).
+    pub fn nodal_displacement(&self) -> &[f64] {
+        &self.nodal
+    }
+
+    /// The element-DoF vector of block `(bi, bj)` in canonical order, ready
+    /// for [`ReducedOrderModel::reconstruct_displacement`].
+    pub fn element_dofs(&self, bi: usize, bj: usize) -> Vec<f64> {
+        let nodes = self.lattice.block_nodes(bi, bj);
+        let mut out = Vec::with_capacity(3 * nodes.len());
+        for node in nodes {
+            out.extend_from_slice(&self.nodal[3 * node..3 * node + 3]);
+        }
+        out
+    }
+}
+
+/// The global stage: assembles and solves the reduced array problem.
+#[derive(Debug)]
+pub struct GlobalStage<'a> {
+    rom_tsv: &'a ReducedOrderModel,
+    rom_dummy: Option<&'a ReducedOrderModel>,
+    solver: RomSolver,
+}
+
+impl<'a> GlobalStage<'a> {
+    /// Creates a global stage using one ROM for TSV blocks.
+    pub fn new(rom_tsv: &'a ReducedOrderModel) -> Self {
+        Self {
+            rom_tsv,
+            rom_dummy: None,
+            solver: RomSolver::default(),
+        }
+    }
+
+    /// Registers the dummy-block ROM (required for layouts containing
+    /// [`BlockKind::Dummy`]).
+    ///
+    /// # Errors
+    ///
+    /// [`RomError::Mismatch`] if the dummy ROM was built with different
+    /// geometry/resolution/interpolation than the TSV ROM.
+    pub fn with_dummy(mut self, rom_dummy: &'a ReducedOrderModel) -> Result<Self, RomError> {
+        self.rom_tsv.check_compatible(rom_dummy)?;
+        self.rom_dummy = Some(rom_dummy);
+        Ok(self)
+    }
+
+    /// Selects the global solver (default: the paper's GMRES).
+    pub fn with_solver(mut self, solver: RomSolver) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Assembles and solves the global problem for `layout` under thermal
+    /// load `delta_t` and boundary conditions `bc`.
+    ///
+    /// # Errors
+    ///
+    /// [`RomError::Mismatch`] if the layout contains dummy blocks but no
+    /// dummy ROM is registered; solver failures as [`RomError::Linalg`].
+    pub fn solve(
+        &self,
+        layout: &BlockLayout,
+        delta_t: f64,
+        bc: &GlobalBc,
+    ) -> Result<GlobalSolution, RomError> {
+        let start = Instant::now();
+        if layout.count(BlockKind::Dummy) > 0 && self.rom_dummy.is_none() {
+            return Err(RomError::Mismatch(
+                "layout contains dummy blocks but no dummy ROM is registered".into(),
+            ));
+        }
+        let interp = self.rom_tsv.interpolation();
+        let geom = self.rom_tsv.geometry();
+        let extents = [geom.pitch, geom.pitch, geom.height];
+        let lattice = GlobalLattice::new(layout, interp.counts(), extents);
+        let ndof = lattice.num_dofs();
+
+        // --- Node adjacency → DoF sparsity pattern ------------------------
+        let mut node_adj: Vec<Vec<usize>> = vec![Vec::new(); lattice.num_nodes()];
+        let mut block_nodes_cache: Vec<Vec<usize>> =
+            Vec::with_capacity(layout.nx() * layout.ny());
+        for bj in 0..layout.ny() {
+            for bi in 0..layout.nx() {
+                let nodes = lattice.block_nodes(bi, bj);
+                for &a in &nodes {
+                    node_adj[a].extend_from_slice(&nodes);
+                }
+                block_nodes_cache.push(nodes);
+            }
+        }
+        for list in &mut node_adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        let mut rows: Vec<Vec<usize>> = Vec::with_capacity(ndof);
+        for neighbors in &node_adj {
+            for _ in 0..3 {
+                let mut row = Vec::with_capacity(3 * neighbors.len());
+                for &m in neighbors {
+                    row.extend_from_slice(&[3 * m, 3 * m + 1, 3 * m + 2]);
+                }
+                rows.push(row);
+            }
+        }
+        drop(node_adj);
+        let mut a_global = CsrMatrix::from_pattern(ndof, ndof, &rows);
+        drop(rows);
+        let mut b_global = vec![0.0; ndof];
+
+        // --- Standard assembly over abstract elements ----------------------
+        for bj in 0..layout.ny() {
+            for bi in 0..layout.nx() {
+                let rom = match layout.kind(bi, bj) {
+                    BlockKind::Tsv => self.rom_tsv,
+                    BlockKind::Dummy => self.rom_dummy.expect("checked above"),
+                };
+                let nodes = &block_nodes_cache[bj * layout.nx() + bi];
+                let n = rom.num_dofs();
+                let a_elem = rom.element_stiffness();
+                let b_elem = rom.element_load();
+                let dofs: Vec<usize> = nodes
+                    .iter()
+                    .flat_map(|&m| [3 * m, 3 * m + 1, 3 * m + 2])
+                    .collect();
+                for (r, &gr) in dofs.iter().enumerate() {
+                    b_global[gr] += delta_t * b_elem[r];
+                    let row = a_elem.row(r);
+                    for (c, &gc) in dofs.iter().enumerate() {
+                        let v = row[c];
+                        if v != 0.0 {
+                            a_global.add_at(gr, gc, v);
+                        }
+                    }
+                }
+                debug_assert_eq!(dofs.len(), n);
+            }
+        }
+
+        // --- Boundary conditions (lifting, Eq. 13) -------------------------
+        let mut bcs = DirichletBcs::new();
+        match bc {
+            GlobalBc::ClampedTopBottom => {
+                for id in 0..lattice.num_nodes() {
+                    if lattice.is_top_or_bottom(id) {
+                        bcs.set_node(id, [0.0; 3]);
+                    }
+                }
+            }
+            GlobalBc::SubmodelBoundary(coarse) => {
+                for id in 0..lattice.num_nodes() {
+                    if lattice.is_outer_boundary(id) {
+                        bcs.set_node(id, coarse(lattice.position(id)));
+                    }
+                }
+            }
+        }
+        // A fully-constrained problem (e.g. a single block under sub-model
+        // boundary conditions) has no free DoFs: the nodal solution is just
+        // the prescribed data.
+        if bcs.len() == ndof {
+            let mut nodal = vec![0.0; ndof];
+            for (dof, v) in bcs.iter() {
+                nodal[dof] = v;
+            }
+            let stats = GlobalStats {
+                wall_time: start.elapsed(),
+                peak_bytes: a_global.heap_bytes() + b_global.heap_bytes(),
+                total_dofs: ndof,
+                free_dofs: 0,
+                nnz: 0,
+                iterations: 0,
+            };
+            return Ok(GlobalSolution {
+                lattice,
+                nodal,
+                stats,
+            });
+        }
+        let reduced = ReducedSystem::new(&a_global, &b_global, &bcs)?;
+
+        let mut peak_bytes = a_global.heap_bytes()
+            + b_global.heap_bytes()
+            + reduced.a_ff.heap_bytes()
+            + reduced.rhs.heap_bytes()
+            + self.rom_tsv.heap_bytes()
+            + self.rom_dummy.map_or(0, MemoryFootprint::heap_bytes);
+
+        // --- Solve ----------------------------------------------------------
+        let pre = JacobiPreconditioner::new(&reduced.a_ff);
+        let (x, iterations) = match self.solver {
+            RomSolver::Gmres { tol } => {
+                let opts = GmresOptions {
+                    tol,
+                    ..GmresOptions::default()
+                };
+                peak_bytes += (opts.restart + 1) * reduced.num_free() * 8;
+                let sol = solve_gmres(&reduced.a_ff, &reduced.rhs, &pre, opts)?;
+                (sol.x, sol.iterations)
+            }
+            RomSolver::Cg { tol } => {
+                let sol = solve_cg(
+                    &reduced.a_ff,
+                    &reduced.rhs,
+                    &pre,
+                    CgOptions {
+                        tol,
+                        max_iter: 50_000,
+                    },
+                )?;
+                (sol.x, sol.iterations)
+            }
+        };
+        let nodal = reduced.expand(&x);
+
+        let stats = GlobalStats {
+            wall_time: start.elapsed(),
+            peak_bytes,
+            total_dofs: ndof,
+            free_dofs: reduced.num_free(),
+            nnz: reduced.a_ff.nnz(),
+            iterations,
+        };
+        Ok(GlobalSolution {
+            lattice,
+            nodal,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InterpolationGrid, LocalStage, LocalStageOptions};
+    use morestress_fem::MaterialSet;
+    use morestress_mesh::{BlockResolution, TsvGeometry};
+
+    fn rom(kind: BlockKind) -> ReducedOrderModel {
+        let geom = TsvGeometry::paper_defaults(15.0);
+        LocalStage::new(
+            &geom,
+            &BlockResolution::coarse(),
+            InterpolationGrid::new([3, 3, 3]),
+            &MaterialSet::tsv_defaults(),
+            kind,
+        )
+        .build(&LocalStageOptions { threads: 4 })
+        .unwrap()
+    }
+
+    #[test]
+    fn lattice_counts_and_sharing() {
+        let layout = BlockLayout::uniform(3, 2, BlockKind::Tsv);
+        let lat = GlobalLattice::new(&layout, [4, 4, 4], [15.0, 15.0, 50.0]);
+        // gx = 3*3+1 = 10, gy = 3*2+1 = 7, gz = 4.
+        // Active: a%3==0 or b%3==0 or c in {0,3}.
+        let mut count = 0;
+        for c in 0..4 {
+            for b in 0..7 {
+                for a in 0..10 {
+                    if a % 3 == 0 || b % 3 == 0 || c == 0 || c == 3 {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(lat.num_nodes(), count);
+        // Adjacent blocks share their common face nodes.
+        let left = lat.block_nodes(0, 0);
+        let right = lat.block_nodes(1, 0);
+        let shared: Vec<_> = left.iter().filter(|n| right.contains(n)).collect();
+        assert_eq!(shared.len(), 16, "4×4 nodes on the shared face");
+    }
+
+    #[test]
+    fn block_nodes_match_interpolation_order() {
+        let layout = BlockLayout::uniform(2, 2, BlockKind::Tsv);
+        let lat = GlobalLattice::new(&layout, [3, 3, 3], [15.0, 15.0, 50.0]);
+        let nodes = lat.block_nodes(1, 1);
+        let grid = InterpolationGrid::new([3, 3, 3]);
+        assert_eq!(nodes.len(), grid.num_surface_nodes());
+        // First node of block (1,1) sits at lattice (2,2,0) => position (15,15,0).
+        let p = lat.position(nodes[0]);
+        assert_eq!(p, [15.0, 15.0, 0.0]);
+    }
+
+    #[test]
+    fn single_block_with_clamped_everything_matches_local_thermal() {
+        // With every surface node clamped (sub-model bc of zero), the global
+        // solution for one block is u = ΔT·f_T exactly.
+        let rom = rom(BlockKind::Tsv);
+        let layout = BlockLayout::uniform(1, 1, BlockKind::Tsv);
+        let zero = GlobalBc::SubmodelBoundary(Arc::new(|_| [0.0; 3]));
+        let sol = GlobalStage::new(&rom).solve(&layout, -250.0, &zero).unwrap();
+        let dofs = sol.element_dofs(0, 0);
+        assert!(dofs.iter().all(|&v| v == 0.0), "all element DoFs clamped");
+        let u = rom.reconstruct_displacement(&dofs, -250.0);
+        let ft = rom.thermal_basis();
+        for (a, b) in u.iter().zip(ft) {
+            assert!((a - b * -250.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn clamped_array_solution_is_symmetric() {
+        let rom = rom(BlockKind::Tsv);
+        let layout = BlockLayout::uniform(2, 2, BlockKind::Tsv);
+        let sol = GlobalStage::new(&rom)
+            .solve(&layout, -250.0, &GlobalBc::ClampedTopBottom)
+            .unwrap();
+        assert!(sol.stats.iterations > 0);
+        // 4-fold symmetry: the x-displacement at mirrored lattice positions
+        // must be opposite.
+        let lat = sol.lattice();
+        for id in 0..lat.num_nodes() {
+            let p = lat.position(id);
+            let mirrored = [30.0 - p[0], p[1], p[2]];
+            let m = (0..lat.num_nodes())
+                .find(|&q| {
+                    let pq = lat.position(q);
+                    (pq[0] - mirrored[0]).abs() < 1e-9
+                        && (pq[1] - mirrored[1]).abs() < 1e-9
+                        && (pq[2] - mirrored[2]).abs() < 1e-9
+                })
+                .unwrap();
+            let ux = sol.nodal_displacement()[3 * id];
+            let um = sol.nodal_displacement()[3 * m];
+            assert!(
+                (ux + um).abs() < 1e-7,
+                "mirror antisymmetry violated: {ux} vs {um}"
+            );
+        }
+    }
+
+    #[test]
+    fn gmres_and_cg_agree() {
+        let rom = rom(BlockKind::Tsv);
+        let layout = BlockLayout::uniform(2, 1, BlockKind::Tsv);
+        let a = GlobalStage::new(&rom)
+            .with_solver(RomSolver::Gmres { tol: 1e-11 })
+            .solve(&layout, -250.0, &GlobalBc::ClampedTopBottom)
+            .unwrap();
+        let b = GlobalStage::new(&rom)
+            .with_solver(RomSolver::Cg { tol: 1e-11 })
+            .solve(&layout, -250.0, &GlobalBc::ClampedTopBottom)
+            .unwrap();
+        let peak = a
+            .nodal_displacement()
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()));
+        for (p, q) in a.nodal_displacement().iter().zip(b.nodal_displacement()) {
+            assert!((p - q).abs() < 1e-6 * peak.max(1e-30));
+        }
+    }
+
+    #[test]
+    fn dummy_layout_without_dummy_rom_is_rejected() {
+        let rom = rom(BlockKind::Tsv);
+        let layout = BlockLayout::uniform(2, 2, BlockKind::Tsv).padded(1);
+        let err = GlobalStage::new(&rom)
+            .solve(&layout, -250.0, &GlobalBc::ClampedTopBottom)
+            .unwrap_err();
+        assert!(matches!(err, RomError::Mismatch(_)));
+    }
+
+    #[test]
+    fn hybrid_assembly_with_dummy_ring_runs() {
+        let tsv = rom(BlockKind::Tsv);
+        let dummy = rom(BlockKind::Dummy);
+        let layout = BlockLayout::uniform(1, 1, BlockKind::Tsv).padded(1);
+        let zero = GlobalBc::SubmodelBoundary(Arc::new(|_| [0.0; 3]));
+        let sol = GlobalStage::new(&tsv)
+            .with_dummy(&dummy)
+            .unwrap()
+            .solve(&layout, -250.0, &zero)
+            .unwrap();
+        // Interior nodes (on the center block's faces) are now free and
+        // nonzero because the thermal load deforms the assembly.
+        let peak = sol
+            .nodal_displacement()
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()));
+        assert!(peak > 0.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Lagrange interpolation of the unit-block boundary displacement.
+//!
+//! Equally-spaced interpolation nodes are placed on the corners and surfaces
+//! of the unit block (Fig. 3(c) of the paper). The boundary displacement is
+//! approximated by the tensor-product Lagrange functions of Eqs. 8–10; this
+//! interpolation is the *only* source of error in the algorithm.
+
+/// Evaluates all 1-D Lagrange basis functions `L_i(x)` (Eq. 9 of the paper)
+/// for the given node positions at `x`.
+///
+/// Exact hits on a node return the exact Kronecker delta, which guarantees
+/// that surface evaluation never picks up interior-node contributions.
+///
+/// # Panics
+///
+/// Panics if fewer than two nodes are supplied.
+///
+/// # Example
+///
+/// ```
+/// use morestress_core::lagrange_weights;
+///
+/// let nodes = [0.0, 1.0, 2.0];
+/// let w = lagrange_weights(&nodes, 1.0);
+/// assert_eq!(w, vec![0.0, 1.0, 0.0]);
+/// let w = lagrange_weights(&nodes, 0.5);
+/// // Partition of unity.
+/// assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// ```
+pub fn lagrange_weights(nodes: &[f64], x: f64) -> Vec<f64> {
+    let n = nodes.len();
+    assert!(n >= 2, "Lagrange interpolation needs at least two nodes");
+    // Exact node hit → Kronecker delta.
+    if let Some(hit) = nodes.iter().position(|&xi| xi == x) {
+        let mut w = vec![0.0; n];
+        w[hit] = 1.0;
+        return w;
+    }
+    let mut w = vec![1.0; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                w[i] *= (x - nodes[j]) / (nodes[i] - nodes[j]);
+            }
+        }
+    }
+    w
+}
+
+/// The coarse grid of Lagrange interpolation nodes on the unit-block
+/// surface.
+///
+/// `counts = (nx, ny, nz)` are the node counts along each axis, equally
+/// spaced over the block extents. Only nodes on the block surface carry
+/// DoFs; the paper's Eq. 16 gives their count:
+/// `n = [nx·ny·nz − (nx−2)(ny−2)(nz−2)] · 3`.
+///
+/// # Example
+///
+/// ```
+/// use morestress_core::InterpolationGrid;
+///
+/// let grid = InterpolationGrid::new([4, 4, 4]);
+/// assert_eq!(grid.num_surface_nodes(), 56);
+/// assert_eq!(grid.num_dofs(), 168); // the paper's n for (4,4,4)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InterpolationGrid {
+    counts: [usize; 3],
+}
+
+impl InterpolationGrid {
+    /// Creates a grid with `counts = [nx, ny, nz]` nodes per axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is below 2.
+    pub fn new(counts: [usize; 3]) -> Self {
+        assert!(
+            counts.iter().all(|&c| c >= 2),
+            "need at least 2 interpolation nodes per axis"
+        );
+        Self { counts }
+    }
+
+    /// Node counts per axis.
+    pub fn counts(&self) -> [usize; 3] {
+        self.counts
+    }
+
+    /// Number of interpolation nodes on the block surface.
+    pub fn num_surface_nodes(&self) -> usize {
+        let [nx, ny, nz] = self.counts;
+        let interior = nx.saturating_sub(2) * ny.saturating_sub(2) * nz.saturating_sub(2);
+        nx * ny * nz - interior
+    }
+
+    /// Number of element DoFs `n` (Eq. 16): three displacement components
+    /// per surface node.
+    pub fn num_dofs(&self) -> usize {
+        3 * self.num_surface_nodes()
+    }
+
+    /// Whether lattice index `(i, j, k)` lies on the block surface.
+    pub fn is_surface(&self, i: usize, j: usize, k: usize) -> bool {
+        let [nx, ny, nz] = self.counts;
+        i == 0 || i == nx - 1 || j == 0 || j == ny - 1 || k == 0 || k == nz - 1
+    }
+
+    /// Enumerates the surface nodes in canonical (k-major, then j, then i)
+    /// order. This order defines the element-DoF numbering shared by the
+    /// local and global stages.
+    pub fn surface_nodes(&self) -> Vec<[usize; 3]> {
+        let [nx, ny, nz] = self.counts;
+        let mut out = Vec::with_capacity(self.num_surface_nodes());
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    if self.is_surface(i, j, k) {
+                        out.push([i, j, k]);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The equally-spaced node positions along one axis of extent `len`.
+    pub fn axis_positions(&self, axis: usize, len: f64) -> Vec<f64> {
+        let n = self.counts[axis];
+        (0..n)
+            .map(|i| len * i as f64 / (n - 1) as f64)
+            .collect()
+    }
+
+    /// Evaluates the tensor-product weights of **all surface nodes** (in
+    /// [`InterpolationGrid::surface_nodes`] order) at a point on the block
+    /// surface. `extents = (p, p, h)` are the block dimensions.
+    ///
+    /// For points on the surface, interior interpolation nodes contribute
+    /// exactly zero (each face plane is an interpolation-node plane), so
+    /// restricting to surface nodes is exact — this is why Eq. 16 counts
+    /// only surface nodes.
+    pub fn surface_weights_at(&self, extents: [f64; 3], point: [f64; 3]) -> Vec<f64> {
+        let xw = lagrange_weights(&self.axis_positions(0, extents[0]), point[0]);
+        let yw = lagrange_weights(&self.axis_positions(1, extents[1]), point[1]);
+        let zw = lagrange_weights(&self.axis_positions(2, extents[2]), point[2]);
+        self.surface_nodes()
+            .iter()
+            .map(|&[i, j, k]| xw[i] * yw[j] * zw[k])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dof_counts_match_paper_table3() {
+        // Table 3 of the paper: (2,2,2)→24, (3,3,3)→78, (4,4,4)→168,
+        // (5,5,5)→294, (6,6,6)→456.
+        let expect = [(2, 24), (3, 78), (4, 168), (5, 294), (6, 456)];
+        for (m, n) in expect {
+            let g = InterpolationGrid::new([m, m, m]);
+            assert_eq!(g.num_dofs(), n, "({m},{m},{m})");
+        }
+    }
+
+    #[test]
+    fn surface_enumeration_is_complete_and_unique() {
+        let g = InterpolationGrid::new([4, 3, 5]);
+        let nodes = g.surface_nodes();
+        assert_eq!(nodes.len(), g.num_surface_nodes());
+        let set: std::collections::BTreeSet<_> = nodes.iter().collect();
+        assert_eq!(set.len(), nodes.len());
+        for &[i, j, k] in &nodes {
+            assert!(g.is_surface(i, j, k));
+        }
+    }
+
+    #[test]
+    fn lagrange_reproduces_polynomials() {
+        let nodes = [0.0, 1.0, 2.0, 3.0];
+        // Cubic: p(x) = x^3 - 2x + 1 must be reproduced exactly.
+        let p = |x: f64| x * x * x - 2.0 * x + 1.0;
+        for x in [0.3, 1.7, 2.9] {
+            let w = lagrange_weights(&nodes, x);
+            let interp: f64 = w.iter().zip(&nodes).map(|(wi, xi)| wi * p(*xi)).sum();
+            assert!((interp - p(x)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn surface_weights_partition_unity_on_faces() {
+        let g = InterpolationGrid::new([4, 4, 3]);
+        let extents = [15.0, 15.0, 50.0];
+        // Points on various faces.
+        for pt in [
+            [0.0, 7.3, 21.0],   // x = 0 face
+            [15.0, 2.0, 49.0],  // x = p face
+            [3.3, 0.0, 10.0],   // y = 0 face
+            [8.1, 11.7, 0.0],   // z = 0 face
+            [8.1, 11.7, 50.0],  // z = h face
+        ] {
+            let w = g.surface_weights_at(extents, pt);
+            let sum: f64 = w.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-10, "partition of unity at {pt:?}");
+        }
+    }
+
+    #[test]
+    fn surface_weights_reproduce_linear_fields_on_faces() {
+        // A linear field sampled at the interpolation nodes must be
+        // reproduced exactly on the surface (rigid modes live in the space).
+        let g = InterpolationGrid::new([3, 4, 5]);
+        let extents = [10.0, 10.0, 50.0];
+        let field = |p: [f64; 3]| 0.5 * p[0] - 0.25 * p[1] + 0.1 * p[2] + 2.0;
+        let nodes = g.surface_nodes();
+        let xs = g.axis_positions(0, extents[0]);
+        let ys = g.axis_positions(1, extents[1]);
+        let zs = g.axis_positions(2, extents[2]);
+        let nodal: Vec<f64> = nodes
+            .iter()
+            .map(|&[i, j, k]| field([xs[i], ys[j], zs[k]]))
+            .collect();
+        for pt in [[0.0, 3.0, 17.0], [10.0, 9.9, 42.0], [4.4, 10.0, 3.0]] {
+            let w = g.surface_weights_at(extents, pt);
+            let interp: f64 = w.iter().zip(&nodal).map(|(wi, fi)| wi * fi).sum();
+            assert!(
+                (interp - field(pt)).abs() < 1e-9,
+                "linear reproduction at {pt:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn interior_nodes_vanish_on_surface() {
+        // At a surface point, the full tensor weight of any interior node is
+        // exactly zero: check via the axis weights directly.
+        let g = InterpolationGrid::new([5, 5, 5]);
+        let xs = g.axis_positions(0, 15.0);
+        let w = lagrange_weights(&xs, 0.0);
+        for (i, wi) in w.iter().enumerate() {
+            assert_eq!(*wi, if i == 0 { 1.0 } else { 0.0 });
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn degenerate_grid_rejected() {
+        let _ = InterpolationGrid::new([1, 4, 4]);
+    }
+}

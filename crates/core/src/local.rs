@@ -1,0 +1,409 @@
+//! The one-shot local stage (§4.2 of the paper).
+//!
+//! For a given set of material and geometry parameters this stage is
+//! performed once:
+//!
+//! 1. mesh the unit block with a fine grid and assemble `A_local`, `b_local`;
+//! 2. split DoFs into free (interior) and boundary (surface) sets (Eq. 12);
+//! 3. factor `A_ff` once with sparse Cholesky;
+//! 4. for every surface interpolation-node DoF `i`, solve the lifted system
+//!    `A_ff α_f = −A_fb L e_i` (Eq. 14) — and once more with the thermal
+//!    load and zero boundary data — reusing the single factorization, in
+//!    parallel across threads;
+//! 5. Galerkin-project: `A_elem = Fᵀ A_local F`, `b_elem = Fᵀ b_local`
+//!    (Eqs. 18–19).
+//!
+//! The identity `a(f_T, f_i) = 0` (the interior residual of each `f_i`
+//! vanishes and `f_T` vanishes on the boundary) is what makes Eq. 19 exact;
+//! the builder measures it and stores the worst violation in
+//! [`LocalStageStats::galerkin_orthogonality`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use morestress_fem::{assemble_system, MaterialSet};
+use morestress_linalg::{DenseMatrix, MemoryFootprint, SparseCholesky};
+use morestress_mesh::{unit_block_mesh, BlockKind, BlockResolution, TsvGeometry};
+
+use crate::{InterpolationGrid, ReducedOrderModel, RomError};
+
+/// Options controlling the local-stage build.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalStageOptions {
+    /// Worker threads for the n+1 local solves (the paper uses 16).
+    pub threads: usize,
+}
+
+impl Default for LocalStageOptions {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism().map_or(4, |p| p.get().min(16));
+        Self { threads }
+    }
+}
+
+/// Cost accounting of one local-stage build.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LocalStageStats {
+    /// Wall-clock time of the whole local stage.
+    pub build_time: Duration,
+    /// Fine-mesh DoFs of the unit block.
+    pub fine_dofs: usize,
+    /// Number of local basis functions `n` (Eq. 16).
+    pub num_basis: usize,
+    /// Stored nonzeros of the Cholesky factor of `A_ff`.
+    pub factor_nnz: usize,
+    /// Analytic peak heap estimate (bytes).
+    pub peak_bytes: usize,
+    /// Worst `|a(f_T, f_i)|`, normalized by `‖A_elem‖_max` — should be at
+    /// round-off level (see module docs).
+    pub galerkin_orthogonality: f64,
+}
+
+/// Builder for the one-shot local stage.
+///
+/// See the [crate-level example](crate) for typical usage through
+/// [`MoreStressSimulator`](crate::MoreStressSimulator); use `LocalStage`
+/// directly when you need separate TSV / dummy models or custom caching.
+#[derive(Debug, Clone)]
+pub struct LocalStage {
+    geom: TsvGeometry,
+    res: BlockResolution,
+    interp: InterpolationGrid,
+    materials: MaterialSet,
+    kind: BlockKind,
+}
+
+impl LocalStage {
+    /// Creates a local-stage builder for one block kind.
+    pub fn new(
+        geom: &TsvGeometry,
+        res: &BlockResolution,
+        interp: InterpolationGrid,
+        materials: &MaterialSet,
+        kind: BlockKind,
+    ) -> Self {
+        Self {
+            geom: *geom,
+            res: *res,
+            interp,
+            materials: materials.clone(),
+            kind,
+        }
+    }
+
+    /// Runs the local stage and produces the block's reduced-order model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly errors ([`RomError::Fem`]) and factorization
+    /// failures ([`RomError::Linalg`]).
+    pub fn build(&self, opts: &LocalStageOptions) -> Result<ReducedOrderModel, RomError> {
+        let start = Instant::now();
+        let mesh = unit_block_mesh(&self.geom, &self.res, self.kind == BlockKind::Tsv);
+        let system = assemble_system(&mesh, &self.materials)?;
+        let stiffness = &system.stiffness;
+        let ndof = stiffness.nrows();
+
+        // --- DoF partition (Eq. 12) --------------------------------------
+        let boundary_nodes = mesh.boundary_box_nodes(); // sorted ascending
+        let mut is_boundary_node = vec![false; mesh.num_nodes()];
+        for &b in &boundary_nodes {
+            is_boundary_node[b] = true;
+        }
+        let free_dofs: Vec<usize> = (0..mesh.num_nodes())
+            .filter(|&n| !is_boundary_node[n])
+            .flat_map(|n| [3 * n, 3 * n + 1, 3 * n + 2])
+            .collect();
+        let boundary_dofs: Vec<usize> = boundary_nodes
+            .iter()
+            .flat_map(|&n| [3 * n, 3 * n + 1, 3 * n + 2])
+            .collect();
+
+        let mut free_col_map = vec![None; ndof];
+        for (new, &old) in free_dofs.iter().enumerate() {
+            free_col_map[old] = Some(new);
+        }
+        let mut boundary_col_map = vec![None; ndof];
+        for (new, &old) in boundary_dofs.iter().enumerate() {
+            boundary_col_map[old] = Some(new);
+        }
+        let a_ff = stiffness.extract(&free_dofs, &free_col_map, free_dofs.len());
+        let a_fb = stiffness.extract(&free_dofs, &boundary_col_map, boundary_dofs.len());
+
+        // --- Interpolation operator L (Eq. 14) ----------------------------
+        // weights[m][q]: weight of surface interpolation node q at fine
+        // boundary node m (same for all three components).
+        let (_, hi) = mesh.bounding_box();
+        let extents = [hi[0], hi[1], hi[2]];
+        let n_surface = self.interp.num_surface_nodes();
+        let mut weights = DenseMatrix::zeros(boundary_nodes.len(), n_surface);
+        for (m, &node) in boundary_nodes.iter().enumerate() {
+            let w = self.interp.surface_weights_at(extents, mesh.nodes()[node]);
+            weights.row_mut(m).copy_from_slice(&w);
+        }
+
+        // --- Factor once (the paper's key reuse) --------------------------
+        let chol = SparseCholesky::factor(&a_ff)?;
+
+        // --- n+1 local solves, task-parallel -------------------------------
+        let n = self.interp.num_dofs();
+        let num_tasks = n + 1; // basis functions + thermal bubble
+        let threads = opts.threads.max(1).min(num_tasks);
+        let b_free: Vec<f64> = free_dofs.iter().map(|&d| system.thermal_load[d]).collect();
+
+        let mut solutions: Vec<Vec<f64>> = vec![Vec::new(); num_tasks];
+        {
+            let next = AtomicUsize::new(0);
+            let slots: Vec<std::sync::Mutex<&mut Vec<f64>>> =
+                solutions.iter_mut().map(std::sync::Mutex::new).collect();
+            let worker = |_: usize| -> Result<(), RomError> {
+                let mut u_bc = vec![0.0; boundary_dofs.len()];
+                loop {
+                    let task = next.fetch_add(1, Ordering::Relaxed);
+                    if task >= num_tasks {
+                        return Ok(());
+                    }
+                    let full = if task < n {
+                        // Basis function task: boundary data = column `task`
+                        // of L (component `c` of interpolation node `qnode`).
+                        let qnode = task / 3;
+                        let comp = task % 3;
+                        u_bc.iter_mut().for_each(|v| *v = 0.0);
+                        for m in 0..boundary_nodes.len() {
+                            u_bc[3 * m + comp] = weights[(m, qnode)];
+                        }
+                        let mut rhs = a_fb.spmv(&u_bc);
+                        rhs.iter_mut().for_each(|v| *v = -*v);
+                        let alpha = chol.solve(&rhs);
+                        let mut full = vec![0.0; ndof];
+                        for (i, &d) in free_dofs.iter().enumerate() {
+                            full[d] = alpha[i];
+                        }
+                        for (i, &d) in boundary_dofs.iter().enumerate() {
+                            full[d] = u_bc[i];
+                        }
+                        full
+                    } else {
+                        // Thermal task: ΔT = 1, zero boundary displacement.
+                        let alpha = chol.solve(&b_free);
+                        let mut full = vec![0.0; ndof];
+                        for (i, &d) in free_dofs.iter().enumerate() {
+                            full[d] = alpha[i];
+                        }
+                        full
+                    };
+                    **slots[task].lock().expect("solution slot poisoned") = full;
+                }
+            };
+            std::thread::scope(|scope| -> Result<(), RomError> {
+                let mut handles = Vec::new();
+                for t in 0..threads {
+                    let worker = &worker;
+                    handles.push(scope.spawn(move || worker(t)));
+                }
+                for h in handles {
+                    h.join().expect("local-stage worker panicked")?;
+                }
+                Ok(())
+            })?;
+        }
+        let basis_thermal = solutions.pop().expect("thermal slot exists");
+        let basis = solutions;
+
+        // --- Galerkin projection (Eqs. 18–19) ------------------------------
+        let mut a_elem = DenseMatrix::zeros(n, n);
+        let mut b_elem = vec![0.0; n];
+        let mut worst_tfi = 0.0f64;
+        {
+            let next = AtomicUsize::new(0);
+            let columns: Vec<std::sync::Mutex<(Vec<f64>, f64, f64)>> = (0..n)
+                .map(|_| std::sync::Mutex::new((Vec::new(), 0.0, 0.0)))
+                .collect();
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| {
+                        let mut af = vec![0.0; ndof];
+                        loop {
+                            let j = next.fetch_add(1, Ordering::Relaxed);
+                            if j >= n {
+                                return;
+                            }
+                            stiffness.spmv_into(&basis[j], &mut af);
+                            let col: Vec<f64> = basis
+                                .iter()
+                                .map(|fi| morestress_linalg::dot(fi, &af))
+                                .collect();
+                            let tfi = morestress_linalg::dot(&basis_thermal, &af);
+                            let bj = morestress_linalg::dot(&basis[j], &system.thermal_load);
+                            *columns[j].lock().expect("column slot poisoned") = (col, tfi, bj);
+                        }
+                    });
+                }
+            });
+            for (j, slot) in columns.into_iter().enumerate() {
+                let (col, tfi, bj) = slot.into_inner().expect("column slot poisoned");
+                for i in 0..n {
+                    a_elem[(i, j)] = col[i];
+                }
+                worst_tfi = worst_tfi.max(tfi.abs());
+                b_elem[j] = bj;
+            }
+        }
+        // Exact symmetry for the downstream SPD solvers.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let avg = 0.5 * (a_elem[(i, j)] + a_elem[(j, i)]);
+                a_elem[(i, j)] = avg;
+                a_elem[(j, i)] = avg;
+            }
+        }
+        let a_max = a_elem
+            .as_slice()
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()))
+            .max(f64::MIN_POSITIVE);
+
+        let basis_bytes: usize = basis.iter().map(MemoryFootprint::heap_bytes).sum();
+        let peak_bytes = stiffness.heap_bytes()
+            + a_ff.heap_bytes()
+            + a_fb.heap_bytes()
+            + chol.heap_bytes()
+            + weights.heap_bytes()
+            + basis_bytes
+            + basis_thermal.heap_bytes();
+
+        let stats = LocalStageStats {
+            build_time: start.elapsed(),
+            fine_dofs: ndof,
+            num_basis: n,
+            factor_nnz: chol.factor_nnz(),
+            peak_bytes,
+            galerkin_orthogonality: worst_tfi / a_max,
+        };
+
+        Ok(ReducedOrderModel {
+            geom: self.geom,
+            res: self.res,
+            kind: self.kind,
+            interp: self.interp,
+            mesh,
+            materials: self.materials.clone(),
+            basis,
+            basis_thermal,
+            a_elem,
+            b_elem,
+            local_stats: stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_small(kind: BlockKind, counts: [usize; 3]) -> ReducedOrderModel {
+        let geom = TsvGeometry::paper_defaults(15.0);
+        let stage = LocalStage::new(
+            &geom,
+            &BlockResolution::coarse(),
+            InterpolationGrid::new(counts),
+            &MaterialSet::tsv_defaults(),
+            kind,
+        );
+        stage
+            .build(&LocalStageOptions { threads: 4 })
+            .expect("local stage builds")
+    }
+
+    #[test]
+    fn element_matrix_is_symmetric_and_psd_diagonal() {
+        let rom = build_small(BlockKind::Tsv, [3, 3, 3]);
+        let a = rom.element_stiffness();
+        assert_eq!(a.rows(), 78);
+        assert_eq!(a.asymmetry(), 0.0, "symmetrized exactly");
+        for i in 0..a.rows() {
+            assert!(a[(i, i)] > 0.0, "diagonal {i} must be positive");
+        }
+    }
+
+    #[test]
+    fn galerkin_orthogonality_holds() {
+        // a(f_T, f_i) = 0 up to round-off — the identity behind Eq. 19.
+        let rom = build_small(BlockKind::Tsv, [3, 3, 3]);
+        assert!(
+            rom.local_stats.galerkin_orthogonality < 1e-8,
+            "orthogonality violation {}",
+            rom.local_stats.galerkin_orthogonality
+        );
+    }
+
+    #[test]
+    fn rigid_translation_is_in_the_nullspace() {
+        // Setting every x-component DoF of the interpolation nodes to 1
+        // reproduces a rigid translation: A_elem · u_rigid ≈ 0 and the
+        // reconstructed fine displacement is exactly uniform.
+        let rom = build_small(BlockKind::Tsv, [3, 3, 3]);
+        let n = rom.num_dofs();
+        let mut rigid = vec![0.0; n];
+        for q in 0..n / 3 {
+            rigid[3 * q] = 1.0;
+        }
+        let f = rom.element_stiffness().matvec(&rigid);
+        let scale = rom.element_stiffness()[(0, 0)];
+        let worst = f.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        assert!(worst < 1e-8 * scale, "rigid force {worst} vs scale {scale}");
+
+        let u = rom.reconstruct_displacement(&rigid, 0.0);
+        for node in 0..u.len() / 3 {
+            assert!((u[3 * node] - 1.0).abs() < 1e-9, "x displacement uniform");
+            assert!(u[3 * node + 1].abs() < 1e-9);
+            assert!(u[3 * node + 2].abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn thermal_basis_vanishes_on_boundary() {
+        let rom = build_small(BlockKind::Tsv, [2, 2, 2]);
+        let ft = rom.thermal_basis();
+        for &node in &rom.mesh().boundary_box_nodes() {
+            for c in 0..3 {
+                assert_eq!(ft[3 * node + c], 0.0);
+            }
+        }
+        // And it is nonzero in the interior (thermal mismatch exists).
+        let peak = ft.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        assert!(peak > 0.0);
+    }
+
+    #[test]
+    fn dummy_block_has_smaller_thermal_response() {
+        // A homogeneous Si block under uniform ΔT with clamped boundary
+        // still deforms internally, but the Cu/Si mismatch block must react
+        // more strongly.
+        let tsv = build_small(BlockKind::Tsv, [2, 2, 2]);
+        let dummy = build_small(BlockKind::Dummy, [2, 2, 2]);
+        let peak = |v: &[f64]| v.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+        assert!(peak(tsv.thermal_basis()) > peak(dummy.thermal_basis()));
+        tsv.check_compatible(&dummy).expect("same grids");
+    }
+
+    #[test]
+    fn single_threaded_and_parallel_builds_agree() {
+        let geom = TsvGeometry::paper_defaults(10.0);
+        let stage = LocalStage::new(
+            &geom,
+            &BlockResolution::coarse(),
+            InterpolationGrid::new([2, 2, 2]),
+            &MaterialSet::tsv_defaults(),
+            BlockKind::Tsv,
+        );
+        let a = stage.build(&LocalStageOptions { threads: 1 }).unwrap();
+        let b = stage.build(&LocalStageOptions { threads: 8 }).unwrap();
+        let (pa, pb) = (a.element_stiffness(), b.element_stiffness());
+        for i in 0..pa.rows() {
+            for j in 0..pa.cols() {
+                assert_eq!(pa[(i, j)], pb[(i, j)], "deterministic at ({i},{j})");
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! A one-stop facade over the local and global stages.
+
+use std::path::PathBuf;
+
+use morestress_fem::{MaterialSet, ScalarField2d};
+use morestress_mesh::{BlockKind, BlockLayout, BlockResolution, TsvGeometry};
+
+use crate::model::build_or_load_cached;
+use crate::{
+    sample_array_von_mises, GlobalBc, GlobalSolution, GlobalStage, InterpolationGrid,
+    LocalStageOptions, ReducedOrderModel, RomError, RomSolver,
+};
+
+/// Options for [`MoreStressSimulator::build`].
+#[derive(Debug, Clone, Default)]
+pub struct SimulatorOptions {
+    /// Local-stage threading (paper: 16 threads).
+    pub local: LocalStageOptions,
+    /// Global solver (paper: GMRES).
+    pub solver: RomSolver,
+    /// Also build the dummy-block ROM (needed for sub-modeling layouts).
+    pub build_dummy: bool,
+    /// If set, ROMs are cached here (`<stem>-tsv.rom`, `<stem>-dummy.rom`)
+    /// and reloaded when geometry/resolution/grid match.
+    pub cache_stem: Option<PathBuf>,
+}
+
+/// End-to-end MORE-Stress simulator: builds the one-shot ROMs and answers
+/// array problems of arbitrary size, thermal load and location.
+///
+/// See the [crate-level example](crate).
+#[derive(Debug)]
+pub struct MoreStressSimulator {
+    rom_tsv: ReducedOrderModel,
+    rom_dummy: Option<ReducedOrderModel>,
+    solver: RomSolver,
+}
+
+impl MoreStressSimulator {
+    /// Runs the one-shot local stage(s) for the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates local-stage failures.
+    pub fn build(
+        geom: &TsvGeometry,
+        res: &BlockResolution,
+        interp: InterpolationGrid,
+        materials: &MaterialSet,
+        opts: &SimulatorOptions,
+    ) -> Result<Self, RomError> {
+        let cache = |suffix: &str| {
+            opts.cache_stem.as_ref().map(|stem| {
+                let mut path = stem.clone();
+                let name = path
+                    .file_name()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| "rom".to_string());
+                path.set_file_name(format!("{name}-{suffix}.rom"));
+                path
+            })
+        };
+        let rom_tsv = build_or_load_cached(
+            geom,
+            res,
+            interp,
+            materials,
+            BlockKind::Tsv,
+            &opts.local,
+            cache("tsv").as_deref(),
+        )?;
+        let rom_dummy = if opts.build_dummy {
+            Some(build_or_load_cached(
+                geom,
+                res,
+                interp,
+                materials,
+                BlockKind::Dummy,
+                &opts.local,
+                cache("dummy").as_deref(),
+            )?)
+        } else {
+            None
+        };
+        Ok(Self {
+            rom_tsv,
+            rom_dummy,
+            solver: opts.solver,
+        })
+    }
+
+    /// Wraps pre-built ROMs (e.g. loaded from disk).
+    ///
+    /// # Errors
+    ///
+    /// [`RomError::Mismatch`] if the two ROMs are incompatible.
+    pub fn from_models(
+        rom_tsv: ReducedOrderModel,
+        rom_dummy: Option<ReducedOrderModel>,
+        solver: RomSolver,
+    ) -> Result<Self, RomError> {
+        if let Some(dummy) = &rom_dummy {
+            rom_tsv.check_compatible(dummy)?;
+        }
+        Ok(Self {
+            rom_tsv,
+            rom_dummy,
+            solver,
+        })
+    }
+
+    /// The TSV-block reduced-order model.
+    pub fn tsv_model(&self) -> &ReducedOrderModel {
+        &self.rom_tsv
+    }
+
+    /// The dummy-block model, if built.
+    pub fn dummy_model(&self) -> Option<&ReducedOrderModel> {
+        self.rom_dummy.as_ref()
+    }
+
+    /// Solves the global problem for an array layout.
+    ///
+    /// # Errors
+    ///
+    /// See [`GlobalStage::solve`].
+    pub fn solve_array(
+        &self,
+        layout: &BlockLayout,
+        delta_t: f64,
+        bc: &GlobalBc,
+    ) -> Result<GlobalSolution, RomError> {
+        let mut stage = GlobalStage::new(&self.rom_tsv).with_solver(self.solver);
+        if let Some(dummy) = &self.rom_dummy {
+            stage = stage.with_dummy(dummy)?;
+        }
+        stage.solve(layout, delta_t, bc)
+    }
+
+    /// Samples the mid-plane von Mises field of a solved array
+    /// (`samples_per_block²` points per block; the paper uses 100²).
+    ///
+    /// # Errors
+    ///
+    /// See [`sample_array_von_mises`].
+    pub fn sample_midplane(
+        &self,
+        layout: &BlockLayout,
+        solution: &GlobalSolution,
+        delta_t: f64,
+        samples_per_block: usize,
+    ) -> Result<ScalarField2d, RomError> {
+        sample_array_von_mises(
+            &self.rom_tsv,
+            self.rom_dummy.as_ref(),
+            layout,
+            solution,
+            delta_t,
+            samples_per_block,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_build_roundtrip() {
+        let dir = std::env::temp_dir().join("morestress-test-cache");
+        let _ = std::fs::create_dir_all(&dir);
+        let stem = dir.join("unit");
+        let geom = TsvGeometry::paper_defaults(15.0);
+        let opts = SimulatorOptions {
+            build_dummy: true,
+            cache_stem: Some(stem.clone()),
+            ..SimulatorOptions::default()
+        };
+        let res = BlockResolution::coarse();
+        let interp = InterpolationGrid::new([2, 2, 2]);
+        let mats = MaterialSet::tsv_defaults();
+        let first = MoreStressSimulator::build(&geom, &res, interp, &mats, &opts).unwrap();
+        assert!(dir.join("unit-tsv.rom").exists());
+        assert!(dir.join("unit-dummy.rom").exists());
+        // Second build loads from cache and must agree exactly.
+        let second = MoreStressSimulator::build(&geom, &res, interp, &mats, &opts).unwrap();
+        let (a, b) = (
+            first.tsv_model().element_stiffness(),
+            second.tsv_model().element_stiffness(),
+        );
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                assert_eq!(a[(i, j)], b[(i, j)]);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

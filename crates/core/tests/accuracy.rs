@@ -1,0 +1,71 @@
+//! ROM vs full-FEM accuracy: the paper's central claim on a scaled-down case.
+
+use morestress_core::{GlobalBc, InterpolationGrid, MoreStressSimulator, SimulatorOptions};
+use morestress_fem::{
+    normalized_mae, sample_von_mises, solve_thermal_stress, DirichletBcs, LinearSolver,
+    MaterialSet, PlaneGrid,
+};
+use morestress_mesh::{array_mesh, BlockKind, BlockLayout, BlockResolution, TsvGeometry};
+
+fn direct_reference(
+    geom: &TsvGeometry,
+    res: &BlockResolution,
+    layout: &BlockLayout,
+    delta_t: f64,
+    samples_per_block: usize,
+) -> morestress_fem::ScalarField2d {
+    let mesh = array_mesh(geom, res, layout);
+    let mats = MaterialSet::tsv_defaults();
+    let (_, _, npz) = mesh.lattice_dims();
+    let mut bcs = DirichletBcs::new();
+    bcs.clamp_nodes(&mesh.plane_nodes(2, 0));
+    bcs.clamp_nodes(&mesh.plane_nodes(2, npz - 1));
+    let sol = solve_thermal_stress(&mesh, &mats, delta_t, &bcs, LinearSolver::DirectCholesky)
+        .expect("direct solve");
+    let p = geom.pitch;
+    let grid = PlaneGrid::new(
+        [0.0, 0.0],
+        [p * layout.nx() as f64, p * layout.ny() as f64],
+        0.5 * geom.height,
+        samples_per_block * layout.nx(),
+        samples_per_block * layout.ny(),
+    );
+    sample_von_mises(&mesh, &mats, &sol.displacement, delta_t, &grid).expect("sampling")
+}
+
+#[test]
+fn rom_error_is_small_and_converges() {
+    let geom = TsvGeometry::paper_defaults(15.0);
+    let res = BlockResolution::coarse();
+    let layout = BlockLayout::uniform(2, 2, BlockKind::Tsv);
+    let delta_t = -250.0;
+    let g = 10;
+    let reference = direct_reference(&geom, &res, &layout, delta_t, g);
+
+    let mut errors = Vec::new();
+    for m in [2usize, 3, 4, 6] {
+        let sim = MoreStressSimulator::build(
+            &geom,
+            &res,
+            InterpolationGrid::new([m, m, m]),
+            &MaterialSet::tsv_defaults(),
+            &SimulatorOptions::default(),
+        )
+        .unwrap();
+        let sol = sim
+            .solve_array(&layout, delta_t, &GlobalBc::ClampedTopBottom)
+            .unwrap();
+        let field = sim.sample_midplane(&layout, &sol, delta_t, g).unwrap();
+        let err = normalized_mae(&field, &reference);
+        println!("({m},{m},{m}): normalized MAE = {:.4}%", err * 100.0);
+        errors.push(err);
+    }
+    // On this deliberately coarse 2×2 case the (4,4,4) point carries an
+    // even/odd parity blip (no interpolation node at the face center), so we
+    // assert the paper's qualitative claims: small error at practical node
+    // counts and rapid convergence (Table 3 / Fig. 6).
+    assert!(errors[2] < 0.05, "(4,4,4) error {} should be < 5%", errors[2]);
+    assert!(errors[3] < 0.005, "(6,6,6) error {} should be < 0.5%", errors[3]);
+    assert!(errors[0] > errors[1], "error must decrease from (2,2,2) to (3,3,3)");
+    assert!(errors[1] > errors[3], "error must decrease from (3,3,3) to (6,6,6)");
+}

@@ -1,0 +1,73 @@
+//! Property-based tests of the interpolation layer and ROM invariants.
+
+use morestress_core::{lagrange_weights, InterpolationGrid};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Partition of unity: Lagrange weights sum to 1 anywhere.
+    #[test]
+    fn lagrange_partition_of_unity(n in 2usize..8, x in -0.5f64..1.5) {
+        let nodes: Vec<f64> = (0..n).map(|i| i as f64 / (n - 1) as f64).collect();
+        let w = lagrange_weights(&nodes, x);
+        let sum: f64 = w.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "sum {} at x={x}, n={n}", sum);
+    }
+
+    /// Linear reproduction: interpolating f(x) = a·x + b is exact.
+    #[test]
+    fn lagrange_reproduces_linear(n in 2usize..8, x in 0.0f64..1.0,
+                                  a in -5.0f64..5.0, b in -5.0f64..5.0) {
+        let nodes: Vec<f64> = (0..n).map(|i| i as f64 / (n - 1) as f64).collect();
+        let w = lagrange_weights(&nodes, x);
+        let interp: f64 = w.iter().zip(&nodes).map(|(wi, xi)| wi * (a * xi + b)).sum();
+        prop_assert!((interp - (a * x + b)).abs() < 1e-8);
+    }
+
+    /// Node hits return the Kronecker delta exactly.
+    #[test]
+    fn lagrange_nodal_delta(n in 2usize..8, hit in 0usize..8) {
+        let hit = hit % n;
+        let nodes: Vec<f64> = (0..n).map(|i| i as f64 * 0.7 + 0.1).collect();
+        let w = lagrange_weights(&nodes, nodes[hit]);
+        for (i, wi) in w.iter().enumerate() {
+            prop_assert_eq!(*wi, if i == hit { 1.0 } else { 0.0 });
+        }
+    }
+
+    /// Eq. 16 of the paper: the enumerated surface-node count matches the
+    /// closed-form DoF formula for every grid shape.
+    #[test]
+    fn surface_count_matches_eq16(nx in 2usize..7, ny in 2usize..7, nz in 2usize..7) {
+        let grid = InterpolationGrid::new([nx, ny, nz]);
+        let enumerated = grid.surface_nodes().len();
+        let formula = nx * ny * nz - (nx - 2) * (ny - 2) * (nz - 2);
+        prop_assert_eq!(enumerated, formula);
+        prop_assert_eq!(grid.num_dofs(), 3 * formula);
+    }
+
+    /// Surface weights at any surface point form a partition of unity and
+    /// vanish nowhere they shouldn't: evaluating on the x=0 face only
+    /// involves i=0 nodes.
+    #[test]
+    fn surface_weights_face_locality(ny in 2usize..6, nz in 2usize..6,
+                                     fy in 0.0f64..1.0, fz in 0.0f64..1.0) {
+        let grid = InterpolationGrid::new([4, ny, nz]);
+        let extents = [15.0, 12.0, 50.0];
+        let pt = [0.0, fy * extents[1], fz * extents[2]];
+        let w = grid.surface_weights_at(extents, pt);
+        let nodes = grid.surface_nodes();
+        let mut sum = 0.0;
+        for (q, &[i, _, _]) in nodes.iter().enumerate() {
+            if i != 0 {
+                prop_assert!(
+                    w[q].abs() < 1e-12,
+                    "node with i={i} contributes {} on the x=0 face", w[q]
+                );
+            }
+            sum += w[q];
+        }
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,279 @@
+//! The end-to-end full-FEM driver — the reproduction's "ANSYS substitute".
+//!
+//! Assembles the thermoelastic system on a mesh, applies Dirichlet
+//! constraints by symmetric elimination, solves directly (sparse Cholesky)
+//! or iteratively (CG/GMRES — the paper also runs ANSYS with its iterative
+//! solver for the large models), and reports wall time and an analytic peak
+//! memory estimate for the cost columns of Tables 1 and 2.
+
+use std::time::{Duration, Instant};
+
+use morestress_linalg::{
+    solve_cg, solve_gmres, CgOptions, GmresOptions, JacobiPreconditioner, MemoryFootprint,
+    SparseCholesky, SsorPreconditioner,
+};
+use morestress_mesh::HexMesh;
+
+use crate::{assemble_system, DirichletBcs, FemError, MaterialSet, ReducedSystem};
+
+/// Which linear solver the driver uses on the reduced system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinearSolver {
+    /// Sparse Cholesky with RCM ordering (exact; memory-hungry on large
+    /// meshes — which is precisely the cost the paper measures for FEM).
+    DirectCholesky,
+    /// Conjugate gradients with SSOR preconditioning.
+    Cg {
+        /// Relative residual tolerance.
+        tol: f64,
+    },
+    /// Restarted GMRES with Jacobi preconditioning.
+    Gmres {
+        /// Relative residual tolerance.
+        tol: f64,
+    },
+    /// Direct Cholesky below the DoF threshold, CG above it. This mirrors
+    /// common practice (and the paper's ANSYS setup, which switches to the
+    /// iterative solver for large models).
+    Auto,
+}
+
+/// Cost accounting of one solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveStats {
+    /// Wall-clock time of assembly + reduction + solve.
+    pub wall_time: Duration,
+    /// Analytic peak heap estimate (bytes) of the simultaneously-live major
+    /// structures (stiffness, reduced system, factor/preconditioner,
+    /// solution vectors).
+    pub peak_bytes: usize,
+    /// Total DoFs of the mesh (3 × nodes).
+    pub total_dofs: usize,
+    /// Free DoFs after constraint elimination.
+    pub free_dofs: usize,
+    /// Stored nonzeros of the reduced operator.
+    pub nnz: usize,
+    /// Iterations, if an iterative solver ran.
+    pub iterations: Option<usize>,
+}
+
+/// A full-FEM thermal stress solution.
+#[derive(Debug, Clone)]
+pub struct FemSolution {
+    /// Nodal displacements, `3 × num_nodes`, in mesh DoF order.
+    pub displacement: Vec<f64>,
+    /// Cost accounting.
+    pub stats: SolveStats,
+}
+
+/// DoF threshold below which [`LinearSolver::Auto`] picks the direct solver.
+const AUTO_DIRECT_LIMIT: usize = 120_000;
+
+/// Solves the thermoelastic problem `−∇·σ(u) = 0` with thermal load `ΔT`
+/// and the given Dirichlet constraints (Eq. 1 of the paper) on a mesh.
+///
+/// # Errors
+///
+/// Propagates [`FemError::UnknownMaterial`], [`FemError::FullyConstrained`]
+/// and solver failures.
+///
+/// # Example
+///
+/// See the crate-level example.
+pub fn solve_thermal_stress(
+    mesh: &HexMesh,
+    materials: &MaterialSet,
+    delta_t: f64,
+    bcs: &DirichletBcs,
+    solver: LinearSolver,
+) -> Result<FemSolution, FemError> {
+    let start = Instant::now();
+    let sys = assemble_system(mesh, materials)?;
+    let scaled_load: Vec<f64> = sys.thermal_load.iter().map(|v| v * delta_t).collect();
+    let reduced = ReducedSystem::new(&sys.stiffness, &scaled_load, bcs)?;
+
+    let mut peak = sys.stiffness.heap_bytes()
+        + scaled_load.heap_bytes()
+        + reduced.a_ff.heap_bytes()
+        + reduced.rhs.heap_bytes();
+
+    let n_free = reduced.num_free();
+    let solver = match solver {
+        LinearSolver::Auto => {
+            if n_free <= AUTO_DIRECT_LIMIT {
+                LinearSolver::DirectCholesky
+            } else {
+                LinearSolver::Cg { tol: 1e-9 }
+            }
+        }
+        other => other,
+    };
+
+    let (x, iterations, solver_bytes) = match solver {
+        LinearSolver::DirectCholesky => {
+            let chol = SparseCholesky::factor(&reduced.a_ff)?;
+            let bytes = chol.heap_bytes();
+            (chol.solve(&reduced.rhs), None, bytes)
+        }
+        LinearSolver::Cg { tol } => {
+            let pre = SsorPreconditioner::new(&reduced.a_ff, 1.2);
+            let bytes = reduced.a_ff.heap_bytes(); // SSOR clones the operator
+            let sol = solve_cg(
+                &reduced.a_ff,
+                &reduced.rhs,
+                &pre,
+                CgOptions {
+                    tol,
+                    max_iter: 20_000,
+                },
+            )?;
+            (sol.x, Some(sol.iterations), bytes)
+        }
+        LinearSolver::Gmres { tol } => {
+            let pre = JacobiPreconditioner::new(&reduced.a_ff);
+            let opts = GmresOptions {
+                tol,
+                ..GmresOptions::default()
+            };
+            // GMRES keeps `restart + 1` Krylov vectors alive.
+            let bytes = (opts.restart + 1) * n_free * std::mem::size_of::<f64>();
+            let sol = solve_gmres(&reduced.a_ff, &reduced.rhs, &pre, opts)?;
+            (sol.x, Some(sol.iterations), bytes)
+        }
+        LinearSolver::Auto => unreachable!("Auto resolved above"),
+    };
+    peak += solver_bytes;
+
+    let displacement = reduced.expand(&x);
+    peak += displacement.heap_bytes();
+
+    Ok(FemSolution {
+        displacement,
+        stats: SolveStats {
+            wall_time: start.elapsed(),
+            peak_bytes: peak,
+            total_dofs: 3 * mesh.num_nodes(),
+            free_dofs: n_free,
+            nnz: reduced.a_ff.nnz(),
+            iterations,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sample_von_mises, PlaneGrid};
+    use morestress_mesh::{unit_block_mesh, BlockResolution, Grid1d, HexMesh, TsvGeometry, MAT_SI};
+
+    fn clamped_top_bottom(mesh: &HexMesh) -> DirichletBcs {
+        let (_, _, npz) = mesh.lattice_dims();
+        let mut bcs = DirichletBcs::new();
+        bcs.clamp_nodes(&mesh.plane_nodes(2, 0));
+        bcs.clamp_nodes(&mesh.plane_nodes(2, npz - 1));
+        bcs
+    }
+
+    #[test]
+    fn homogeneous_clamped_slab_has_symmetric_solution() {
+        let g = Grid1d::uniform(0.0, 10.0, 4);
+        let zg = Grid1d::uniform(0.0, 5.0, 3);
+        let mesh = HexMesh::from_grids(g.clone(), g, zg, |_| Some(MAT_SI));
+        let mats = MaterialSet::tsv_defaults();
+        let bcs = clamped_top_bottom(&mesh);
+        let sol =
+            solve_thermal_stress(&mesh, &mats, -250.0, &bcs, LinearSolver::DirectCholesky)
+                .unwrap();
+        // Mirror symmetry: u_x at (x,y,z) = -u_x at (10-x,y,z).
+        for (n, p) in mesh.nodes().iter().enumerate() {
+            let mirrored = [10.0 - p[0], p[1], p[2]];
+            let m = mesh
+                .nodes()
+                .iter()
+                .position(|q| {
+                    (q[0] - mirrored[0]).abs() < 1e-9
+                        && (q[1] - mirrored[1]).abs() < 1e-9
+                        && (q[2] - mirrored[2]).abs() < 1e-9
+                })
+                .unwrap();
+            let ux = sol.displacement[3 * n];
+            let ux_m = sol.displacement[3 * m];
+            assert!((ux + ux_m).abs() < 1e-8, "x-mirror asymmetry {ux} vs {ux_m}");
+        }
+    }
+
+    #[test]
+    fn solvers_agree_on_tsv_block() {
+        let geom = TsvGeometry::paper_defaults(15.0);
+        let mesh = unit_block_mesh(&geom, &BlockResolution::coarse(), true);
+        let mats = MaterialSet::tsv_defaults();
+        let bcs = clamped_top_bottom(&mesh);
+        let direct =
+            solve_thermal_stress(&mesh, &mats, -250.0, &bcs, LinearSolver::DirectCholesky)
+                .unwrap();
+        let cg = solve_thermal_stress(&mesh, &mats, -250.0, &bcs, LinearSolver::Cg { tol: 1e-11 })
+            .unwrap();
+        let gmres =
+            solve_thermal_stress(&mesh, &mats, -250.0, &bcs, LinearSolver::Gmres { tol: 1e-11 })
+                .unwrap();
+        let max_u = direct
+            .displacement
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()));
+        for (a, b) in direct.displacement.iter().zip(&cg.displacement) {
+            assert!((a - b).abs() < 1e-6 * max_u);
+        }
+        for (a, b) in direct.displacement.iter().zip(&gmres.displacement) {
+            assert!((a - b).abs() < 1e-5 * max_u);
+        }
+        assert!(cg.stats.iterations.unwrap() > 0);
+    }
+
+    #[test]
+    fn tsv_block_stress_is_tensile_in_silicon_under_cooling() {
+        // Cooling from anneal: Cu contracts more than Si; near the via the
+        // von Mises stress must be significant (order 100 MPa), far from it
+        // much lower.
+        let geom = TsvGeometry::paper_defaults(15.0);
+        let mesh = unit_block_mesh(&geom, &BlockResolution::coarse(), true);
+        let mats = MaterialSet::tsv_defaults();
+        let bcs = clamped_top_bottom(&mesh);
+        let sol =
+            solve_thermal_stress(&mesh, &mats, -250.0, &bcs, LinearSolver::DirectCholesky)
+                .unwrap();
+        let grid = PlaneGrid::new([0.0, 0.0], [15.0, 15.0], 25.0, 30, 30);
+        let vm = sample_von_mises(&mesh, &mats, &sol.displacement, -250.0, &grid).unwrap();
+        let peak = vm.max();
+        assert!(
+            peak > 50.0 && peak < 2000.0,
+            "peak von Mises {peak} MPa out of physical range"
+        );
+        // Stress near the liner must exceed stress at the block corner.
+        let near = crate::stress_at(&mesh, &mats, &sol.displacement, -250.0, [7.5 + 3.2, 7.5, 25.0])
+            .unwrap()
+            .unwrap();
+        let far = crate::stress_at(&mesh, &mats, &sol.displacement, -250.0, [1.0, 1.0, 25.0])
+            .unwrap()
+            .unwrap();
+        assert!(
+            near.von_mises > 2.0 * far.von_mises,
+            "near {} vs far {}",
+            near.von_mises,
+            far.von_mises
+        );
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = Grid1d::uniform(0.0, 1.0, 2);
+        let mesh = HexMesh::from_grids(g.clone(), g.clone(), g, |_| Some(MAT_SI));
+        let mats = MaterialSet::tsv_defaults();
+        let mut bcs = DirichletBcs::new();
+        bcs.clamp_nodes(&mesh.plane_nodes(2, 0));
+        let sol = solve_thermal_stress(&mesh, &mats, -100.0, &bcs, LinearSolver::Auto).unwrap();
+        assert_eq!(sol.stats.total_dofs, 81);
+        assert_eq!(sol.stats.free_dofs, 81 - 27);
+        assert!(sol.stats.peak_bytes > 0);
+        assert!(sol.stats.nnz > 0);
+    }
+}

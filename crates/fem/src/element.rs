@@ -1,0 +1,294 @@
+//! The trilinear 8-node hexahedral element (Hex8).
+//!
+//! All elements produced by [`morestress_mesh`] are axis-aligned boxes, so
+//! the Jacobian is diagonal and constant per element; the kernels exploit
+//! this but keep the standard isoparametric structure.
+
+use crate::Material;
+
+/// Corner signs of the reference element, matching the mesh connectivity
+/// order (ζ=-1 face counterclockwise, then ζ=+1 face).
+const SIGNS: [[f64; 3]; 8] = [
+    [-1.0, -1.0, -1.0],
+    [1.0, -1.0, -1.0],
+    [1.0, 1.0, -1.0],
+    [-1.0, 1.0, -1.0],
+    [-1.0, -1.0, 1.0],
+    [1.0, -1.0, 1.0],
+    [1.0, 1.0, 1.0],
+    [-1.0, 1.0, 1.0],
+];
+
+/// The 2×2×2 Gauss quadrature abscissa `1/√3` (all weights are 1).
+pub const GAUSS_2X2X2: f64 = 0.577_350_269_189_625_8;
+
+/// Geometry of one axis-aligned Hex8 element.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hex8 {
+    /// Edge lengths `(dx, dy, dz)`.
+    pub edges: [f64; 3],
+}
+
+impl Hex8 {
+    /// Builds the element geometry from its 8 corner coordinates (in local
+    /// node order).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the corners do not form an axis-aligned box.
+    pub fn from_corners(corners: &[[f64; 3]; 8]) -> Self {
+        let dx = corners[1][0] - corners[0][0];
+        let dy = corners[3][1] - corners[0][1];
+        let dz = corners[4][2] - corners[0][2];
+        debug_assert!(dx > 0.0 && dy > 0.0 && dz > 0.0, "degenerate element");
+        debug_assert!(
+            (corners[6][0] - corners[0][0] - dx).abs() < 1e-9 * dx.max(1.0)
+                && (corners[6][1] - corners[0][1] - dy).abs() < 1e-9 * dy.max(1.0)
+                && (corners[6][2] - corners[0][2] - dz).abs() < 1e-9 * dz.max(1.0),
+            "element is not an axis-aligned box"
+        );
+        Self {
+            edges: [dx, dy, dz],
+        }
+    }
+
+    /// Shape function values at reference coordinates `(ξ,η,ζ)`.
+    pub fn shape(&self, xi: [f64; 3]) -> [f64; 8] {
+        std::array::from_fn(|a| {
+            0.125
+                * (1.0 + SIGNS[a][0] * xi[0])
+                * (1.0 + SIGNS[a][1] * xi[1])
+                * (1.0 + SIGNS[a][2] * xi[2])
+        })
+    }
+
+    /// Physical-space shape function gradients `∂N_a/∂(x,y,z)` at reference
+    /// coordinates.
+    pub fn shape_gradients(&self, xi: [f64; 3]) -> [[f64; 3]; 8] {
+        let [dx, dy, dz] = self.edges;
+        std::array::from_fn(|a| {
+            let [sx, sy, sz] = SIGNS[a];
+            let fx = 1.0 + sx * xi[0];
+            let fy = 1.0 + sy * xi[1];
+            let fz = 1.0 + sz * xi[2];
+            [
+                0.125 * sx * fy * fz * (2.0 / dx),
+                0.125 * fx * sy * fz * (2.0 / dy),
+                0.125 * fx * fy * sz * (2.0 / dz),
+            ]
+        })
+    }
+
+    /// Jacobian determinant (constant for a box): `dx·dy·dz / 8`.
+    pub fn det_jacobian(&self) -> f64 {
+        self.edges[0] * self.edges[1] * self.edges[2] / 8.0
+    }
+
+    /// The 6×24 strain–displacement matrix `B` at reference coordinates, in
+    /// Voigt order `[xx, yy, zz, xy, yz, zx]` (engineering shear strains).
+    pub fn b_matrix(&self, xi: [f64; 3]) -> [[f64; 24]; 6] {
+        let grads = self.shape_gradients(xi);
+        let mut b = [[0.0; 24]; 6];
+        for (a, g) in grads.iter().enumerate() {
+            let (cx, cy, cz) = (3 * a, 3 * a + 1, 3 * a + 2);
+            b[0][cx] = g[0];
+            b[1][cy] = g[1];
+            b[2][cz] = g[2];
+            b[3][cx] = g[1];
+            b[3][cy] = g[0];
+            b[4][cy] = g[2];
+            b[4][cz] = g[1];
+            b[5][cx] = g[2];
+            b[5][cz] = g[0];
+        }
+        b
+    }
+}
+
+/// Iterator over the 8 Gauss points of the 2×2×2 rule (all weights 1).
+fn gauss_points() -> impl Iterator<Item = [f64; 3]> {
+    (0..8).map(|g| {
+        [
+            if g & 1 == 0 { -GAUSS_2X2X2 } else { GAUSS_2X2X2 },
+            if g & 2 == 0 { -GAUSS_2X2X2 } else { GAUSS_2X2X2 },
+            if g & 4 == 0 { -GAUSS_2X2X2 } else { GAUSS_2X2X2 },
+        ]
+    })
+}
+
+/// Element stiffness matrix `Kₑ = Σ_g Bᵀ D B |J|` (24×24, row-major).
+pub fn element_stiffness(hex: &Hex8, material: &Material) -> [f64; 24 * 24] {
+    let d = material.d_matrix();
+    let detj = hex.det_jacobian();
+    let mut ke = [0.0; 24 * 24];
+    for xi in gauss_points() {
+        let b = hex.b_matrix(xi);
+        // db = D * B (6×24)
+        let mut db = [[0.0; 24]; 6];
+        for i in 0..6 {
+            for l in 0..6 {
+                let dil = d[i][l];
+                if dil == 0.0 {
+                    continue;
+                }
+                for c in 0..24 {
+                    db[i][c] += dil * b[l][c];
+                }
+            }
+        }
+        // ke += Bᵀ (D B) * detj
+        for r in 0..24 {
+            for i in 0..6 {
+                let bir = b[i][r];
+                if bir == 0.0 {
+                    continue;
+                }
+                let w = bir * detj;
+                let row = &mut ke[r * 24..(r + 1) * 24];
+                for c in 0..24 {
+                    row[c] += w * db[i][c];
+                }
+            }
+        }
+    }
+    ke
+}
+
+/// Element thermal load for a **unit** temperature change:
+/// `fₑ = Σ_g Bᵀ D ε_th |J|` with `ε_th = α·[1,1,1,0,0,0]`. Scale by ΔT for
+/// the actual thermal load.
+pub fn element_thermal_load(hex: &Hex8, material: &Material) -> [f64; 24] {
+    let d = material.d_matrix();
+    let eps = material.thermal_strain_unit();
+    // sigma_th = D * eps (constant per material)
+    let mut sigma = [0.0; 6];
+    for i in 0..6 {
+        for j in 0..6 {
+            sigma[i] += d[i][j] * eps[j];
+        }
+    }
+    let detj = hex.det_jacobian();
+    let mut fe = [0.0; 24];
+    for xi in gauss_points() {
+        let b = hex.b_matrix(xi);
+        for c in 0..24 {
+            let mut s = 0.0;
+            for i in 0..6 {
+                s += b[i][c] * sigma[i];
+            }
+            fe[c] += s * detj;
+        }
+    }
+    fe
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_hex() -> Hex8 {
+        Hex8 { edges: [1.0, 1.0, 1.0] }
+    }
+
+    #[test]
+    fn shape_functions_partition_unity() {
+        let hex = Hex8 { edges: [2.0, 3.0, 0.5] };
+        for xi in [[0.0, 0.0, 0.0], [0.3, -0.7, 0.9], [-1.0, 1.0, -1.0]] {
+            let n = hex.shape(xi);
+            let sum: f64 = n.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shape_functions_are_nodal() {
+        let hex = unit_hex();
+        for a in 0..8 {
+            let n = hex.shape(SIGNS[a]);
+            for b in 0..8 {
+                let expect = if a == b { 1.0 } else { 0.0 };
+                assert!((n[b] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_sum_to_zero() {
+        // Σ_a ∇N_a = 0 (constant field has zero gradient).
+        let hex = Hex8 { edges: [2.0, 1.0, 4.0] };
+        let g = hex.shape_gradients([0.2, -0.4, 0.6]);
+        for d in 0..3 {
+            let s: f64 = g.iter().map(|ga| ga[d]).sum();
+            assert!(s.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gradients_reproduce_linear_field() {
+        // u(x) = x should give du/dx = 1 everywhere.
+        let hex = Hex8 { edges: [2.0, 3.0, 4.0] };
+        // Corner x-coordinates for a box rooted at origin.
+        let xs: Vec<f64> = SIGNS.iter().map(|s| (s[0] + 1.0) / 2.0 * 2.0).collect();
+        let g = hex.shape_gradients([0.1, 0.5, -0.3]);
+        let ddx: f64 = g.iter().zip(&xs).map(|(ga, x)| ga[0] * x).sum();
+        assert!((ddx - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stiffness_is_symmetric_with_rigid_body_nullspace() {
+        let hex = Hex8 { edges: [1.5, 1.0, 2.0] };
+        let ke = element_stiffness(&hex, &Material::silicon());
+        // Symmetry.
+        for r in 0..24 {
+            for c in 0..24 {
+                assert!((ke[r * 24 + c] - ke[c * 24 + r]).abs() < 1e-6);
+            }
+        }
+        // Rigid translation in x: u = [1,0,0] at every node -> zero force.
+        let mut u = [0.0; 24];
+        for a in 0..8 {
+            u[3 * a] = 1.0;
+        }
+        for r in 0..24 {
+            let f: f64 = (0..24).map(|c| ke[r * 24 + c] * u[c]).sum();
+            assert!(f.abs() < 1e-6, "rigid body mode produces force {f}");
+        }
+    }
+
+    #[test]
+    fn thermal_load_is_self_equilibrated() {
+        // Free thermal expansion: total force must vanish componentwise.
+        let hex = Hex8 { edges: [1.0, 2.0, 3.0] };
+        let fe = element_thermal_load(&hex, &Material::copper());
+        for d in 0..3 {
+            let total: f64 = (0..8).map(|a| fe[3 * a + d]).sum();
+            assert!(total.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn free_expansion_is_stress_free() {
+        // If u = alpha*dT*x (pure thermal expansion), then K u = dT * f_th.
+        let mat = Material::silicon();
+        let hex = Hex8 { edges: [2.0, 2.0, 2.0] };
+        let ke = element_stiffness(&hex, &mat);
+        let fe = element_thermal_load(&hex, &mat);
+        let dt = -250.0;
+        // Corner coordinates of a box rooted at the origin.
+        let mut u = [0.0; 24];
+        for a in 0..8 {
+            for d in 0..3 {
+                let coord = (SIGNS[a][d] + 1.0) / 2.0 * hex.edges[d];
+                u[3 * a + d] = mat.cte * dt * coord;
+            }
+        }
+        for r in 0..24 {
+            let ku: f64 = (0..24).map(|c| ke[r * 24 + c] * u[c]).sum();
+            assert!(
+                (ku - dt * fe[r]).abs() < 1e-6 * (dt.abs() * fe.iter().fold(0.0f64, |m, v| m.max(v.abs()))),
+                "row {r}: K u = {ku}, dT f = {}",
+                dt * fe[r]
+            );
+        }
+    }
+}

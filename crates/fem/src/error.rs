@@ -1,0 +1,49 @@
+use std::error::Error;
+use std::fmt;
+
+use morestress_linalg::LinalgError;
+use morestress_mesh::MaterialId;
+
+/// Errors produced by the FEM layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FemError {
+    /// A mesh element references a material id with no registered material.
+    UnknownMaterial {
+        /// The unregistered material id.
+        id: MaterialId,
+    },
+    /// The underlying linear solve failed.
+    Solver(LinalgError),
+    /// The problem has no free degrees of freedom (everything constrained).
+    FullyConstrained,
+}
+
+impl fmt::Display for FemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FemError::UnknownMaterial { id } => {
+                write!(f, "no material registered for id {id}")
+            }
+            FemError::Solver(e) => write!(f, "linear solve failed: {e}"),
+            FemError::FullyConstrained => {
+                write!(f, "all degrees of freedom are constrained")
+            }
+        }
+    }
+}
+
+impl Error for FemError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FemError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for FemError {
+    fn from(e: LinalgError) -> Self {
+        FemError::Solver(e)
+    }
+}

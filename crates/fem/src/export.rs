@@ -1,0 +1,215 @@
+//! Field export for visualization: CSV for cut-plane fields and legacy VTK
+//! (ASCII `StructuredGrid`-free, unstructured) for full 3-D displacement /
+//! stress states. A stress simulator is only as useful as its plots; ANSYS
+//! users get contour maps for free, so the reproduction ships exporters for
+//! ParaView/gnuplot instead.
+
+use std::io::Write;
+use std::path::Path;
+
+use morestress_mesh::HexMesh;
+
+use crate::{stress_at, FemError, MaterialSet, ScalarField2d};
+
+/// Writes a cut-plane scalar field as `x,y,value` CSV (one row per sample,
+/// `NaN` for void samples), suitable for gnuplot/pandas heat maps.
+///
+/// # Errors
+///
+/// Returns I/O errors from the filesystem.
+pub fn write_field_csv(field: &ScalarField2d, path: &Path) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    writeln!(w, "x,y,von_mises")?;
+    let [nx, ny] = field.grid.samples;
+    for j in 0..ny {
+        for i in 0..nx {
+            let p = field.grid.point(i, j);
+            writeln!(w, "{},{},{}", p[0], p[1], field.values[j * nx + i])?;
+        }
+    }
+    w.flush()
+}
+
+/// Writes a mesh + nodal displacement + per-node von Mises stress as a
+/// legacy ASCII VTK unstructured grid, loadable in ParaView.
+///
+/// The von Mises value at each node is evaluated at the node position
+/// (element-interior evaluation with the containing element's material).
+///
+/// # Errors
+///
+/// I/O errors as [`FemError::Solver`] never occur here; filesystem errors
+/// are returned as `std::io::Error`, stress-recovery errors as `FemError`.
+///
+/// # Panics
+///
+/// Panics if `displacement.len() != 3 * mesh.num_nodes()`.
+pub fn write_vtk(
+    mesh: &HexMesh,
+    materials: &MaterialSet,
+    displacement: &[f64],
+    delta_t: f64,
+    path: &Path,
+) -> Result<(), ExportError> {
+    assert_eq!(
+        displacement.len(),
+        3 * mesh.num_nodes(),
+        "displacement vector length"
+    );
+    let file = std::fs::File::create(path).map_err(ExportError::Io)?;
+    let mut w = std::io::BufWriter::new(file);
+    let out: &mut dyn Write = &mut w;
+
+    writeln!(out, "# vtk DataFile Version 3.0").map_err(ExportError::Io)?;
+    writeln!(out, "MORE-Stress thermal stress field").map_err(ExportError::Io)?;
+    writeln!(out, "ASCII").map_err(ExportError::Io)?;
+    writeln!(out, "DATASET UNSTRUCTURED_GRID").map_err(ExportError::Io)?;
+
+    writeln!(out, "POINTS {} double", mesh.num_nodes()).map_err(ExportError::Io)?;
+    for p in mesh.nodes() {
+        writeln!(out, "{} {} {}", p[0], p[1], p[2]).map_err(ExportError::Io)?;
+    }
+
+    let ne = mesh.num_elems();
+    writeln!(out, "CELLS {} {}", ne, ne * 9).map_err(ExportError::Io)?;
+    for conn in mesh.elems() {
+        write!(out, "8").map_err(ExportError::Io)?;
+        for &n in conn {
+            write!(out, " {n}").map_err(ExportError::Io)?;
+        }
+        writeln!(out).map_err(ExportError::Io)?;
+    }
+    writeln!(out, "CELL_TYPES {ne}").map_err(ExportError::Io)?;
+    for _ in 0..ne {
+        writeln!(out, "12").map_err(ExportError::Io)?; // VTK_HEXAHEDRON
+    }
+
+    writeln!(out, "POINT_DATA {}", mesh.num_nodes()).map_err(ExportError::Io)?;
+    writeln!(out, "VECTORS displacement double").map_err(ExportError::Io)?;
+    for n in 0..mesh.num_nodes() {
+        writeln!(
+            out,
+            "{} {} {}",
+            displacement[3 * n],
+            displacement[3 * n + 1],
+            displacement[3 * n + 2]
+        )
+        .map_err(ExportError::Io)?;
+    }
+    writeln!(out, "SCALARS von_mises double 1").map_err(ExportError::Io)?;
+    writeln!(out, "LOOKUP_TABLE default").map_err(ExportError::Io)?;
+    for n in 0..mesh.num_nodes() {
+        // Nudge the sample point into the domain interior so boundary nodes
+        // land inside their adjacent element.
+        let (lo, hi) = mesh.bounding_box();
+        let p = mesh.nodes()[n];
+        let q = [
+            p[0].clamp(lo[0] + 1e-9, hi[0] - 1e-9),
+            p[1].clamp(lo[1] + 1e-9, hi[1] - 1e-9),
+            p[2].clamp(lo[2] + 1e-9, hi[2] - 1e-9),
+        ];
+        let vm = stress_at(mesh, materials, displacement, delta_t, q)
+            .map_err(ExportError::Fem)?
+            .map_or(f64::NAN, |s| s.von_mises);
+        writeln!(out, "{vm}").map_err(ExportError::Io)?;
+    }
+    writeln!(out, "CELL_DATA {ne}").map_err(ExportError::Io)?;
+    writeln!(out, "SCALARS material int 1").map_err(ExportError::Io)?;
+    writeln!(out, "LOOKUP_TABLE default").map_err(ExportError::Io)?;
+    for e in 0..ne {
+        writeln!(out, "{}", mesh.material(e).0).map_err(ExportError::Io)?;
+    }
+    w.flush().map_err(ExportError::Io)?;
+    Ok(())
+}
+
+/// Errors from the exporters.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ExportError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// Stress recovery failed (unregistered material).
+    Fem(FemError),
+}
+
+impl std::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExportError::Io(e) => write!(f, "export i/o error: {e}"),
+            ExportError::Fem(e) => write!(f, "export stress recovery error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExportError::Io(e) => Some(e),
+            ExportError::Fem(e) => Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PlaneGrid, ScalarField2d};
+    use morestress_mesh::{Grid1d, HexMesh, MAT_SI};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("morestress-export-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn csv_roundtrip_parses() {
+        let grid = PlaneGrid::new([0.0, 0.0], [2.0, 2.0], 1.0, 2, 2);
+        let field = ScalarField2d {
+            grid,
+            values: vec![1.0, 2.0, 3.0, 4.0],
+        };
+        let path = tmp("field.csv");
+        write_field_csv(&field, &path).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read");
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("x,y,von_mises"));
+        let rows: Vec<&str> = lines.collect();
+        assert_eq!(rows.len(), 4);
+        assert!(rows[0].starts_with("0.5,0.5,1"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn vtk_output_is_structurally_valid() {
+        let g = Grid1d::uniform(0.0, 1.0, 2);
+        let mesh = HexMesh::from_grids(g.clone(), g.clone(), g, |_| Some(MAT_SI));
+        let mats = MaterialSet::tsv_defaults();
+        let u = vec![0.0; 3 * mesh.num_nodes()];
+        let path = tmp("block.vtk");
+        write_vtk(&mesh, &mats, &u, -250.0, &path).expect("write vtk");
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert!(text.starts_with("# vtk DataFile Version 3.0"));
+        assert!(text.contains(&format!("POINTS {} double", mesh.num_nodes())));
+        assert!(text.contains(&format!("CELLS {} {}", mesh.num_elems(), mesh.num_elems() * 9)));
+        assert!(text.contains("VECTORS displacement double"));
+        assert!(text.contains("SCALARS von_mises double 1"));
+        assert!(text.contains("SCALARS material int 1"));
+        // Zero displacement under uniform cooling of a homogeneous block:
+        // hydrostatic state, so every von Mises value should be ~0.
+        let vm_section = text
+            .split("LOOKUP_TABLE default\n")
+            .nth(1)
+            .expect("von Mises block");
+        let first: f64 = vm_section
+            .lines()
+            .next()
+            .expect("at least one value")
+            .parse()
+            .expect("numeric");
+        assert!(first.abs() < 1e-6, "von Mises {first}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

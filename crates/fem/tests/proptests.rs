@@ -1,0 +1,129 @@
+//! Property-based tests of the FEM kernels: physical invariants that must
+//! hold for any material in range and any element shape.
+
+use morestress_fem::{
+    element_stiffness, element_thermal_load, Hex8, Material, StressSample,
+};
+use proptest::prelude::*;
+
+fn material_strategy() -> impl Strategy<Value = Material> {
+    (1.0f64..500_000.0, -0.4f64..0.45, -30e-6f64..30e-6)
+        .prop_map(|(e, nu, a)| Material::new(e, nu, a))
+}
+
+fn hex_strategy() -> impl Strategy<Value = Hex8> {
+    (0.1f64..20.0, 0.1f64..20.0, 0.1f64..20.0).prop_map(|(dx, dy, dz)| Hex8 {
+        edges: [dx, dy, dz],
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Element stiffness is symmetric and annihilates all six rigid-body
+    /// modes for any material and element shape.
+    #[test]
+    fn stiffness_symmetry_and_rigid_modes(mat in material_strategy(), hex in hex_strategy()) {
+        let ke = element_stiffness(&hex, &mat);
+        let scale = ke.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1e-30);
+        for r in 0..24 {
+            for c in 0..24 {
+                prop_assert!((ke[r * 24 + c] - ke[c * 24 + r]).abs() < 1e-9 * scale);
+            }
+        }
+        // Rigid modes: 3 translations + 3 (linearized) rotations.
+        // Corner coordinates in local node order for a box rooted at origin.
+        let signs = [
+            [-1.0, -1.0, -1.0], [1.0, -1.0, -1.0], [1.0, 1.0, -1.0], [-1.0, 1.0, -1.0],
+            [-1.0, -1.0, 1.0], [1.0, -1.0, 1.0], [1.0, 1.0, 1.0], [-1.0, 1.0, 1.0],
+        ];
+        let coord = |a: usize, d: usize| (signs[a][d] + 1.0) / 2.0 * hex.edges[d];
+        let mut modes: Vec<[f64; 24]> = Vec::new();
+        for d in 0..3 {
+            let mut m = [0.0; 24];
+            for a in 0..8 {
+                m[3 * a + d] = 1.0;
+            }
+            modes.push(m);
+        }
+        // Rotations about z, x, y: u = omega × r.
+        for (p, q) in [(0usize, 1usize), (1, 2), (2, 0)] {
+            let mut m = [0.0; 24];
+            for a in 0..8 {
+                m[3 * a + p] = -coord(a, q);
+                m[3 * a + q] = coord(a, p);
+            }
+            modes.push(m);
+        }
+        for mode in &modes {
+            for r in 0..24 {
+                let f: f64 = (0..24).map(|c| ke[r * 24 + c] * mode[c]).sum();
+                let mode_scale = mode.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1.0);
+                prop_assert!(f.abs() < 1e-7 * scale * mode_scale, "rigid mode force {f}");
+            }
+        }
+    }
+
+    /// The thermal load is self-equilibrated (no net force) for any
+    /// material and element shape.
+    #[test]
+    fn thermal_load_self_equilibrated(mat in material_strategy(), hex in hex_strategy()) {
+        let fe = element_thermal_load(&hex, &mat);
+        let scale = fe.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1e-30);
+        for d in 0..3 {
+            let total: f64 = (0..8).map(|a| fe[3 * a + d]).sum();
+            prop_assert!(total.abs() < 1e-9 * scale);
+        }
+    }
+
+    /// Free thermal expansion is exactly stress-free: K·u_th = ΔT·f_th.
+    #[test]
+    fn free_expansion_consistency(mat in material_strategy(), hex in hex_strategy(),
+                                  dt in -400.0f64..400.0) {
+        let ke = element_stiffness(&hex, &mat);
+        let fe = element_thermal_load(&hex, &mat);
+        let signs = [
+            [-1.0, -1.0, -1.0], [1.0, -1.0, -1.0], [1.0, 1.0, -1.0], [-1.0, 1.0, -1.0],
+            [-1.0, -1.0, 1.0], [1.0, -1.0, 1.0], [1.0, 1.0, 1.0], [-1.0, 1.0, 1.0],
+        ];
+        let mut u = [0.0; 24];
+        for a in 0..8 {
+            for d in 0..3 {
+                u[3 * a + d] = mat.cte * dt * (signs[a][d] + 1.0) / 2.0 * hex.edges[d];
+            }
+        }
+        let f_scale = fe.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1e-30) * dt.abs().max(1.0);
+        for r in 0..24 {
+            let ku: f64 = (0..24).map(|c| ke[r * 24 + c] * u[c]).sum();
+            prop_assert!((ku - dt * fe[r]).abs() < 1e-7 * f_scale);
+        }
+    }
+
+    /// Von Mises invariants: zero for hydrostatic states, invariant under
+    /// adding a hydrostatic component, and positively homogeneous.
+    #[test]
+    fn von_mises_properties(t in prop::array::uniform6(-100.0f64..100.0),
+                            pressure in -100.0f64..100.0,
+                            lambda in 0.0f64..10.0) {
+        let vm = StressSample::from_tensor(t).von_mises;
+        prop_assert!(vm >= 0.0);
+        // Hydrostatic shift leaves von Mises unchanged.
+        let shifted = [t[0] + pressure, t[1] + pressure, t[2] + pressure, t[3], t[4], t[5]];
+        let vm_shifted = StressSample::from_tensor(shifted).von_mises;
+        prop_assert!((vm - vm_shifted).abs() < 1e-8 * vm.max(1.0));
+        // Positive homogeneity.
+        let scaled = t.map(|v| lambda * v);
+        let vm_scaled = StressSample::from_tensor(scaled).von_mises;
+        prop_assert!((vm_scaled - lambda * vm).abs() < 1e-8 * vm.max(1.0) * lambda.max(1.0));
+    }
+
+    /// Lamé parameters round-trip to (E, ν): λ, μ → E, ν recovers inputs.
+    #[test]
+    fn lame_roundtrip(mat in material_strategy()) {
+        let (la, mu) = mat.lame();
+        let e = mu * (3.0 * la + 2.0 * mu) / (la + mu);
+        let nu = la / (2.0 * (la + mu));
+        prop_assert!((e - mat.youngs).abs() < 1e-6 * mat.youngs);
+        prop_assert!((nu - mat.poisson).abs() < 1e-9);
+    }
+}

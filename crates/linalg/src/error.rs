@@ -1,0 +1,70 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the linear algebra kernels.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Matrix dimensions are inconsistent with the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        context: &'static str,
+        /// The dimension that was expected.
+        expected: usize,
+        /// The dimension that was supplied.
+        found: usize,
+    },
+    /// A Cholesky factorization visited a non-positive pivot: the matrix is
+    /// not (numerically) symmetric positive definite.
+    NotPositiveDefinite {
+        /// Row/column at which factorization broke down.
+        row: usize,
+        /// The offending pivot value.
+        pivot: f64,
+    },
+    /// An LU factorization hit a (near-)zero pivot: the matrix is singular.
+    Singular {
+        /// Row/column at which elimination broke down.
+        row: usize,
+    },
+    /// An iterative solver exhausted its iteration budget without reaching
+    /// the requested tolerance.
+    DidNotConverge {
+        /// Iterations performed.
+        iterations: usize,
+        /// Relative residual at the final iterate.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch {
+                context,
+                expected,
+                found,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, found {found}"
+            ),
+            LinalgError::NotPositiveDefinite { row, pivot } => write!(
+                f,
+                "matrix is not positive definite (pivot {pivot:e} at row {row})"
+            ),
+            LinalgError::Singular { row } => {
+                write!(f, "matrix is singular (zero pivot at row {row})")
+            }
+            LinalgError::DidNotConverge {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iterative solver did not converge after {iterations} iterations \
+                 (relative residual {residual:e})"
+            ),
+        }
+    }
+}
+
+impl Error for LinalgError {}

@@ -1,0 +1,50 @@
+//! Analytic heap accounting.
+//!
+//! The paper's Tables 1 and 2 report peak memory usage of each simulator. We
+//! account for memory analytically: every major data structure knows the size
+//! of its heap allocations, and each pipeline stage reports the sum of the
+//! structures that are live simultaneously. This is deterministic and
+//! portable; the `repro` binary additionally reports the OS-level `VmHWM` on
+//! Linux for a sanity cross-check.
+
+/// Types that can report the bytes they currently hold on the heap.
+///
+/// # Example
+///
+/// ```
+/// use morestress_linalg::{CooMatrix, MemoryFootprint};
+///
+/// let mut coo = CooMatrix::new(10, 10);
+/// coo.push(0, 0, 1.0);
+/// let csr = coo.to_csr();
+/// assert!(csr.heap_bytes() > 0);
+/// ```
+pub trait MemoryFootprint {
+    /// Number of heap bytes held by this value (capacity, not length).
+    fn heap_bytes(&self) -> usize;
+}
+
+impl<T> MemoryFootprint for Vec<T> {
+    fn heap_bytes(&self) -> usize {
+        self.capacity() * std::mem::size_of::<T>()
+    }
+}
+
+impl<T: MemoryFootprint> MemoryFootprint for Option<T> {
+    fn heap_bytes(&self) -> usize {
+        self.as_ref().map_or(0, MemoryFootprint::heap_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_footprint_counts_capacity() {
+        let v: Vec<f64> = Vec::with_capacity(100);
+        assert_eq!(v.heap_bytes(), 800);
+        let none: Option<Vec<f64>> = None;
+        assert_eq!(none.heap_bytes(), 0);
+    }
+}

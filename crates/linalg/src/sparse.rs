@@ -1,0 +1,628 @@
+//! Sparse matrices: COO assembly format and CSR compute format.
+
+use crate::MemoryFootprint;
+
+/// Coordinate-format (triplet) sparse matrix used during assembly.
+///
+/// Duplicate entries are summed when converting to CSR, which is exactly the
+/// semantics of finite element assembly.
+///
+/// # Example
+///
+/// ```
+/// use morestress_linalg::CooMatrix;
+///
+/// let mut coo = CooMatrix::new(2, 2);
+/// coo.push(0, 0, 1.0);
+/// coo.push(0, 0, 2.0); // duplicate: summed
+/// coo.push(1, 1, 4.0);
+/// let csr = coo.to_csr();
+/// assert_eq!(csr.get(0, 0), 3.0);
+/// assert_eq!(csr.get(1, 1), 4.0);
+/// assert_eq!(csr.get(0, 1), 0.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CooMatrix {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl CooMatrix {
+    /// Creates an empty `nrows × ncols` triplet matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Creates an empty triplet matrix with pre-reserved capacity.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends the entry `(i, j, v)`. Duplicates are allowed and summed on
+    /// conversion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    #[inline]
+    pub fn push(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.nrows && j < self.ncols, "CooMatrix::push out of bounds");
+        self.rows.push(i);
+        self.cols.push(j);
+        self.vals.push(v);
+    }
+
+    /// Number of stored triplets (including duplicates).
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Converts to CSR, summing duplicate entries and sorting column indices
+    /// within each row.
+    pub fn to_csr(&self) -> CsrMatrix {
+        // Counting sort by row.
+        let mut row_ptr = vec![0usize; self.nrows + 1];
+        for &r in &self.rows {
+            row_ptr[r + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0f64; self.nnz()];
+        let mut next = row_ptr.clone();
+        for t in 0..self.nnz() {
+            let r = self.rows[t];
+            let slot = next[r];
+            next[r] += 1;
+            col_idx[slot] = self.cols[t];
+            values[slot] = self.vals[t];
+        }
+        // Sort within each row and combine duplicates.
+        let mut out_ptr = vec![0usize; self.nrows + 1];
+        let mut out_col: Vec<usize> = Vec::with_capacity(self.nnz());
+        let mut out_val: Vec<f64> = Vec::with_capacity(self.nnz());
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for r in 0..self.nrows {
+            let lo = row_ptr[r];
+            let hi = row_ptr[r + 1];
+            scratch.clear();
+            scratch.extend(col_idx[lo..hi].iter().copied().zip(values[lo..hi].iter().copied()));
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let c = scratch[i].0;
+                let mut v = scratch[i].1;
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j].0 == c {
+                    v += scratch[j].1;
+                    j += 1;
+                }
+                out_col.push(c);
+                out_val.push(v);
+                i = j;
+            }
+            out_ptr[r + 1] = out_col.len();
+        }
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr: out_ptr,
+            col_idx: out_col,
+            values: out_val,
+        }
+    }
+}
+
+impl MemoryFootprint for CooMatrix {
+    fn heap_bytes(&self) -> usize {
+        self.rows.heap_bytes() + self.cols.heap_bytes() + self.vals.heap_bytes()
+    }
+}
+
+/// Compressed sparse row matrix: the compute format for all FEM operators.
+///
+/// Column indices are sorted and unique within each row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays are structurally inconsistent (wrong lengths,
+    /// non-monotone `row_ptr`, unsorted/duplicate or out-of-range columns).
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(row_ptr.len(), nrows + 1, "row_ptr length");
+        assert_eq!(col_idx.len(), values.len(), "col/val length mismatch");
+        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr tail");
+        for r in 0..nrows {
+            assert!(row_ptr[r] <= row_ptr[r + 1], "row_ptr must be monotone");
+            let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            for w in row.windows(2) {
+                assert!(w[0] < w[1], "columns must be sorted and unique");
+            }
+            if let Some(&last) = row.last() {
+                assert!(last < ncols, "column index out of range");
+            }
+        }
+        Self {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Builds an all-zero matrix with a fixed sparsity pattern given by
+    /// per-row sorted column lists. Used by the FEM assembler, which computes
+    /// the pattern from mesh connectivity and then scatter-adds element
+    /// matrices.
+    pub fn from_pattern(nrows: usize, ncols: usize, rows: &[Vec<usize>]) -> Self {
+        assert_eq!(rows.len(), nrows, "pattern row count");
+        let mut row_ptr = Vec::with_capacity(nrows + 1);
+        row_ptr.push(0usize);
+        let nnz: usize = rows.iter().map(Vec::len).sum();
+        let mut col_idx = Vec::with_capacity(nnz);
+        for row in rows {
+            for w in row.windows(2) {
+                assert!(w[0] < w[1], "pattern columns must be sorted and unique");
+            }
+            col_idx.extend_from_slice(row);
+            row_ptr.push(col_idx.len());
+        }
+        let values = vec![0.0; col_idx.len()];
+        Self {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            nrows: n,
+            ncols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Row pointer array (`nrows + 1` entries).
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column index array.
+    #[inline]
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Value array.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable value array (pattern is immutable).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// The columns and values of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Value at `(i, j)`, zero if the entry is not stored.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&j) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Adds `v` to the stored entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(i, j)` is not in the sparsity pattern; the FEM assembler
+    /// guarantees the pattern covers all element couplings.
+    #[inline]
+    pub fn add_at(&mut self, i: usize, j: usize, v: f64) {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        let k = self.col_idx[lo..hi]
+            .binary_search(&j)
+            .unwrap_or_else(|_| panic!("add_at: entry ({i},{j}) not in pattern"));
+        self.values[lo + k] += v;
+    }
+
+    /// Sparse matrix–vector product `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols` or `y.len() != nrows`.
+    pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "spmv: x length");
+        assert_eq!(y.len(), self.nrows, "spmv: y length");
+        for i in 0..self.nrows {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            let mut s = 0.0;
+            for k in lo..hi {
+                s += self.values[k] * x[self.col_idx[k]];
+            }
+            y[i] = s;
+        }
+    }
+
+    /// Sparse matrix–vector product returning a fresh vector.
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.nrows];
+        self.spmv_into(x, &mut y);
+        y
+    }
+
+    /// Relative residual `‖b - A x‖₂ / ‖b‖₂` (absolute if `‖b‖₂ = 0`).
+    pub fn residual(&self, x: &[f64], b: &[f64]) -> f64 {
+        let ax = self.spmv(x);
+        let r: f64 = b
+            .iter()
+            .zip(&ax)
+            .map(|(bi, axi)| (bi - axi) * (bi - axi))
+            .sum::<f64>()
+            .sqrt();
+        let nb = crate::norm2(b);
+        if nb > 0.0 {
+            r / nb
+        } else {
+            r
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &c in &self.col_idx {
+            counts[c + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            counts[i + 1] += counts[i];
+        }
+        let row_ptr = counts.clone();
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut next = counts;
+        for r in 0..self.nrows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[k];
+                let slot = next[c];
+                next[c] += 1;
+                col_idx[slot] = r;
+                values[slot] = self.values[k];
+            }
+        }
+        // Rows of the transpose are produced in increasing source-row order,
+        // so columns are already sorted.
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Extracts the sub-matrix `A[rows, cols]`.
+    ///
+    /// `col_map` must map every original column index either to
+    /// `Some(new index)` (kept) or `None` (dropped); `new_ncols` is the
+    /// number of kept columns. The kept columns must preserve order
+    /// (monotone `col_map`) so that rows stay sorted.
+    ///
+    /// The local stage uses this to split the unit-block operator into
+    /// `A_ff` (free × free) and `A_fb` (free × boundary), Eq. 12 of the paper.
+    pub fn extract(&self, rows: &[usize], col_map: &[Option<usize>], new_ncols: usize) -> CsrMatrix {
+        assert_eq!(col_map.len(), self.ncols, "extract: col_map length");
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for &r in rows {
+            let (cols, vals) = self.row(r);
+            for (c, v) in cols.iter().zip(vals) {
+                if let Some(nc) = col_map[*c] {
+                    debug_assert!(nc < new_ncols);
+                    col_idx.push(nc);
+                    values.push(*v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix {
+            nrows: rows.len(),
+            ncols: new_ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Symmetrically permutes a square matrix: `B = P A Pᵀ`, where
+    /// `perm[new] = old` (i.e. row `new` of `B` is row `perm[new]` of `A`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `perm` has the wrong length.
+    pub fn permuted_symmetric(&self, perm: &crate::Permutation) -> CsrMatrix {
+        assert_eq!(self.nrows, self.ncols, "permute: matrix must be square");
+        assert_eq!(perm.len(), self.nrows, "permute: permutation length");
+        let inv = perm.inverse_slice();
+        let mut row_ptr = Vec::with_capacity(self.nrows + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for new_r in 0..self.nrows {
+            let old_r = perm.as_slice()[new_r];
+            let (cols, vals) = self.row(old_r);
+            scratch.clear();
+            scratch.extend(cols.iter().map(|&c| inv[c]).zip(vals.iter().copied()));
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, v) in &scratch {
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Maximum absolute asymmetry `max |A_ij - A_ji|` of a square matrix.
+    pub fn asymmetry(&self) -> f64 {
+        assert_eq!(self.nrows, self.ncols, "asymmetry: matrix must be square");
+        let t = self.transposed();
+        let mut worst = 0.0_f64;
+        for i in 0..self.nrows {
+            let (ca, va) = self.row(i);
+            let (cb, vb) = t.row(i);
+            // Merge the two sorted rows.
+            let (mut p, mut q) = (0, 0);
+            while p < ca.len() || q < cb.len() {
+                match (ca.get(p), cb.get(q)) {
+                    (Some(&a), Some(&b)) if a == b => {
+                        worst = worst.max((va[p] - vb[q]).abs());
+                        p += 1;
+                        q += 1;
+                    }
+                    (Some(&a), Some(&b)) if a < b => {
+                        worst = worst.max(va[p].abs());
+                        p += 1;
+                    }
+                    (Some(_), Some(_)) => {
+                        worst = worst.max(vb[q].abs());
+                        q += 1;
+                    }
+                    (Some(_), None) => {
+                        worst = worst.max(va[p].abs());
+                        p += 1;
+                    }
+                    (None, Some(_)) => {
+                        worst = worst.max(vb[q].abs());
+                        q += 1;
+                    }
+                    (None, None) => unreachable!(),
+                }
+            }
+        }
+        worst
+    }
+
+    /// The diagonal of a square matrix as a vector (zeros for missing
+    /// entries).
+    pub fn diagonal(&self) -> Vec<f64> {
+        assert_eq!(self.nrows, self.ncols, "diagonal: matrix must be square");
+        (0..self.nrows).map(|i| self.get(i, i)).collect()
+    }
+}
+
+impl MemoryFootprint for CsrMatrix {
+    fn heap_bytes(&self) -> usize {
+        self.row_ptr.heap_bytes() + self.col_idx.heap_bytes() + self.values.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Permutation;
+
+    fn laplacian_1d(n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0);
+            if i > 0 {
+                coo.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn coo_to_csr_sums_duplicates_and_sorts() {
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(1, 2, 1.0);
+        coo.push(1, 0, 5.0);
+        coo.push(1, 2, 2.0);
+        coo.push(0, 1, -1.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.row(1).0, &[0, 2]);
+        assert_eq!(csr.get(1, 2), 3.0);
+        assert_eq!(csr.get(0, 1), -1.0);
+        assert_eq!(csr.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = laplacian_1d(5);
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = a.spmv(&x);
+        assert_eq!(y, vec![0.0, 0.0, 0.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut coo = CooMatrix::new(3, 4);
+        coo.push(0, 3, 1.0);
+        coo.push(2, 1, -2.0);
+        coo.push(1, 1, 7.0);
+        let a = coo.to_csr();
+        let att = a.transposed().transposed();
+        assert_eq!(a, att);
+    }
+
+    #[test]
+    fn extract_splits_blocks() {
+        let a = laplacian_1d(4);
+        // Keep rows {1,2}, columns {1,2} -> interior block.
+        let col_map = vec![None, Some(0), Some(1), None];
+        let aff = a.extract(&[1, 2], &col_map, 2);
+        assert_eq!(aff.get(0, 0), 2.0);
+        assert_eq!(aff.get(0, 1), -1.0);
+        assert_eq!(aff.get(1, 0), -1.0);
+        // Coupling block rows {1,2}, columns {0,3}.
+        let col_map_b = vec![Some(0), None, None, Some(1)];
+        let afb = a.extract(&[1, 2], &col_map_b, 2);
+        assert_eq!(afb.get(0, 0), -1.0);
+        assert_eq!(afb.get(1, 1), -1.0);
+        assert_eq!(afb.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn symmetric_permutation_preserves_spectrum_action() {
+        let a = laplacian_1d(4);
+        let perm = Permutation::new(vec![3, 1, 0, 2]).unwrap();
+        let b = a.permuted_symmetric(&perm);
+        // b[new_i][new_j] == a[perm[new_i]][perm[new_j]]
+        for ni in 0..4 {
+            for nj in 0..4 {
+                assert_eq!(b.get(ni, nj), a.get(perm.as_slice()[ni], perm.as_slice()[nj]));
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetry_detects_nonsymmetric() {
+        let a = laplacian_1d(4);
+        assert_eq!(a.asymmetry(), 0.0);
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 1.0);
+        let b = coo.to_csr();
+        assert_eq!(b.asymmetry(), 1.0);
+    }
+
+    #[test]
+    fn pattern_assembly_roundtrip() {
+        let rows = vec![vec![0, 1], vec![0, 1, 2], vec![1, 2]];
+        let mut a = CsrMatrix::from_pattern(3, 3, &rows);
+        a.add_at(1, 2, 5.0);
+        a.add_at(1, 2, 1.0);
+        assert_eq!(a.get(1, 2), 6.0);
+        assert_eq!(a.get(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in pattern")]
+    fn pattern_violation_panics() {
+        let rows = vec![vec![0], vec![1]];
+        let mut a = CsrMatrix::from_pattern(2, 2, &rows);
+        a.add_at(0, 1, 1.0);
+    }
+
+    #[test]
+    fn residual_of_exact_solution_is_zero() {
+        let a = laplacian_1d(3);
+        let x = [1.0, 1.0, 1.0];
+        let b = a.spmv(&x);
+        assert!(a.residual(&x, &b) < 1e-15);
+    }
+}

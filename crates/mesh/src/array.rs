@@ -1,0 +1,199 @@
+//! Full TSV-array meshes: the reference ("ANSYS substitute") discretization.
+
+use crate::unit_block::{unit_block_grid, BlockResolution, TsvGeometry};
+use crate::{Grid1d, HexMesh, MAT_CU, MAT_LINER, MAT_SI};
+
+/// What occupies one cell of the array layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockKind {
+    /// A TSV unit block (Cu via + liner in Si).
+    Tsv,
+    /// A dummy block: pure silicon on the same grid (used as padding for
+    /// sub-modeling, §4.4 of the paper).
+    Dummy,
+}
+
+/// A rectangular layout of unit blocks.
+///
+/// # Example
+///
+/// ```
+/// use morestress_mesh::{BlockKind, BlockLayout};
+///
+/// // A 3×3 TSV array padded by one ring of dummy blocks on every side.
+/// let layout = BlockLayout::uniform(3, 3, BlockKind::Tsv).padded(1);
+/// assert_eq!((layout.nx(), layout.ny()), (5, 5));
+/// assert_eq!(layout.kind(0, 0), BlockKind::Dummy);
+/// assert_eq!(layout.kind(2, 2), BlockKind::Tsv);
+/// assert_eq!(layout.count(BlockKind::Tsv), 9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockLayout {
+    nx: usize,
+    ny: usize,
+    kinds: Vec<BlockKind>,
+}
+
+impl BlockLayout {
+    /// An `nx × ny` layout filled with one kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nx` or `ny` is zero.
+    pub fn uniform(nx: usize, ny: usize, kind: BlockKind) -> Self {
+        assert!(nx > 0 && ny > 0, "layout must be non-empty");
+        Self {
+            nx,
+            ny,
+            kinds: vec![kind; nx * ny],
+        }
+    }
+
+    /// Adds `rings` rings of dummy blocks around the layout (the paper adds
+    /// two rows/columns for sub-modeling).
+    pub fn padded(&self, rings: usize) -> Self {
+        let nx = self.nx + 2 * rings;
+        let ny = self.ny + 2 * rings;
+        let mut kinds = vec![BlockKind::Dummy; nx * ny];
+        for j in 0..self.ny {
+            for i in 0..self.nx {
+                kinds[(j + rings) * nx + (i + rings)] = self.kind(i, j);
+            }
+        }
+        Self { nx, ny, kinds }
+    }
+
+    /// Number of blocks along x.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Number of blocks along y.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Kind of block `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn kind(&self, i: usize, j: usize) -> BlockKind {
+        assert!(i < self.nx && j < self.ny, "block index out of range");
+        self.kinds[j * self.nx + i]
+    }
+
+    /// Sets the kind of block `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn set_kind(&mut self, i: usize, j: usize, kind: BlockKind) {
+        assert!(i < self.nx && j < self.ny, "block index out of range");
+        self.kinds[j * self.nx + i] = kind;
+    }
+
+    /// Number of blocks of the given kind.
+    pub fn count(&self, kind: BlockKind) -> usize {
+        self.kinds.iter().filter(|&&k| k == kind).count()
+    }
+}
+
+/// Meshes a whole array of unit blocks as a single domain, tiling the exact
+/// unit-block grid so the array discretization is the union of per-block
+/// discretizations. This is the mesh on which the reference full-FEM
+/// ("ANSYS") solution is computed.
+///
+/// # Panics
+///
+/// Panics if the geometry is invalid.
+pub fn array_mesh(geom: &TsvGeometry, res: &BlockResolution, layout: &BlockLayout) -> HexMesh {
+    geom.validate().expect("invalid TSV geometry");
+    let block_grid = unit_block_grid(geom, res);
+    let xs = block_grid.tile(layout.nx());
+    let ys = block_grid.tile(layout.ny());
+    let zs = Grid1d::uniform(0.0, geom.height, res.z_cells);
+    let p = geom.pitch;
+    let r_cu = 0.5 * geom.diameter;
+    let r_liner = geom.liner_outer_radius();
+    let layout = layout.clone();
+    HexMesh::from_grids(xs, ys, zs, move |c| {
+        let bi = ((c[0] / p).floor() as usize).min(layout.nx() - 1);
+        let bj = ((c[1] / p).floor() as usize).min(layout.ny() - 1);
+        if layout.kind(bi, bj) == BlockKind::Dummy {
+            return Some(MAT_SI);
+        }
+        // Coordinates relative to this block's TSV center.
+        let lx = c[0] - (bi as f64 + 0.5) * p;
+        let ly = c[1] - (bj as f64 + 0.5) * p;
+        let r = (lx * lx + ly * ly).sqrt();
+        Some(if r < r_cu {
+            MAT_CU
+        } else if r < r_liner {
+            MAT_LINER
+        } else {
+            MAT_SI
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit_block::unit_block_mesh;
+
+    #[test]
+    fn array_mesh_tiles_block_mesh_exactly() {
+        let geom = TsvGeometry::paper_defaults(15.0);
+        let res = BlockResolution::coarse();
+        let block = unit_block_mesh(&geom, &res, true);
+        let layout = BlockLayout::uniform(2, 2, BlockKind::Tsv);
+        let array = array_mesh(&geom, &res, &layout);
+        assert_eq!(array.num_elems(), 4 * block.num_elems());
+        let (bx, _, _) = block.grids();
+        let (ax, _, _) = array.grids();
+        assert_eq!(ax.num_cells(), 2 * bx.num_cells());
+        let (_, hi) = array.bounding_box();
+        assert_eq!(hi, [30.0, 30.0, 50.0]);
+    }
+
+    #[test]
+    fn per_block_materials_match_unit_block() {
+        let geom = TsvGeometry::paper_defaults(10.0);
+        let res = BlockResolution::coarse();
+        let block = unit_block_mesh(&geom, &res, true);
+        let layout = BlockLayout::uniform(2, 1, BlockKind::Tsv);
+        let array = array_mesh(&geom, &res, &layout);
+        // Sample: material at the center of each block must be Cu.
+        for bi in 0..2 {
+            let p = [(bi as f64 + 0.5) * 10.0, 5.0, 25.0];
+            let (e, _) = array.locate(p).unwrap();
+            assert_eq!(array.material(e), MAT_CU);
+        }
+        // Count Cu elements: exactly 2x the unit block's.
+        let count = |m: &HexMesh| (0..m.num_elems()).filter(|&e| m.material(e) == MAT_CU).count();
+        assert_eq!(count(&array), 2 * count(&block));
+    }
+
+    #[test]
+    fn dummy_blocks_have_no_tsv() {
+        let geom = TsvGeometry::paper_defaults(15.0);
+        let res = BlockResolution::coarse();
+        let mut layout = BlockLayout::uniform(2, 2, BlockKind::Tsv);
+        layout.set_kind(0, 0, BlockKind::Dummy);
+        let array = array_mesh(&geom, &res, &layout);
+        let (e, _) = array.locate([7.5, 7.5, 25.0]).unwrap();
+        assert_eq!(array.material(e), MAT_SI);
+        let (e, _) = array.locate([22.5, 7.5, 25.0]).unwrap();
+        assert_eq!(array.material(e), MAT_CU);
+    }
+
+    #[test]
+    fn padding_preserves_interior() {
+        let layout = BlockLayout::uniform(2, 3, BlockKind::Tsv).padded(2);
+        assert_eq!((layout.nx(), layout.ny()), (6, 7));
+        assert_eq!(layout.count(BlockKind::Tsv), 6);
+        assert_eq!(layout.kind(2, 2), BlockKind::Tsv);
+        assert_eq!(layout.kind(1, 2), BlockKind::Dummy);
+    }
+}

@@ -1,0 +1,206 @@
+//! Graded 1-D grids used to build tensor-product hex meshes.
+
+/// A strictly increasing sequence of grid planes along one axis.
+///
+/// # Example
+///
+/// ```
+/// use morestress_mesh::Grid1d;
+///
+/// let g = Grid1d::uniform(0.0, 10.0, 5);
+/// assert_eq!(g.num_cells(), 5);
+/// assert_eq!(g.points()[2], 4.0);
+/// let tiled = g.tile(3);
+/// assert_eq!(tiled.num_cells(), 15);
+/// assert_eq!(*tiled.points().last().unwrap(), 30.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid1d {
+    points: Vec<f64>,
+}
+
+impl Grid1d {
+    /// Builds a grid from explicit points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are given or they are not strictly
+    /// increasing.
+    pub fn from_points(points: Vec<f64>) -> Self {
+        assert!(points.len() >= 2, "a grid needs at least two points");
+        for w in points.windows(2) {
+            assert!(w[0] < w[1], "grid points must be strictly increasing");
+        }
+        Self { points }
+    }
+
+    /// Uniform grid with `cells` cells on `[a, b]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells == 0` or `b <= a`.
+    pub fn uniform(a: f64, b: f64, cells: usize) -> Self {
+        assert!(cells > 0, "need at least one cell");
+        assert!(b > a, "interval must be non-degenerate");
+        let h = (b - a) / cells as f64;
+        let mut points: Vec<f64> = (0..=cells).map(|i| a + h * i as f64).collect();
+        // Pin the endpoints exactly so tiled grids share coordinates.
+        points[0] = a;
+        *points.last_mut().expect("non-empty") = b;
+        Self { points }
+    }
+
+    /// A grid on `[a, b]` refined inside the band `[b_lo, b_hi]`:
+    /// `outer_cells` uniform cells on each outer segment, `band_cells`
+    /// uniform (finer) cells inside the band. Used to resolve the thin TSV
+    /// liner without meshing the whole block at liner resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `a < b_lo < b_hi < b` and both cell counts are nonzero.
+    pub fn with_refined_band(
+        a: f64,
+        b: f64,
+        b_lo: f64,
+        b_hi: f64,
+        outer_cells: usize,
+        band_cells: usize,
+    ) -> Self {
+        assert!(
+            a < b_lo && b_lo < b_hi && b_hi < b,
+            "band must be strictly inside the interval"
+        );
+        assert!(outer_cells > 0 && band_cells > 0, "cell counts must be nonzero");
+        let mut points = Vec::with_capacity(2 * outer_cells + band_cells + 1);
+        let left = Grid1d::uniform(a, b_lo, outer_cells);
+        let mid = Grid1d::uniform(b_lo, b_hi, band_cells);
+        let right = Grid1d::uniform(b_hi, b, outer_cells);
+        points.extend_from_slice(left.points());
+        points.extend_from_slice(&mid.points()[1..]);
+        points.extend_from_slice(&right.points()[1..]);
+        Self { points }
+    }
+
+    /// The grid points.
+    #[inline]
+    pub fn points(&self) -> &[f64] {
+        &self.points
+    }
+
+    /// Number of cells (`points().len() - 1`).
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.points.len() - 1
+    }
+
+    /// First point.
+    #[inline]
+    pub fn start(&self) -> f64 {
+        self.points[0]
+    }
+
+    /// Last point.
+    #[inline]
+    pub fn end(&self) -> f64 {
+        *self.points.last().expect("grids are non-empty")
+    }
+
+    /// Length of the covered interval.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.end() - self.start()
+    }
+
+    /// Tiles the grid `n` times end to end (shared interior endpoints), so a
+    /// per-block grid becomes the grid of a row of `n` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn tile(&self, n: usize) -> Grid1d {
+        assert!(n > 0, "tile count must be nonzero");
+        let len = self.length();
+        let mut points = Vec::with_capacity(self.num_cells() * n + 1);
+        points.push(self.start());
+        for block in 0..n {
+            let offset = self.start() + len * block as f64 - self.start();
+            for &p in &self.points[1..] {
+                points.push(p + offset);
+            }
+        }
+        Grid1d::from_points(points)
+    }
+
+    /// Shifts all points by `delta`.
+    pub fn shifted(&self, delta: f64) -> Grid1d {
+        Grid1d::from_points(self.points.iter().map(|p| p + delta).collect())
+    }
+
+    /// Index of the cell containing `x`, clamped to the valid range (so
+    /// points outside the grid map to the first/last cell).
+    pub fn locate(&self, x: f64) -> usize {
+        let n = self.num_cells();
+        let idx = self.points.partition_point(|&p| p <= x);
+        idx.saturating_sub(1).min(n - 1)
+    }
+
+    /// Maps `x` to `(cell, xi)` with `xi ∈ [-1, 1]` the reference coordinate
+    /// inside the (clamped) containing cell.
+    pub fn locate_ref(&self, x: f64) -> (usize, f64) {
+        let c = self.locate(x);
+        let x0 = self.points[c];
+        let x1 = self.points[c + 1];
+        (c, 2.0 * (x - x0) / (x1 - x0) - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_grid_points() {
+        let g = Grid1d::uniform(1.0, 3.0, 4);
+        assert_eq!(g.points(), &[1.0, 1.5, 2.0, 2.5, 3.0]);
+        assert_eq!(g.num_cells(), 4);
+        assert_eq!(g.length(), 2.0);
+    }
+
+    #[test]
+    fn refined_band_is_finer_inside() {
+        let g = Grid1d::with_refined_band(0.0, 15.0, 4.0, 11.0, 3, 14);
+        // Band cell width: 7/14 = 0.5; outer: 4/3 ≈ 1.33.
+        let pts = g.points();
+        let band_width = pts
+            .windows(2)
+            .filter(|w| w[0] >= 4.0 - 1e-12 && w[1] <= 11.0 + 1e-12)
+            .map(|w| w[1] - w[0])
+            .fold(f64::NAN, f64::max);
+        assert!((band_width - 0.5).abs() < 1e-12);
+        assert_eq!(g.num_cells(), 3 + 14 + 3);
+    }
+
+    #[test]
+    fn tiling_shares_endpoints() {
+        let g = Grid1d::uniform(0.0, 2.0, 2).tile(3);
+        assert_eq!(g.points(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn locate_and_reference_coordinates() {
+        let g = Grid1d::uniform(0.0, 4.0, 4);
+        assert_eq!(g.locate(0.5), 0);
+        assert_eq!(g.locate(3.999), 3);
+        assert_eq!(g.locate(4.0), 3); // clamped at the end
+        assert_eq!(g.locate(-1.0), 0); // clamped at the start
+        let (c, xi) = g.locate_ref(2.5);
+        assert_eq!(c, 2);
+        assert!((xi - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_points_rejected() {
+        let _ = Grid1d::from_points(vec![0.0, 1.0, 1.0]);
+    }
+}

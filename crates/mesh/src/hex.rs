@@ -1,0 +1,359 @@
+//! Structured 8-node hexahedral meshes with optional void cells.
+
+use crate::Grid1d;
+
+/// Identifier of a material region; the id → elastic-constants mapping lives
+/// with the FEM layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MaterialId(pub u16);
+
+impl std::fmt::Display for MaterialId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mat{}", self.0)
+    }
+}
+
+/// An 8-node hexahedral mesh on a tensor-product lattice.
+///
+/// Cells may be *void* (absent), which is how the chiplet stack represents
+/// the region outside a die footprint. Nodes that touch no live cell are
+/// compacted away.
+///
+/// Local node ordering of each element follows the usual isoparametric
+/// convention: nodes 0–3 are the ζ=-1 face counterclockwise starting at
+/// (ξ,η)=(-1,-1), nodes 4–7 the ζ=+1 face in the same order.
+#[derive(Debug, Clone)]
+pub struct HexMesh {
+    xs: Grid1d,
+    ys: Grid1d,
+    zs: Grid1d,
+    nodes: Vec<[f64; 3]>,
+    elems: Vec<[usize; 8]>,
+    mats: Vec<MaterialId>,
+    /// lattice node index -> compact node id (usize::MAX for dropped nodes)
+    node_of_lattice: Vec<usize>,
+    /// compact node id -> lattice (i, j, k)
+    lattice_of_node: Vec<[usize; 3]>,
+    /// lattice cell index -> element id (usize::MAX for void cells)
+    elem_of_cell: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl HexMesh {
+    /// Builds a mesh over the tensor grid `xs × ys × zs`. For every cell,
+    /// `classify` receives the cell centroid and returns `Some(material)` to
+    /// keep the cell or `None` to leave it void.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every cell is void.
+    pub fn from_grids<F>(xs: Grid1d, ys: Grid1d, zs: Grid1d, classify: F) -> Self
+    where
+        F: Fn([f64; 3]) -> Option<MaterialId>,
+    {
+        let (ncx, ncy, ncz) = (xs.num_cells(), ys.num_cells(), zs.num_cells());
+        let (npx, npy) = (ncx + 1, ncy + 1);
+        let lat_node = |i: usize, j: usize, k: usize| (k * npy + j) * npx + i;
+
+        let mut mats_by_cell: Vec<Option<MaterialId>> = Vec::with_capacity(ncx * ncy * ncz);
+        for k in 0..ncz {
+            let zc = 0.5 * (zs.points()[k] + zs.points()[k + 1]);
+            for j in 0..ncy {
+                let yc = 0.5 * (ys.points()[j] + ys.points()[j + 1]);
+                for i in 0..ncx {
+                    let xc = 0.5 * (xs.points()[i] + xs.points()[i + 1]);
+                    mats_by_cell.push(classify([xc, yc, zc]));
+                }
+            }
+        }
+        assert!(
+            mats_by_cell.iter().any(Option::is_some),
+            "mesh must contain at least one live cell"
+        );
+
+        let num_lat_nodes = npx * npy * (ncz + 1);
+        let mut node_of_lattice = vec![ABSENT; num_lat_nodes];
+        let mut nodes: Vec<[f64; 3]> = Vec::new();
+        let mut lattice_of_node: Vec<[usize; 3]> = Vec::new();
+        let mut elems: Vec<[usize; 8]> = Vec::new();
+        let mut mats: Vec<MaterialId> = Vec::new();
+        let mut elem_of_cell = vec![ABSENT; ncx * ncy * ncz];
+
+        let touch = |node_of_lattice: &mut Vec<usize>,
+                         nodes: &mut Vec<[f64; 3]>,
+                         lattice_of_node: &mut Vec<[usize; 3]>,
+                         i: usize,
+                         j: usize,
+                         k: usize|
+         -> usize {
+            let lat = lat_node(i, j, k);
+            if node_of_lattice[lat] == ABSENT {
+                node_of_lattice[lat] = nodes.len();
+                nodes.push([xs.points()[i], ys.points()[j], zs.points()[k]]);
+                lattice_of_node.push([i, j, k]);
+            }
+            node_of_lattice[lat]
+        };
+
+        for k in 0..ncz {
+            for j in 0..ncy {
+                for i in 0..ncx {
+                    let cell = (k * ncy + j) * ncx + i;
+                    let Some(mat) = mats_by_cell[cell] else {
+                        continue;
+                    };
+                    let conn = [
+                        touch(&mut node_of_lattice, &mut nodes, &mut lattice_of_node, i, j, k),
+                        touch(&mut node_of_lattice, &mut nodes, &mut lattice_of_node, i + 1, j, k),
+                        touch(&mut node_of_lattice, &mut nodes, &mut lattice_of_node, i + 1, j + 1, k),
+                        touch(&mut node_of_lattice, &mut nodes, &mut lattice_of_node, i, j + 1, k),
+                        touch(&mut node_of_lattice, &mut nodes, &mut lattice_of_node, i, j, k + 1),
+                        touch(&mut node_of_lattice, &mut nodes, &mut lattice_of_node, i + 1, j, k + 1),
+                        touch(&mut node_of_lattice, &mut nodes, &mut lattice_of_node, i + 1, j + 1, k + 1),
+                        touch(&mut node_of_lattice, &mut nodes, &mut lattice_of_node, i, j + 1, k + 1),
+                    ];
+                    elem_of_cell[cell] = elems.len();
+                    elems.push(conn);
+                    mats.push(mat);
+                }
+            }
+        }
+
+        Self {
+            xs,
+            ys,
+            zs,
+            nodes,
+            elems,
+            mats,
+            node_of_lattice,
+            lattice_of_node,
+            elem_of_cell,
+        }
+    }
+
+    /// Number of (compacted) nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of live elements.
+    #[inline]
+    pub fn num_elems(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Node coordinates.
+    #[inline]
+    pub fn nodes(&self) -> &[[f64; 3]] {
+        &self.nodes
+    }
+
+    /// Element connectivity (8 node ids per element).
+    #[inline]
+    pub fn elems(&self) -> &[[usize; 8]] {
+        &self.elems
+    }
+
+    /// Material of element `e`.
+    #[inline]
+    pub fn material(&self, e: usize) -> MaterialId {
+        self.mats[e]
+    }
+
+    /// The x/y/z grids the mesh was built from.
+    pub fn grids(&self) -> (&Grid1d, &Grid1d, &Grid1d) {
+        (&self.xs, &self.ys, &self.zs)
+    }
+
+    /// The corner positions `(min, max)` of the lattice bounding box.
+    pub fn bounding_box(&self) -> ([f64; 3], [f64; 3]) {
+        (
+            [self.xs.start(), self.ys.start(), self.zs.start()],
+            [self.xs.end(), self.ys.end(), self.zs.end()],
+        )
+    }
+
+    /// Node counts of the lattice `(npx, npy, npz)`.
+    pub fn lattice_dims(&self) -> (usize, usize, usize) {
+        (
+            self.xs.num_cells() + 1,
+            self.ys.num_cells() + 1,
+            self.zs.num_cells() + 1,
+        )
+    }
+
+    /// Compact node id at lattice position `(i, j, k)`, or `None` if the
+    /// node was compacted away (void region).
+    pub fn lattice_node(&self, i: usize, j: usize, k: usize) -> Option<usize> {
+        let (npx, npy, npz) = self.lattice_dims();
+        if i >= npx || j >= npy || k >= npz {
+            return None;
+        }
+        match self.node_of_lattice[(k * npy + j) * npx + i] {
+            ABSENT => None,
+            id => Some(id),
+        }
+    }
+
+    /// Lattice position of compact node `n`.
+    pub fn node_lattice(&self, n: usize) -> [usize; 3] {
+        self.lattice_of_node[n]
+    }
+
+    /// The 8 corner coordinates of element `e` in local node order.
+    pub fn elem_corners(&self, e: usize) -> [[f64; 3]; 8] {
+        let conn = &self.elems[e];
+        std::array::from_fn(|a| self.nodes[conn[a]])
+    }
+
+    /// Locates the element containing point `p` (clamped to the mesh
+    /// bounding box) and its reference coordinates `(ξ,η,ζ) ∈ [-1,1]³`.
+    /// Returns `None` if the containing cell is void.
+    pub fn locate(&self, p: [f64; 3]) -> Option<(usize, [f64; 3])> {
+        let (ci, xi) = self.xs.locate_ref(p[0]);
+        let (cj, eta) = self.ys.locate_ref(p[1]);
+        let (ck, zeta) = self.zs.locate_ref(p[2]);
+        let (ncx, ncy) = (self.xs.num_cells(), self.ys.num_cells());
+        let cell = (ck * ncy + cj) * ncx + ci;
+        match self.elem_of_cell[cell] {
+            ABSENT => None,
+            e => Some((e, [xi, eta, zeta])),
+        }
+    }
+
+    /// All node ids whose lattice position lies on the outer boundary of the
+    /// lattice box (any of the 6 faces). For meshes without voids this is the
+    /// geometric surface of the cuboid.
+    pub fn boundary_box_nodes(&self) -> Vec<usize> {
+        let (npx, npy, npz) = self.lattice_dims();
+        (0..self.num_nodes())
+            .filter(|&n| {
+                let [i, j, k] = self.lattice_of_node[n];
+                i == 0 || i == npx - 1 || j == 0 || j == npy - 1 || k == 0 || k == npz - 1
+            })
+            .collect()
+    }
+
+    /// Node ids on the lattice plane `axis = index` (axis 0 = x, 1 = y,
+    /// 2 = z). `index` counts lattice planes, e.g. `0` or `npz - 1` for the
+    /// bottom/top z planes.
+    pub fn plane_nodes(&self, axis: usize, index: usize) -> Vec<usize> {
+        assert!(axis < 3, "axis must be 0, 1 or 2");
+        (0..self.num_nodes())
+            .filter(|&n| self.lattice_of_node[n][axis] == index)
+            .collect()
+    }
+
+    /// Per-node adjacency (node → sorted unique neighbor nodes, self
+    /// included): the sparsity pattern of any nodal FEM operator on this
+    /// mesh.
+    pub fn node_adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.num_nodes()];
+        for conn in &self.elems {
+            for &a in conn {
+                for &b in conn {
+                    adj[a].push(b);
+                }
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        adj
+    }
+
+    /// Total volume of live cells (sum of cell box volumes).
+    pub fn volume(&self) -> f64 {
+        let mut v = 0.0;
+        for e in 0..self.num_elems() {
+            let c = self.elem_corners(e);
+            let dx = c[1][0] - c[0][0];
+            let dy = c[3][1] - c[0][1];
+            let dz = c[4][2] - c[0][2];
+            v += dx * dy * dz;
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube_mesh(n: usize) -> HexMesh {
+        let g = Grid1d::uniform(0.0, 1.0, n);
+        HexMesh::from_grids(g.clone(), g.clone(), g, |_| Some(MaterialId(0)))
+    }
+
+    #[test]
+    fn cube_counts() {
+        let m = cube_mesh(3);
+        assert_eq!(m.num_elems(), 27);
+        assert_eq!(m.num_nodes(), 64);
+        assert!((m.volume() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn connectivity_ordering_is_isoparametric() {
+        let m = cube_mesh(1);
+        let c = m.elem_corners(0);
+        // Node 0 at origin, node 1 along +x, node 3 along +y, node 4 along +z.
+        assert_eq!(c[0], [0.0, 0.0, 0.0]);
+        assert_eq!(c[1], [1.0, 0.0, 0.0]);
+        assert_eq!(c[3], [0.0, 1.0, 0.0]);
+        assert_eq!(c[4], [0.0, 0.0, 1.0]);
+        assert_eq!(c[6], [1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn locate_finds_cells_and_reference_coords() {
+        let m = cube_mesh(2);
+        let (e, xi) = m.locate([0.25, 0.75, 0.25]).unwrap();
+        assert!(e < m.num_elems());
+        assert!((xi[0] - 0.0).abs() < 1e-12);
+        assert!((xi[1] - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn void_cells_are_dropped_and_nodes_compacted() {
+        let g = Grid1d::uniform(0.0, 2.0, 2);
+        // Keep only the lower-left column of cells (x < 1).
+        let m = HexMesh::from_grids(g.clone(), g.clone(), g, |c| {
+            (c[0] < 1.0).then_some(MaterialId(7))
+        });
+        assert_eq!(m.num_elems(), 4);
+        // Lattice has 27 nodes; the x=2 plane (9 nodes) must be gone.
+        assert_eq!(m.num_nodes(), 18);
+        assert!(m.lattice_node(2, 0, 0).is_none());
+        assert!(m.lattice_node(1, 2, 2).is_some());
+        assert!(m.locate([1.5, 0.5, 0.5]).is_none());
+    }
+
+    #[test]
+    fn boundary_and_plane_queries() {
+        let m = cube_mesh(2);
+        let boundary = m.boundary_box_nodes();
+        assert_eq!(boundary.len(), 26); // 27 lattice nodes minus the center
+        let bottom = m.plane_nodes(2, 0);
+        assert_eq!(bottom.len(), 9);
+        for n in bottom {
+            assert_eq!(m.nodes()[n][2], 0.0);
+        }
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_reflexive() {
+        let m = cube_mesh(2);
+        let adj = m.node_adjacency();
+        for (a, list) in adj.iter().enumerate() {
+            assert!(list.binary_search(&a).is_ok(), "self-adjacency");
+            for &b in list {
+                assert!(adj[b].binary_search(&a).is_ok(), "symmetry");
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Structured hexahedral meshing for the MORE-Stress simulator.
+//!
+//! The paper meshes its TSV unit block with Gmsh; this crate replaces that
+//! with a structured, graded hexahedral mesher built from scratch:
+//!
+//! * [`Grid1d`] — graded 1-D grids (uniform segments, refinement bands,
+//!   tiling across array blocks).
+//! * [`HexMesh`] — an 8-node hexahedral mesh over a tensor-product lattice,
+//!   with optional *void* cells (used by the chiplet stack, where the die
+//!   footprint is smaller than the substrate), point location, and lattice /
+//!   boundary queries.
+//! * [`TsvGeometry`] / [`BlockResolution`] / [`unit_block_mesh`] — the TSV
+//!   unit block of Fig. 2/3 of the paper: a Cu via with dielectric liner in
+//!   a p×p×h silicon cell, materials assigned per element centroid
+//!   (staircase approximation of the cylinder).
+//! * [`BlockLayout`] / [`array_mesh`] — the full TSV array meshed as one
+//!   domain (the "ANSYS" reference discretization), with per-block
+//!   [`BlockKind`] so dummy (pure-Si) blocks are supported.
+//!
+//! # Example
+//!
+//! ```
+//! use morestress_mesh::{unit_block_mesh, BlockResolution, TsvGeometry};
+//!
+//! let geom = TsvGeometry::paper_defaults(15.0);
+//! let mesh = unit_block_mesh(&geom, &BlockResolution::coarse(), true);
+//! assert!(mesh.num_elems() > 0);
+//! // The mesh contains all three materials: Cu, liner, Si.
+//! use morestress_mesh::{MAT_CU, MAT_LINER, MAT_SI};
+//! for mat in [MAT_CU, MAT_LINER, MAT_SI] {
+//!     assert!((0..mesh.num_elems()).any(|e| mesh.material(e) == mat));
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // indexed loops over parallel arrays are the FEM idiom
+
+mod array;
+mod grid;
+mod hex;
+mod unit_block;
+
+pub use array::{array_mesh, BlockKind, BlockLayout};
+pub use grid::Grid1d;
+pub use hex::{HexMesh, MaterialId};
+pub use unit_block::{unit_block_grid, unit_block_mesh, BlockResolution, TsvGeometry};
+
+/// Material id of the copper TSV body.
+pub const MAT_CU: MaterialId = MaterialId(0);
+/// Material id of the dielectric (SiO₂) liner.
+pub const MAT_LINER: MaterialId = MaterialId(1);
+/// Material id of the silicon substrate.
+pub const MAT_SI: MaterialId = MaterialId(2);
+/// Material id of the organic package substrate (chiplet model).
+pub const MAT_ORGANIC: MaterialId = MaterialId(3);

@@ -1,0 +1,94 @@
+//! Property-based tests of grids and meshes.
+
+use morestress_mesh::{Grid1d, HexMesh, MaterialId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tiling a grid n times yields n× the cells and preserves spacing
+    /// pattern per block.
+    #[test]
+    fn tiling_preserves_structure(cells in 1usize..10, n in 1usize..6,
+                                  len in 0.5f64..50.0) {
+        let g = Grid1d::uniform(0.0, len, cells);
+        let t = g.tile(n);
+        prop_assert_eq!(t.num_cells(), cells * n);
+        prop_assert!((t.length() - len * n as f64).abs() < 1e-9 * len * n as f64);
+        // Every block's internal spacing matches the base grid.
+        for b in 0..n {
+            for i in 0..cells {
+                let base = g.points()[i + 1] - g.points()[i];
+                let tiled = t.points()[b * cells + i + 1] - t.points()[b * cells + i];
+                prop_assert!((base - tiled).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// locate() always returns the cell containing the point (clamped).
+    #[test]
+    fn locate_is_consistent(cells in 1usize..12, x in -5.0f64..25.0) {
+        let g = Grid1d::uniform(0.0, 20.0, cells);
+        let c = g.locate(x);
+        prop_assert!(c < g.num_cells());
+        if (0.0..=20.0).contains(&x) {
+            prop_assert!(g.points()[c] <= x + 1e-12);
+            prop_assert!(x <= g.points()[c + 1] + 1e-12);
+        }
+        let (c2, xi) = g.locate_ref(x.clamp(0.0, 20.0));
+        prop_assert_eq!(c2, g.locate(x.clamp(0.0, 20.0)));
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&xi));
+    }
+
+    /// Mesh volume equals the analytic box volume minus void cells, for any
+    /// void pattern.
+    #[test]
+    fn volume_accounts_for_voids(pattern in prop::collection::vec(any::<bool>(), 27)) {
+        prop_assume!(pattern.iter().any(|&b| b));
+        let g = Grid1d::uniform(0.0, 3.0, 3);
+        let pattern2 = pattern.clone();
+        let mesh = HexMesh::from_grids(g.clone(), g.clone(), g, move |c| {
+            let i = c[0].floor() as usize;
+            let j = c[1].floor() as usize;
+            let k = c[2].floor() as usize;
+            pattern2[(k * 3 + j) * 3 + i].then_some(MaterialId(0))
+        });
+        let live = pattern.iter().filter(|&&b| b).count();
+        prop_assert_eq!(mesh.num_elems(), live);
+        prop_assert!((mesh.volume() - live as f64).abs() < 1e-9);
+    }
+
+    /// Node adjacency stays symmetric and reflexive under arbitrary voids.
+    #[test]
+    fn adjacency_symmetric_with_voids(pattern in prop::collection::vec(any::<bool>(), 8)) {
+        prop_assume!(pattern.iter().any(|&b| b));
+        let g = Grid1d::uniform(0.0, 2.0, 2);
+        let pattern2 = pattern.clone();
+        let mesh = HexMesh::from_grids(g.clone(), g.clone(), g, move |c| {
+            let i = c[0].floor() as usize;
+            let j = c[1].floor() as usize;
+            let k = c[2].floor() as usize;
+            pattern2[(k * 2 + j) * 2 + i].then_some(MaterialId(1))
+        });
+        let adj = mesh.node_adjacency();
+        for (a, list) in adj.iter().enumerate() {
+            prop_assert!(list.binary_search(&a).is_ok());
+            for &b in list {
+                prop_assert!(adj[b].binary_search(&a).is_ok());
+            }
+        }
+    }
+
+    /// Every compact node's lattice coordinates map back to itself.
+    #[test]
+    fn lattice_node_roundtrip(nx in 1usize..5, ny in 1usize..5, nz in 1usize..5) {
+        let gx = Grid1d::uniform(0.0, nx as f64, nx);
+        let gy = Grid1d::uniform(0.0, ny as f64, ny);
+        let gz = Grid1d::uniform(0.0, nz as f64, nz);
+        let mesh = HexMesh::from_grids(gx, gy, gz, |_| Some(MaterialId(0)));
+        for n in 0..mesh.num_nodes() {
+            let [i, j, k] = mesh.node_lattice(n);
+            prop_assert_eq!(mesh.lattice_node(i, j, k), Some(n));
+        }
+    }
+}

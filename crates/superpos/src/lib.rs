@@ -1,0 +1,411 @@
+//! The **linear superposition** baseline (refs. [3, 11] of the paper).
+//!
+//! The classic fast estimate of TSV-array thermal stress: run one
+//! high-fidelity FEM simulation of a *single* TSV, extract its mid-plane
+//! stress-perturbation kernel, then superpose a copy of the kernel at every
+//! TSV site on top of the background stress. This ignores the elastic
+//! coupling between adjacent TSVs and the local variation of the background
+//! field — which is exactly why its error grows for small pitches and sharp
+//! background gradients (Tables 1 and 2 of the paper), while MORE-Stress
+//! stays below 1 %.
+//!
+//! * [`SuperpositionSolver::build`] is the one-shot stage (one single-TSV
+//!   FEM solve + one pure-Si solve on the same domain, so the kernel is the
+//!   *perturbation* with domain-edge effects cancelled).
+//! * [`SuperpositionSolver::evaluate_array`] superposes the kernel over an
+//!   array layout with the uniform clamped-slab background (scenario 1).
+//! * [`SuperpositionSolver::evaluate_array_with_background`] takes an
+//!   arbitrary background-stress field, e.g. sampled from a coarse chiplet
+//!   model (scenario 2).
+
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // indexed loops over parallel arrays are the FEM idiom
+
+use std::time::{Duration, Instant};
+
+use morestress_fem::{
+    sample_von_mises, solve_thermal_stress, stress_at, DirichletBcs, FemError, LinearSolver,
+    MaterialSet, PlaneGrid, ScalarField2d, StressSample,
+};
+use morestress_linalg::MemoryFootprint;
+use morestress_mesh::{array_mesh, BlockKind, BlockLayout, BlockResolution, TsvGeometry};
+
+/// Cost accounting of the one-shot kernel build and per-array evaluations.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SuperpositionStats {
+    /// Wall-clock time of the one-shot kernel build (two FEM solves).
+    pub build_time: Duration,
+    /// Analytic heap estimate of the stored kernel (bytes).
+    pub kernel_bytes: usize,
+}
+
+/// The mid-plane stress-perturbation kernel of an isolated TSV, evaluated
+/// directly from the stored single-TSV FEM solution (and the matching
+/// pure-Si solution, which cancels domain-edge effects). Direct evaluation
+/// avoids resampling error near the liner, where the stress gradient is far
+/// steeper than any practical kernel grid.
+#[derive(Debug, Clone)]
+struct StressKernel {
+    /// Half-extent of the kernel support (µm); the kernel covers
+    /// `[-extent, extent]²` around the TSV center.
+    extent: f64,
+    /// Mid-plane height.
+    z_mid: f64,
+    /// Center of the single-TSV domain.
+    center: f64,
+    mesh_tsv: morestress_mesh::HexMesh,
+    u_tsv: Vec<f64>,
+    mesh_si: morestress_mesh::HexMesh,
+    u_si: Vec<f64>,
+    materials: MaterialSet,
+}
+
+impl StressKernel {
+    /// Kernel value at offset `(dx, dy)` from a TSV center for ΔT = 1; zero
+    /// outside the support.
+    fn eval(&self, dx: f64, dy: f64) -> [f64; 6] {
+        if dx.abs() >= self.extent || dy.abs() >= self.extent {
+            return [0.0; 6];
+        }
+        let q = [self.center + dx, self.center + dy, self.z_mid];
+        let st = stress_at(&self.mesh_tsv, &self.materials, &self.u_tsv, 1.0, q)
+            .expect("materials registered")
+            .expect("array meshes have no voids");
+        let ss = stress_at(&self.mesh_si, &self.materials, &self.u_si, 1.0, q)
+            .expect("materials registered")
+            .expect("array meshes have no voids");
+        let mut out = [0.0; 6];
+        for c in 0..6 {
+            out[c] = st.tensor[c] - ss.tensor[c];
+        }
+        out
+    }
+}
+
+/// The linear superposition baseline solver.
+///
+/// # Example
+///
+/// ```no_run
+/// use morestress_fem::MaterialSet;
+/// use morestress_mesh::{BlockKind, BlockLayout, BlockResolution, TsvGeometry};
+/// use morestress_superpos::SuperpositionSolver;
+///
+/// # fn main() -> Result<(), morestress_fem::FemError> {
+/// let geom = TsvGeometry::paper_defaults(15.0);
+/// let solver = SuperpositionSolver::build(
+///     &geom,
+///     &BlockResolution::coarse(),
+///     &MaterialSet::tsv_defaults(),
+/// )?;
+/// let layout = BlockLayout::uniform(10, 10, BlockKind::Tsv);
+/// let field = solver.evaluate_array(&layout, -250.0, 20);
+/// assert!(field.max() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SuperpositionSolver {
+    geom: TsvGeometry,
+    kernel: StressKernel,
+    /// Uniform background stress (ΔT = 1) of the clamped pure-Si slab,
+    /// sampled at the domain center.
+    background: [f64; 6],
+    /// Cost accounting.
+    pub stats: SuperpositionStats,
+}
+
+impl SuperpositionSolver {
+    /// One-shot kernel construction: a high-fidelity FEM solve of one TSV in
+    /// a 3×3-block silicon domain (clamped top/bottom), minus the pure-Si
+    /// solution of the same domain. Both solves use ΔT = 1; evaluation
+    /// scales linearly with the actual thermal load.
+    ///
+    /// # Errors
+    ///
+    /// Propagates FEM failures.
+    pub fn build(
+        geom: &TsvGeometry,
+        res: &BlockResolution,
+        materials: &MaterialSet,
+    ) -> Result<Self, FemError> {
+        let start = Instant::now();
+        let layout = BlockLayout::uniform(1, 1, BlockKind::Tsv).padded(1);
+        let pure = BlockLayout::uniform(3, 3, BlockKind::Dummy);
+        let p = geom.pitch;
+        let z_mid = 0.5 * geom.height;
+
+        let solve = |layout: &BlockLayout| -> Result<(morestress_mesh::HexMesh, Vec<f64>), FemError> {
+            let mesh = array_mesh(geom, res, layout);
+            let (_, _, npz) = mesh.lattice_dims();
+            let mut bcs = DirichletBcs::new();
+            bcs.clamp_nodes(&mesh.plane_nodes(2, 0));
+            bcs.clamp_nodes(&mesh.plane_nodes(2, npz - 1));
+            let sol = solve_thermal_stress(&mesh, materials, 1.0, &bcs, LinearSolver::Auto)?;
+            Ok((mesh, sol.displacement))
+        };
+        let (mesh_tsv, u_tsv) = solve(&layout)?;
+        let (mesh_si, u_si) = solve(&pure)?;
+
+        let background = stress_at(&mesh_si, materials, &u_si, 1.0, [1.5 * p, 1.5 * p, z_mid])?
+            .expect("center of the pure-Si domain")
+            .tensor;
+
+        let kernel_bytes = u_tsv.heap_bytes() + u_si.heap_bytes();
+        let kernel = StressKernel {
+            extent: 1.5 * p,
+            z_mid,
+            center: 1.5 * p,
+            mesh_tsv,
+            u_tsv,
+            mesh_si,
+            u_si,
+            materials: materials.clone(),
+        };
+        Ok(Self {
+            geom: *geom,
+            kernel,
+            background,
+            stats: SuperpositionStats {
+                build_time: start.elapsed(),
+                kernel_bytes,
+            },
+        })
+    }
+
+    /// The TSV geometry the kernel was built for.
+    pub fn geometry(&self) -> &TsvGeometry {
+        &self.geom
+    }
+
+    /// Superposed stress tensor at mid-plane point `(x, y)` of an array,
+    /// given a background tensor for that point (both at thermal load
+    /// `delta_t`; the kernel is scaled internally).
+    fn tensor_at(
+        &self,
+        layout: &BlockLayout,
+        delta_t: f64,
+        background: [f64; 6],
+        x: f64,
+        y: f64,
+    ) -> [f64; 6] {
+        let p = self.geom.pitch;
+        let mut sigma = background;
+        // Only TSVs whose kernel support covers (x, y) can contribute.
+        let reach = (self.kernel.extent / p).ceil() as isize;
+        let bi0 = (x / p).floor() as isize;
+        let bj0 = (y / p).floor() as isize;
+        for bj in (bj0 - reach)..=(bj0 + reach) {
+            for bi in (bi0 - reach)..=(bi0 + reach) {
+                if bi < 0 || bj < 0 || bi as usize >= layout.nx() || bj as usize >= layout.ny() {
+                    continue;
+                }
+                if layout.kind(bi as usize, bj as usize) != BlockKind::Tsv {
+                    continue;
+                }
+                let cx = (bi as f64 + 0.5) * p;
+                let cy = (bj as f64 + 0.5) * p;
+                let k = self.kernel.eval(x - cx, y - cy);
+                for c in 0..6 {
+                    sigma[c] += delta_t * k[c];
+                }
+            }
+        }
+        sigma
+    }
+
+    /// Evaluates the superposed mid-plane von Mises field of an array with
+    /// the uniform clamped-slab background (scenario 1 of the paper).
+    pub fn evaluate_array(
+        &self,
+        layout: &BlockLayout,
+        delta_t: f64,
+        samples_per_block: usize,
+    ) -> ScalarField2d {
+        let bg = self.background;
+        self.evaluate_array_with_background(layout, delta_t, samples_per_block, |_| {
+            let mut t = [0.0; 6];
+            for c in 0..6 {
+                t[c] = delta_t * bg[c];
+            }
+            t
+        })
+    }
+
+    /// Evaluates the superposed field with a caller-supplied background
+    /// stress (already scaled to the actual thermal load), e.g. interpolated
+    /// from a coarse chiplet solution (scenario 2).
+    pub fn evaluate_array_with_background<F>(
+        &self,
+        layout: &BlockLayout,
+        delta_t: f64,
+        samples_per_block: usize,
+        background: F,
+    ) -> ScalarField2d
+    where
+        F: Fn([f64; 3]) -> [f64; 6],
+    {
+        let p = self.geom.pitch;
+        let z_mid = 0.5 * self.geom.height;
+        let grid = PlaneGrid::new(
+            [0.0, 0.0],
+            [p * layout.nx() as f64, p * layout.ny() as f64],
+            z_mid,
+            samples_per_block * layout.nx(),
+            samples_per_block * layout.ny(),
+        );
+        let [nx, ny] = grid.samples;
+        let mut values = Vec::with_capacity(nx * ny);
+        for j in 0..ny {
+            for i in 0..nx {
+                let pt = grid.point(i, j);
+                let bg = background(pt);
+                let sigma = self.tensor_at(layout, delta_t, bg, pt[0], pt[1]);
+                values.push(StressSample::from_tensor(sigma).von_mises);
+            }
+        }
+        ScalarField2d { grid, values }
+    }
+}
+
+/// Convenience: the full-FEM reference field for an array under scenario-1
+/// boundary conditions, used by tests and the benchmark harness to score
+/// both the baseline and the ROM.
+///
+/// # Errors
+///
+/// Propagates FEM failures.
+pub fn reference_midplane_field(
+    geom: &TsvGeometry,
+    res: &BlockResolution,
+    materials: &MaterialSet,
+    layout: &BlockLayout,
+    delta_t: f64,
+    samples_per_block: usize,
+    solver: LinearSolver,
+) -> Result<(ScalarField2d, morestress_fem::SolveStats), FemError> {
+    let mesh = array_mesh(geom, res, layout);
+    let (_, _, npz) = mesh.lattice_dims();
+    let mut bcs = DirichletBcs::new();
+    bcs.clamp_nodes(&mesh.plane_nodes(2, 0));
+    bcs.clamp_nodes(&mesh.plane_nodes(2, npz - 1));
+    let sol = solve_thermal_stress(&mesh, materials, delta_t, &bcs, solver)?;
+    let p = geom.pitch;
+    let grid = PlaneGrid::new(
+        [0.0, 0.0],
+        [p * layout.nx() as f64, p * layout.ny() as f64],
+        0.5 * geom.height,
+        samples_per_block * layout.nx(),
+        samples_per_block * layout.ny(),
+    );
+    let field = sample_von_mises(&mesh, materials, &sol.displacement, delta_t, &grid)?;
+    Ok((field, sol.stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morestress_fem::normalized_mae;
+
+    fn build_coarse(pitch: f64) -> SuperpositionSolver {
+        SuperpositionSolver::build(
+            &TsvGeometry::paper_defaults(pitch),
+            &BlockResolution::coarse(),
+            &MaterialSet::tsv_defaults(),
+        )
+        .expect("kernel build")
+    }
+
+    #[test]
+    fn kernel_decays_away_from_the_via() {
+        let s = build_coarse(15.0);
+        let near = s.kernel.eval(3.5, 0.0);
+        let far = s.kernel.eval(14.0, 14.0);
+        let mag = |t: &[f64; 6]| t.iter().map(|v| v.abs()).fold(0.0, f64::max);
+        assert!(
+            mag(&near) > 5.0 * mag(&far),
+            "kernel should decay: near {} far {}",
+            mag(&near),
+            mag(&far)
+        );
+    }
+
+    #[test]
+    fn kernel_is_zero_outside_support() {
+        let s = build_coarse(15.0);
+        assert_eq!(s.kernel.eval(23.0, 0.0), [0.0; 6]);
+        assert_eq!(s.kernel.eval(0.0, -30.0), [0.0; 6]);
+    }
+
+    #[test]
+    fn single_tsv_array_reproduces_reference_well() {
+        // For a 3×3 array with ONE central TSV, superposition is nearly
+        // exact by construction (it is the very problem the kernel was
+        // extracted from).
+        let geom = TsvGeometry::paper_defaults(15.0);
+        let res = BlockResolution::coarse();
+        let mats = MaterialSet::tsv_defaults();
+        let s = SuperpositionSolver::build(&geom, &res, &mats).unwrap();
+        let layout = BlockLayout::uniform(1, 1, BlockKind::Tsv).padded(1);
+        let field = s.evaluate_array(&layout, -250.0, 10);
+        let (reference, _) = reference_midplane_field(
+            &geom,
+            &res,
+            &mats,
+            &layout,
+            -250.0,
+            10,
+            LinearSolver::DirectCholesky,
+        )
+        .unwrap();
+        let err = normalized_mae(&field, &reference);
+        assert!(err < 0.05, "single-TSV superposition error {err}");
+    }
+
+    #[test]
+    fn dense_array_error_grows_when_pitch_shrinks() {
+        // The paper's headline failure mode of the baseline: tighter pitch →
+        // stronger neglected coupling → larger error. On a small 3×3 test
+        // array the free lateral edges dominate the whole-field MAE, so the
+        // comparison is restricted to the central block, where coupling is
+        // the only error source.
+        let res = BlockResolution::coarse();
+        let mats = MaterialSet::tsv_defaults();
+        let g = 8;
+        let mut errs = Vec::new();
+        for pitch in [15.0, 10.0] {
+            let geom = TsvGeometry::paper_defaults(pitch);
+            let s = SuperpositionSolver::build(&geom, &res, &mats).unwrap();
+            let layout = BlockLayout::uniform(3, 3, BlockKind::Tsv);
+            let field = s.evaluate_array(&layout, -250.0, g).subregion(g, g, g, g);
+            let (reference, _) = reference_midplane_field(
+                &geom,
+                &res,
+                &mats,
+                &layout,
+                -250.0,
+                g,
+                LinearSolver::DirectCholesky,
+            )
+            .unwrap();
+            errs.push(normalized_mae(&field, &reference.subregion(g, g, g, g)));
+        }
+        assert!(
+            errs[1] > errs[0],
+            "p=10 interior error {} should exceed p=15 interior error {}",
+            errs[1],
+            errs[0]
+        );
+    }
+
+    #[test]
+    fn evaluation_is_linear_in_thermal_load() {
+        let s = build_coarse(15.0);
+        let layout = BlockLayout::uniform(2, 2, BlockKind::Tsv);
+        let f1 = s.evaluate_array(&layout, -125.0, 6);
+        let f2 = s.evaluate_array(&layout, -250.0, 6);
+        for (a, b) in f1.values.iter().zip(&f2.values) {
+            assert!((2.0 * a - b).abs() < 1e-9 * b.abs().max(1.0));
+        }
+    }
+}

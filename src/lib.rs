@@ -1,0 +1,66 @@
+//! **MORE-Stress** — Model Order Reduction based Efficient Numerical
+//! Algorithm for Thermal Stress Simulation of TSV Arrays in 2.5D/3D IC.
+//!
+//! A from-scratch Rust reproduction of the DATE 2025 paper by Zhu, Wang,
+//! Lin, Wang and Huang (arXiv:2411.12690). This facade crate re-exports the
+//! whole workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`rom`] | `morestress-core` | the MORE-Stress algorithm (local stage, global stage, sub-modeling, reconstruction) |
+//! | [`fem`] | `morestress-fem` | the full-FEM reference solver ("ANSYS substitute"), materials, stress recovery |
+//! | [`mesh`] | `morestress-mesh` | graded structured hex meshes of unit blocks, arrays and chiplet stacks |
+//! | [`linalg`] | `morestress-linalg` | CSR, sparse Cholesky, CG, GMRES, RCM ordering |
+//! | [`superpos`] | `morestress-superpos` | the linear-superposition baseline |
+//! | [`chiplet`] | `morestress-chiplet` | the coarse package model driving sub-modeling |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use more_stress::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // One-shot local stage for the paper's TSV (d=5, h=50, t=0.5, p=15 µm).
+//! let geom = TsvGeometry::paper_defaults(15.0);
+//! let sim = MoreStressSimulator::build(
+//!     &geom,
+//!     &BlockResolution::coarse(),
+//!     InterpolationGrid::new([3, 3, 3]),
+//!     &MaterialSet::tsv_defaults(),
+//!     &SimulatorOptions::default(),
+//! )?;
+//! // Global stage: any array size / thermal load, in milliseconds.
+//! let layout = BlockLayout::uniform(5, 5, BlockKind::Tsv);
+//! let solution = sim.solve_array(&layout, -250.0, &GlobalBc::ClampedTopBottom)?;
+//! let stress = sim.sample_midplane(&layout, &solution, -250.0, 10)?;
+//! println!("peak von Mises: {:.1} MPa", stress.max());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use morestress_chiplet as chiplet;
+pub use morestress_core as rom;
+pub use morestress_fem as fem;
+pub use morestress_linalg as linalg;
+pub use morestress_mesh as mesh;
+pub use morestress_superpos as superpos;
+
+/// The most common imports, bundled.
+pub mod prelude {
+    pub use morestress_chiplet::{
+        standard_locations, ChipletGeometry, ChipletModel, ChipletResolution, Submodel,
+    };
+    pub use morestress_core::{
+        sample_array_von_mises, GlobalBc, GlobalSolution, InterpolationGrid, LocalStage,
+        LocalStageOptions, MoreStressSimulator, ReducedOrderModel, RomSolver, SimulatorOptions,
+    };
+    pub use morestress_fem::{
+        normalized_mae, sample_von_mises, solve_thermal_stress, stress_at, write_field_csv,
+        write_vtk, DirichletBcs, LinearSolver, Material, MaterialSet, PlaneGrid, ScalarField2d,
+        StressSample,
+    };
+    pub use morestress_mesh::{
+        array_mesh, unit_block_mesh, BlockKind, BlockLayout, BlockResolution, TsvGeometry,
+    };
+    pub use morestress_superpos::{reference_midplane_field, SuperpositionSolver};
+}

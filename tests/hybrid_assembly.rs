@@ -1,0 +1,100 @@
+//! Hybrid (TSV + dummy) abstract meshes: §4.4 notes that "the standard
+//! assembly procedure can handle hybrid elements without difficulty" — these
+//! tests hold the reproduction to that claim against full FEM.
+
+use more_stress::prelude::*;
+
+#[test]
+fn checkerboard_hybrid_array_matches_full_fem() {
+    let geom = TsvGeometry::paper_defaults(15.0);
+    let res = BlockResolution::coarse();
+    let mats = MaterialSet::tsv_defaults();
+    let delta_t = -250.0;
+    let g = 8;
+
+    // A 3×3 checkerboard of TSV and dummy blocks.
+    let mut layout = BlockLayout::uniform(3, 3, BlockKind::Tsv);
+    for j in 0..3 {
+        for i in 0..3 {
+            if (i + j) % 2 == 1 {
+                layout.set_kind(i, j, BlockKind::Dummy);
+            }
+        }
+    }
+
+    // Reference: full FEM of the same hybrid domain.
+    let mesh = array_mesh(&geom, &res, &layout);
+    let (_, _, npz) = mesh.lattice_dims();
+    let mut bcs = DirichletBcs::new();
+    bcs.clamp_nodes(&mesh.plane_nodes(2, 0));
+    bcs.clamp_nodes(&mesh.plane_nodes(2, npz - 1));
+    let fem = solve_thermal_stress(&mesh, &mats, delta_t, &bcs, LinearSolver::DirectCholesky)
+        .expect("reference");
+    let grid = PlaneGrid::new(
+        [0.0, 0.0],
+        [45.0, 45.0],
+        0.5 * geom.height,
+        g * 3,
+        g * 3,
+    );
+    let reference =
+        sample_von_mises(&mesh, &mats, &fem.displacement, delta_t, &grid).expect("sampling");
+
+    // ROM with both block kinds.
+    let sim = MoreStressSimulator::build(
+        &geom,
+        &res,
+        InterpolationGrid::new([5, 5, 5]),
+        &mats,
+        &SimulatorOptions {
+            build_dummy: true,
+            ..SimulatorOptions::default()
+        },
+    )
+    .expect("simulator");
+    let sol = sim
+        .solve_array(&layout, delta_t, &GlobalBc::ClampedTopBottom)
+        .expect("rom solve");
+    let field = sim
+        .sample_midplane(&layout, &sol, delta_t, g)
+        .expect("sampling");
+    let err = normalized_mae(&field, &reference);
+    println!("checkerboard hybrid: {:.3}%", err * 100.0);
+    assert!(err < 0.02, "hybrid assembly error {err} should be < 2%");
+}
+
+#[test]
+fn dummy_blocks_carry_much_less_stress() {
+    let geom = TsvGeometry::paper_defaults(15.0);
+    let mats = MaterialSet::tsv_defaults();
+    let mut layout = BlockLayout::uniform(2, 1, BlockKind::Tsv);
+    layout.set_kind(1, 0, BlockKind::Dummy);
+    let sim = MoreStressSimulator::build(
+        &geom,
+        &BlockResolution::coarse(),
+        InterpolationGrid::new([4, 4, 4]),
+        &mats,
+        &SimulatorOptions {
+            build_dummy: true,
+            ..SimulatorOptions::default()
+        },
+    )
+    .expect("simulator");
+    let sol = sim
+        .solve_array(&layout, -250.0, &GlobalBc::ClampedTopBottom)
+        .expect("solve");
+    let field = sim
+        .sample_midplane(&layout, &sol, -250.0, 10)
+        .expect("sampling");
+    // Peak in the TSV half vs peak in the dummy half.
+    let tsv_half = field.subregion(0, 0, 10, 10);
+    let dummy_half = field.subregion(10, 0, 10, 10);
+    // The dummy half still carries the clamped-slab background plus the
+    // neighbor TSV's spillover, so the contrast is bounded (~3x here).
+    assert!(
+        tsv_half.max() > 2.5 * dummy_half.max(),
+        "TSV half {} should dominate dummy half {}",
+        tsv_half.max(),
+        dummy_half.max()
+    );
+}

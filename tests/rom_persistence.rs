@@ -1,0 +1,108 @@
+//! ROM save/load: the one-shot local stage is expensive, so its output is
+//! persistable; a reloaded model must answer global problems identically.
+
+use more_stress::prelude::*;
+use more_stress::rom::RomError;
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("morestress-persist-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn save_load_roundtrip_preserves_solutions() {
+    let geom = TsvGeometry::paper_defaults(15.0);
+    let rom = LocalStage::new(
+        &geom,
+        &BlockResolution::coarse(),
+        InterpolationGrid::new([3, 3, 3]),
+        &MaterialSet::tsv_defaults(),
+        BlockKind::Tsv,
+    )
+    .build(&LocalStageOptions::default())
+    .expect("local stage");
+
+    let path = temp_path("roundtrip.rom");
+    rom.save(&path).expect("save");
+    let loaded = ReducedOrderModel::load(&path).expect("load");
+
+    assert_eq!(loaded.kind(), rom.kind());
+    assert_eq!(loaded.num_dofs(), rom.num_dofs());
+    assert_eq!(loaded.geometry(), rom.geometry());
+
+    let layout = BlockLayout::uniform(2, 2, BlockKind::Tsv);
+    let a = MoreStressSimulator::from_models(rom, None, RomSolver::default())
+        .expect("simulator")
+        .solve_array(&layout, -250.0, &GlobalBc::ClampedTopBottom)
+        .expect("solve");
+    let b = MoreStressSimulator::from_models(loaded, None, RomSolver::default())
+        .expect("simulator")
+        .solve_array(&layout, -250.0, &GlobalBc::ClampedTopBottom)
+        .expect("solve");
+    for (x, y) in a
+        .nodal_displacement()
+        .iter()
+        .zip(b.nodal_displacement())
+    {
+        assert_eq!(x, y, "bitwise identical solutions after reload");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn malformed_files_are_rejected() {
+    let path = temp_path("garbage.rom");
+    std::fs::write(&path, b"this is not a rom file at all").expect("write");
+    match ReducedOrderModel::load(&path) {
+        Err(RomError::Format(_)) => {}
+        other => panic!("expected Format error, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn truncated_files_are_rejected() {
+    let geom = TsvGeometry::paper_defaults(15.0);
+    let rom = LocalStage::new(
+        &geom,
+        &BlockResolution::coarse(),
+        InterpolationGrid::new([2, 2, 2]),
+        &MaterialSet::tsv_defaults(),
+        BlockKind::Dummy,
+    )
+    .build(&LocalStageOptions::default())
+    .expect("local stage");
+    let path = temp_path("truncated.rom");
+    rom.save(&path).expect("save");
+    let bytes = std::fs::read(&path).expect("read");
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
+    assert!(
+        ReducedOrderModel::load(&path).is_err(),
+        "truncated file must not load"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn incompatible_models_are_rejected_by_simulator() {
+    let geom = TsvGeometry::paper_defaults(15.0);
+    let mats = MaterialSet::tsv_defaults();
+    let build = |m: usize, kind: BlockKind| {
+        LocalStage::new(
+            &geom,
+            &BlockResolution::coarse(),
+            InterpolationGrid::new([m, m, m]),
+            &mats,
+            kind,
+        )
+        .build(&LocalStageOptions::default())
+        .expect("local stage")
+    };
+    let tsv = build(3, BlockKind::Tsv);
+    let dummy_wrong_grid = build(2, BlockKind::Dummy);
+    match MoreStressSimulator::from_models(tsv, Some(dummy_wrong_grid), RomSolver::default()) {
+        Err(RomError::Mismatch(_)) => {}
+        other => panic!("expected Mismatch, got {:?}", other.map(|_| ())),
+    }
+}

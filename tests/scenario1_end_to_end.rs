@@ -1,0 +1,118 @@
+//! End-to-end scenario 1 (standalone clamped arrays): MORE-Stress must beat
+//! the linear-superposition baseline where coupling matters, at comparable
+//! cost, with errors against our full-FEM reference — the qualitative
+//! content of the paper's Table 1.
+
+use more_stress::prelude::*;
+
+#[test]
+fn rom_beats_superposition_on_dense_array() {
+    // p = 10 µm is the paper's hard case: adjacent-TSV coupling is strong.
+    let geom = TsvGeometry::paper_defaults(10.0);
+    let res = BlockResolution::coarse();
+    let mats = MaterialSet::tsv_defaults();
+    let delta_t = -250.0;
+    let layout = BlockLayout::uniform(3, 3, BlockKind::Tsv);
+    let g = 10;
+
+    let (reference, _) = reference_midplane_field(
+        &geom,
+        &res,
+        &mats,
+        &layout,
+        delta_t,
+        g,
+        LinearSolver::DirectCholesky,
+    )
+    .expect("reference");
+
+    let sim = MoreStressSimulator::build(
+        &geom,
+        &res,
+        InterpolationGrid::new([5, 5, 5]),
+        &mats,
+        &SimulatorOptions::default(),
+    )
+    .expect("simulator");
+    let solution = sim
+        .solve_array(&layout, delta_t, &GlobalBc::ClampedTopBottom)
+        .expect("rom solve");
+    let rom_field = sim
+        .sample_midplane(&layout, &solution, delta_t, g)
+        .expect("rom sampling");
+    let rom_err = normalized_mae(&rom_field, &reference);
+
+    let superpos = SuperpositionSolver::build(&geom, &res, &mats).expect("kernel");
+    let ls_field = superpos.evaluate_array(&layout, delta_t, g);
+    let ls_err = normalized_mae(&ls_field, &reference);
+
+    println!("p=10 3x3: ROM {:.3}%, LS {:.3}%", rom_err * 100.0, ls_err * 100.0);
+    assert!(rom_err < ls_err, "ROM {rom_err} must beat superposition {ls_err}");
+    assert!(rom_err < 0.02, "ROM error {rom_err} should be below 2%");
+}
+
+#[test]
+fn rom_reuses_one_local_stage_for_many_problems() {
+    // The one-shot property: a single ROM answers different array sizes and
+    // thermal loads; responses are linear in ΔT.
+    let geom = TsvGeometry::paper_defaults(15.0);
+    let sim = MoreStressSimulator::build(
+        &geom,
+        &BlockResolution::coarse(),
+        InterpolationGrid::new([3, 3, 3]),
+        &MaterialSet::tsv_defaults(),
+        &SimulatorOptions::default(),
+    )
+    .expect("simulator");
+
+    let small = BlockLayout::uniform(2, 2, BlockKind::Tsv);
+    let large = BlockLayout::uniform(6, 3, BlockKind::Tsv);
+    for layout in [&small, &large] {
+        let a = sim
+            .solve_array(layout, -125.0, &GlobalBc::ClampedTopBottom)
+            .expect("solve");
+        let b = sim
+            .solve_array(layout, -250.0, &GlobalBc::ClampedTopBottom)
+            .expect("solve");
+        let peak = b
+            .nodal_displacement()
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()));
+        assert!(peak > 0.0);
+        for (x, y) in a.nodal_displacement().iter().zip(b.nodal_displacement()) {
+            assert!(
+                (2.0 * x - y).abs() < 1e-8 * peak.max(1e-30),
+                "linearity in thermal load"
+            );
+        }
+    }
+}
+
+#[test]
+fn global_stage_cost_grows_mildly_with_array_size() {
+    // The global-system DoF count grows like the array area × surface nodes,
+    // orders of magnitude below fine-mesh DoFs — the root of the speedup.
+    let geom = TsvGeometry::paper_defaults(15.0);
+    let res = BlockResolution::coarse();
+    let sim = MoreStressSimulator::build(
+        &geom,
+        &res,
+        InterpolationGrid::new([4, 4, 4]),
+        &MaterialSet::tsv_defaults(),
+        &SimulatorOptions::default(),
+    )
+    .expect("simulator");
+    let fine_dofs_per_block = sim.tsv_model().local_stats.fine_dofs;
+    for size in [4usize, 8] {
+        let layout = BlockLayout::uniform(size, size, BlockKind::Tsv);
+        let sol = sim
+            .solve_array(&layout, -250.0, &GlobalBc::ClampedTopBottom)
+            .expect("solve");
+        let full_fem_dofs = fine_dofs_per_block * size * size; // upper bound
+        assert!(
+            sol.stats.total_dofs * 10 < full_fem_dofs,
+            "{size}x{size}: reduced DoFs {} not ≪ fine DoFs {full_fem_dofs}",
+            sol.stats.total_dofs
+        );
+    }
+}
