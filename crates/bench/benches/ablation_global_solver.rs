@@ -2,10 +2,16 @@
 //! system. The global operator is SPD (Galerkin projection of SPD
 //! elasticity), so CG is admissible; the bench shows whether the paper's
 //! GMRES pick costs anything.
+//!
+//! A second group measures the batched multi-load path: `solve_many` (one
+//! assembly + one prepared factorization + k cheap solves, optionally with
+//! a warm `FactorCache`) against a loop of independent `solve` calls — the
+//! paper's Table 1/2 many-load workload.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use morestress_bench::{one_shot, Scale, DELTA_T};
 use morestress_core::{GlobalBc, GlobalStage, RomSolver};
+use morestress_linalg::FactorCache;
 use morestress_mesh::{BlockKind, BlockLayout, TsvGeometry};
 
 fn bench_global_solver(c: &mut Criterion) {
@@ -38,5 +44,73 @@ fn bench_global_solver(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_global_solver);
+fn bench_batched_loads(c: &mut Criterion) {
+    let scale = Scale::small();
+    let geom = TsvGeometry::paper_defaults(15.0);
+    let shot = one_shot(&geom, &scale, false).expect("one-shot stage");
+    let layout = BlockLayout::uniform(6, 6, BlockKind::Tsv);
+    let bc = GlobalBc::ClampedTopBottom;
+    // A thermal sweep: 8 distinct loads on one lattice.
+    let loads: Vec<f64> = (0..8).map(|k| -250.0 + 40.0 * k as f64).collect();
+
+    let mut group = c.benchmark_group("ablation_batched_loads");
+    group.sample_size(10);
+    for (name, solver) in [
+        ("cholesky", RomSolver::DirectCholesky),
+        ("gmres", RomSolver::Gmres { tol: 1e-9 }),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("solve_loop", name),
+            &solver,
+            |b, solver| {
+                b.iter(|| {
+                    loads
+                        .iter()
+                        .map(|&dt| {
+                            GlobalStage::new(shot.sim.tsv_model())
+                                .with_solver(*solver)
+                                .solve(&layout, dt, &bc)
+                                .expect("global solve")
+                        })
+                        .collect::<Vec<_>>()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("solve_many", name),
+            &solver,
+            |b, solver| {
+                b.iter(|| {
+                    GlobalStage::new(shot.sim.tsv_model())
+                        .with_solver(*solver)
+                        .solve_many(&layout, &loads, &bc)
+                        .expect("batched global solve")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("solve_many_cached", name),
+            &solver,
+            |b, solver| {
+                let cache = FactorCache::new();
+                // Warm the cache once; timed iterations then skip preparation.
+                GlobalStage::new(shot.sim.tsv_model())
+                    .with_solver(*solver)
+                    .with_cache(&cache)
+                    .solve_many(&layout, &loads, &bc)
+                    .expect("warm-up solve");
+                b.iter(|| {
+                    GlobalStage::new(shot.sim.tsv_model())
+                        .with_solver(*solver)
+                        .with_cache(&cache)
+                        .solve_many(&layout, &loads, &bc)
+                        .expect("batched global solve")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_global_solver, bench_batched_loads);
 criterion_main!(benches);

@@ -27,7 +27,9 @@ fn bench_ordering(c: &mut Criterion) {
     }
     let a_ff = sys.stiffness.extract(&free, &col_map, free.len());
 
-    let fill_rcm = SparseCholesky::factor(&a_ff).expect("rcm factor").factor_nnz();
+    let fill_rcm = SparseCholesky::factor(&a_ff)
+        .expect("rcm factor")
+        .factor_nnz();
     let fill_nat = SparseCholesky::factor_natural(&a_ff)
         .expect("natural factor")
         .factor_nnz();

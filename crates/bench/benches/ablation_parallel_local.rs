@@ -27,9 +27,7 @@ fn bench_parallel_local(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("local_stage", threads),
             &threads,
-            |b, &threads| {
-                b.iter(|| stage.build(&LocalStageOptions { threads }).expect("build"))
-            },
+            |b, &threads| b.iter(|| stage.build(&LocalStageOptions { threads }).expect("build")),
         );
     }
     group.finish();

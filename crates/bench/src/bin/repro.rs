@@ -211,7 +211,10 @@ fn table3(scale: &Scale, as_figure: bool) {
     let series = table3_series(&geom, scale).expect("table3 series");
     if as_figure {
         println!("\n== Fig. 6: error & runtime vs element DoFs n (log-scale error) ==");
-        println!("{:>6} {:>8} {:>12} {:>14}", "n", "error%", "global", "(nx,ny,nz)");
+        println!(
+            "{:>6} {:>8} {:>12} {:>14}",
+            "n", "error%", "global", "(nx,ny,nz)"
+        );
         for p in &series {
             println!(
                 "{:>6} {:>8.3} {:>12.2?}   ({m},{m},{m})",

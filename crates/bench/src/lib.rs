@@ -18,7 +18,9 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use morestress_chiplet::{standard_locations, ChipletGeometry, ChipletModel, ChipletResolution, Submodel};
+use morestress_chiplet::{
+    standard_locations, ChipletGeometry, ChipletModel, ChipletResolution, Submodel,
+};
 use morestress_core::{
     GlobalBc, InterpolationGrid, MoreStressSimulator, RomError, SimulatorOptions,
 };
@@ -223,7 +225,9 @@ pub fn table1_row(
     };
 
     let t0 = Instant::now();
-    let ls_field = shot.superpos.evaluate_array(&layout, DELTA_T, scale.samples);
+    let ls_field = shot
+        .superpos
+        .evaluate_array(&layout, DELTA_T, scale.samples);
     let ls_time = t0.elapsed();
     let ls = Measurement {
         time: ls_time,
@@ -278,13 +282,8 @@ pub fn table2_setup(geom: &TsvGeometry, scale: &Scale) -> Result<Table2Setup, Ro
     let mats = MaterialSet::tsv_defaults();
     let chiplet_geom = ChipletGeometry::bench_defaults();
     let chiplet = Arc::new(
-        ChipletModel::solve(
-            &chiplet_geom,
-            &ChipletResolution::coarse(),
-            &mats,
-            DELTA_T,
-        )
-        .map_err(RomError::Fem)?,
+        ChipletModel::solve(&chiplet_geom, &ChipletResolution::coarse(), &mats, DELTA_T)
+            .map_err(RomError::Fem)?,
     );
     let layout = BlockLayout::uniform(scale.table2_core, scale.table2_core, BlockKind::Tsv)
         .padded(scale.table2_rings);
@@ -311,11 +310,7 @@ pub fn table2_row(
     loc_index: usize,
 ) -> Result<Row, RomError> {
     let mats = MaterialSet::tsv_defaults();
-    let sub = Submodel::new(
-        &setup.chiplet,
-        setup.locations[loc_index],
-        setup.array_size,
-    );
+    let sub = Submodel::new(&setup.chiplet, setup.locations[loc_index], setup.array_size);
     let layout = &setup.layout;
 
     // Reference: full FEM of the sub-model with coarse boundary data.

@@ -22,7 +22,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use morestress_fem::{
-    solve_thermal_stress, stress_at, DirichletBcs, FemError, LinearSolver, MaterialSet,
+    solve_thermal_stress_many, stress_at, DirichletBcs, FemError, LinearSolver, MaterialSet,
     StressSample,
 };
 use morestress_mesh::{Grid1d, HexMesh, MAT_ORGANIC, MAT_SI};
@@ -128,7 +128,7 @@ impl ChipletResolution {
 pub struct ChipletModel {
     geometry: ChipletGeometry,
     materials: MaterialSet,
-    mesh: HexMesh,
+    mesh: Arc<HexMesh>,
     displacement: Vec<f64>,
     delta_t: f64,
     /// Wall time of the coarse solve.
@@ -155,6 +155,74 @@ impl ChipletModel {
         materials: &MaterialSet,
         delta_t: f64,
     ) -> Result<Self, FemError> {
+        Self::solve_with(geometry, resolution, materials, delta_t, LinearSolver::Auto)
+    }
+
+    /// Like [`ChipletModel::solve`], with an explicit solver selection
+    /// (routed through the unified `morestress-linalg` backend layer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates FEM failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid.
+    pub fn solve_with(
+        geometry: &ChipletGeometry,
+        resolution: &ChipletResolution,
+        materials: &MaterialSet,
+        delta_t: f64,
+        solver: LinearSolver,
+    ) -> Result<Self, FemError> {
+        let mut models =
+            Self::solve_many_with(geometry, resolution, materials, &[delta_t], solver)?;
+        Ok(models.pop().expect("one load in, one model out"))
+    }
+
+    /// Solves the coarse chiplet for several thermal loads at once: the
+    /// mesh is built and the stiffness factored once, then all loads are
+    /// solved through the batched multi-RHS backend path. Returns one model
+    /// per entry of `delta_ts`, in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates FEM failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid.
+    pub fn solve_many(
+        geometry: &ChipletGeometry,
+        resolution: &ChipletResolution,
+        materials: &MaterialSet,
+        delta_ts: &[f64],
+    ) -> Result<Vec<Self>, FemError> {
+        Self::solve_many_with(
+            geometry,
+            resolution,
+            materials,
+            delta_ts,
+            LinearSolver::Auto,
+        )
+    }
+
+    /// [`ChipletModel::solve_many`] with an explicit solver selection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates FEM failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid.
+    pub fn solve_many_with(
+        geometry: &ChipletGeometry,
+        resolution: &ChipletResolution,
+        materials: &MaterialSet,
+        delta_ts: &[f64],
+        solver: LinearSolver,
+    ) -> Result<Vec<Self>, FemError> {
         geometry.validate().expect("invalid chiplet geometry");
         let start = Instant::now();
         let g = *geometry;
@@ -216,7 +284,8 @@ impl ChipletModel {
         let center = 0.5 * g.substrate_size;
         let mesh = HexMesh::from_grids(lateral.clone(), lateral, zgrid, move |c| {
             let [x, y, z] = c;
-            let half = |size: f64| (x - center).abs() < 0.5 * size && (y - center).abs() < 0.5 * size;
+            let half =
+                |size: f64| (x - center).abs() < 0.5 * size && (y - center).abs() < 0.5 * size;
             if z < z1 {
                 Some(MAT_ORGANIC)
             } else if z < z2 {
@@ -241,15 +310,22 @@ impl ChipletModel {
         bcs.set_dof(3 * b + 2, 0.0); // u_z = 0
         bcs.set_dof(3 * c + 2, 0.0); // u_z = 0
 
-        let sol = solve_thermal_stress(&mesh, materials, delta_t, &bcs, LinearSolver::Auto)?;
-        Ok(Self {
-            geometry: g,
-            materials: materials.clone(),
-            mesh,
-            displacement: sol.displacement,
-            delta_t,
-            solve_time: start.elapsed(),
-        })
+        let solutions = solve_thermal_stress_many(&mesh, materials, delta_ts, &bcs, solver)?;
+        // Split the batch wall time evenly so per-model costs stay summable.
+        let solve_time = start.elapsed() / solutions.len().max(1) as u32;
+        let mesh = Arc::new(mesh);
+        Ok(solutions
+            .into_iter()
+            .zip(delta_ts)
+            .map(|(sol, &delta_t)| Self {
+                geometry: g,
+                materials: materials.clone(),
+                mesh: Arc::clone(&mesh),
+                displacement: sol.displacement,
+                delta_t,
+                solve_time,
+            })
+            .collect())
     }
 
     /// The chiplet geometry.
@@ -402,9 +478,7 @@ pub fn standard_locations(geometry: &ChipletGeometry, array_size: f64) -> [[f64;
     let inter_hi = inter_lo + geometry.interposer_size;
     let die_hi = center + 0.5 * geometry.die_size;
     let margin = 0.02 * geometry.interposer_size;
-    let clamp = |v: f64| {
-        v.clamp(inter_lo + margin, inter_hi - margin - array_size)
-    };
+    let clamp = |v: f64| v.clamp(inter_lo + margin, inter_hi - margin - array_size);
     let centered = center - 0.5 * array_size;
     [
         // loc1: die-shadow center.
@@ -417,7 +491,10 @@ pub fn standard_locations(geometry: &ChipletGeometry, array_size: f64) -> [[f64;
             clamp(die_hi - 0.5 * array_size),
         ],
         // loc4: between die edge and interposer edge, centered in y.
-        [clamp(0.5 * (die_hi + inter_hi) - 0.5 * array_size), centered],
+        [
+            clamp(0.5 * (die_hi + inter_hi) - 0.5 * array_size),
+            centered,
+        ],
         // loc5: interposer corner.
         [
             clamp(inter_hi - margin - array_size),
@@ -510,7 +587,7 @@ mod tests {
     fn boundary_closure_matches_model_displacement() {
         let model = Arc::new(solve_coarse());
         let g = *model.geometry();
-        let sub = Submodel::new(&model, [900.0, 900.0, ], 75.0);
+        let sub = Submodel::new(&model, [900.0, 900.0], 75.0);
         let f = sub.boundary_displacement(&model);
         let local = [10.0, 20.0, 25.0];
         let direct = model.displacement_at([910.0, 920.0, g.interposer_z()[0] + 25.0]);

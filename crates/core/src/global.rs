@@ -14,8 +14,7 @@ use std::time::{Duration, Instant};
 
 use morestress_fem::{DirichletBcs, ReducedSystem};
 use morestress_linalg::{
-    solve_cg, solve_gmres, CgOptions, CsrMatrix, GmresOptions, JacobiPreconditioner,
-    MemoryFootprint,
+    CgOptions, CsrMatrix, FactorCache, MemoryFootprint, PrecondSpec, SolverBackend,
 };
 use morestress_mesh::{BlockKind, BlockLayout};
 
@@ -44,6 +43,9 @@ impl fmt::Debug for GlobalBc {
 }
 
 /// Which solver the global stage uses.
+///
+/// Every variant maps onto the unified [`SolverBackend`] layer of
+/// `morestress-linalg` via [`RomSolver::backend`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RomSolver {
     /// Jacobi-preconditioned restarted GMRES (the paper's prescription).
@@ -57,11 +59,42 @@ pub enum RomSolver {
         /// Relative residual tolerance.
         tol: f64,
     },
+    /// Direct sparse Cholesky. The paper prefers iterative solvers here
+    /// because *its* global stage solves each system once — but with the
+    /// batched [`GlobalStage::solve_many`] path and the
+    /// [`FactorCache`], one factorization serves every thermal
+    /// load, which flips the economics in favor of the direct solver.
+    DirectCholesky,
+    /// Direct Cholesky for small reduced systems, preconditioned CG above
+    /// the threshold.
+    Auto,
 }
 
 impl Default for RomSolver {
     fn default() -> Self {
         RomSolver::Gmres { tol: 1e-9 }
+    }
+}
+
+impl RomSolver {
+    /// Maps this selection to a `morestress-linalg` solver backend; every
+    /// global-stage solve routes through the returned backend.
+    pub fn backend(&self) -> Box<dyn SolverBackend> {
+        match *self {
+            RomSolver::Gmres { tol } => Box::new(morestress_linalg::Gmres::with_tol(tol)),
+            RomSolver::Cg { tol } => Box::new(morestress_linalg::Cg {
+                opts: CgOptions {
+                    tol,
+                    max_iter: 50_000,
+                },
+                precond: PrecondSpec::Jacobi,
+            }),
+            RomSolver::DirectCholesky => Box::new(morestress_linalg::DirectCholesky::default()),
+            RomSolver::Auto => Box::new(morestress_linalg::Auto {
+                direct_limit: 20_000,
+                tol: 1e-9,
+            }),
+        }
     }
 }
 
@@ -89,11 +122,7 @@ impl GlobalLattice {
     /// `(nx, ny, nz)` and block extents `(p, p, h)`.
     pub fn new(layout: &BlockLayout, interp_counts: [usize; 3], extents: [f64; 3]) -> Self {
         let [nx, ny, nz] = interp_counts;
-        let counts = [
-            (nx - 1) * layout.nx() + 1,
-            (ny - 1) * layout.ny() + 1,
-            nz,
-        ];
+        let counts = [(nx - 1) * layout.nx() + 1, (ny - 1) * layout.ny() + 1, nz];
         let spacing = [
             extents[0] / (nx - 1) as f64,
             extents[1] / (ny - 1) as f64,
@@ -210,8 +239,12 @@ pub struct GlobalStats {
     pub free_dofs: usize,
     /// Stored nonzeros of the reduced global operator.
     pub nnz: usize,
-    /// Iterations of the iterative solver.
+    /// Iterations of the iterative solver (0 for direct solves; for a
+    /// batched solve: summed over the batch).
     pub iterations: usize,
+    /// Name of the solver backend that ran ("cholesky", "cg", "gmres";
+    /// "none" when every DoF was prescribed).
+    pub backend: &'static str,
 }
 
 /// The solved global problem of one array.
@@ -253,6 +286,8 @@ pub struct GlobalStage<'a> {
     rom_tsv: &'a ReducedOrderModel,
     rom_dummy: Option<&'a ReducedOrderModel>,
     solver: RomSolver,
+    cache: Option<&'a FactorCache>,
+    threads: usize,
 }
 
 impl<'a> GlobalStage<'a> {
@@ -262,7 +297,24 @@ impl<'a> GlobalStage<'a> {
             rom_tsv,
             rom_dummy: None,
             solver: RomSolver::default(),
+            cache: None,
+            threads: morestress_linalg::default_solve_threads(),
         }
+    }
+
+    /// Registers a [`FactorCache`]: repeated solves over the same assembled
+    /// operator (same layout, interpolation and boundary-condition kind)
+    /// reuse one prepared factorization / preconditioner.
+    pub fn with_cache(mut self, cache: &'a FactorCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Sets the worker-thread cap for the batched
+    /// [`solve_many`](Self::solve_many) path.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Registers the dummy-block ROM (required for layouts containing
@@ -297,6 +349,31 @@ impl<'a> GlobalStage<'a> {
         delta_t: f64,
         bc: &GlobalBc,
     ) -> Result<GlobalSolution, RomError> {
+        let mut solutions = self.solve_many(layout, &[delta_t], bc)?;
+        Ok(solutions.pop().expect("one load in, one solution out"))
+    }
+
+    /// Assembles and solves the global problem for several thermal loads at
+    /// once: one assembly, one constraint reduction, one solver preparation
+    /// (reused from the [`FactorCache`] when registered), then a
+    /// task-parallel batched solve over all loads.
+    ///
+    /// The assembled operator and the prescribed boundary data do not
+    /// depend on `ΔT` (the load vector is linear in it), so the paper's
+    /// many-load workloads collapse to one factorization plus `k` pairs of
+    /// triangular sweeps. Returns one [`GlobalSolution`] per entry of
+    /// `delta_ts`, in order; the reported [`GlobalStats`] are the batch
+    /// aggregate (shared wall time, summed iterations).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GlobalStage::solve`].
+    pub fn solve_many(
+        &self,
+        layout: &BlockLayout,
+        delta_ts: &[f64],
+        bc: &GlobalBc,
+    ) -> Result<Vec<GlobalSolution>, RomError> {
         let start = Instant::now();
         if layout.count(BlockKind::Dummy) > 0 && self.rom_dummy.is_none() {
             return Err(RomError::Mismatch(
@@ -311,8 +388,7 @@ impl<'a> GlobalStage<'a> {
 
         // --- Node adjacency → DoF sparsity pattern ------------------------
         let mut node_adj: Vec<Vec<usize>> = vec![Vec::new(); lattice.num_nodes()];
-        let mut block_nodes_cache: Vec<Vec<usize>> =
-            Vec::with_capacity(layout.nx() * layout.ny());
+        let mut block_nodes_cache: Vec<Vec<usize>> = Vec::with_capacity(layout.nx() * layout.ny());
         for bj in 0..layout.ny() {
             for bi in 0..layout.nx() {
                 let nodes = lattice.block_nodes(bi, bj);
@@ -339,7 +415,9 @@ impl<'a> GlobalStage<'a> {
         drop(node_adj);
         let mut a_global = CsrMatrix::from_pattern(ndof, ndof, &rows);
         drop(rows);
-        let mut b_global = vec![0.0; ndof];
+        // Unit (ΔT = 1) load: the thermal load is linear in ΔT, so every
+        // requested load is a scalar multiple of this vector.
+        let mut b_unit = vec![0.0; ndof];
 
         // --- Standard assembly over abstract elements ----------------------
         for bj in 0..layout.ny() {
@@ -357,7 +435,7 @@ impl<'a> GlobalStage<'a> {
                     .flat_map(|&m| [3 * m, 3 * m + 1, 3 * m + 2])
                     .collect();
                 for (r, &gr) in dofs.iter().enumerate() {
-                    b_global[gr] += delta_t * b_elem[r];
+                    b_unit[gr] += b_elem[r];
                     let row = a_elem.row(r);
                     for (c, &gc) in dofs.iter().enumerate() {
                         let v = row[c];
@@ -390,7 +468,7 @@ impl<'a> GlobalStage<'a> {
         }
         // A fully-constrained problem (e.g. a single block under sub-model
         // boundary conditions) has no free DoFs: the nodal solution is just
-        // the prescribed data.
+        // the prescribed data, identically for every thermal load.
         if bcs.len() == ndof {
             let mut nodal = vec![0.0; ndof];
             for (dof, v) in bcs.iter() {
@@ -398,53 +476,48 @@ impl<'a> GlobalStage<'a> {
             }
             let stats = GlobalStats {
                 wall_time: start.elapsed(),
-                peak_bytes: a_global.heap_bytes() + b_global.heap_bytes(),
+                peak_bytes: a_global.heap_bytes() + b_unit.heap_bytes(),
                 total_dofs: ndof,
                 free_dofs: 0,
                 nnz: 0,
                 iterations: 0,
+                backend: "none",
             };
-            return Ok(GlobalSolution {
-                lattice,
-                nodal,
-                stats,
-            });
+            return Ok(delta_ts
+                .iter()
+                .map(|_| GlobalSolution {
+                    lattice: lattice.clone(),
+                    nodal: nodal.clone(),
+                    stats,
+                })
+                .collect());
         }
-        let reduced = ReducedSystem::new(&a_global, &b_global, &bcs)?;
+
+        // Reduce once with a zero load: `reduced.rhs` is then exactly the
+        // load-independent lifting term `−A_fb u_b`, and every requested
+        // load is a scalar multiple of the unit load.
+        let zero = vec![0.0; ndof];
+        let reduced = ReducedSystem::new(&a_global, &zero, &bcs)?;
+        let rhs_set = reduced.rhs_for_scaled_loads(&b_unit, delta_ts);
 
         let mut peak_bytes = a_global.heap_bytes()
-            + b_global.heap_bytes()
+            + b_unit.heap_bytes()
             + reduced.a_ff.heap_bytes()
-            + reduced.rhs.heap_bytes()
+            + rhs_set
+                .iter()
+                .map(MemoryFootprint::heap_bytes)
+                .sum::<usize>()
             + self.rom_tsv.heap_bytes()
             + self.rom_dummy.map_or(0, MemoryFootprint::heap_bytes);
 
-        // --- Solve ----------------------------------------------------------
-        let pre = JacobiPreconditioner::new(&reduced.a_ff);
-        let (x, iterations) = match self.solver {
-            RomSolver::Gmres { tol } => {
-                let opts = GmresOptions {
-                    tol,
-                    ..GmresOptions::default()
-                };
-                peak_bytes += (opts.restart + 1) * reduced.num_free() * 8;
-                let sol = solve_gmres(&reduced.a_ff, &reduced.rhs, &pre, opts)?;
-                (sol.x, sol.iterations)
-            }
-            RomSolver::Cg { tol } => {
-                let sol = solve_cg(
-                    &reduced.a_ff,
-                    &reduced.rhs,
-                    &pre,
-                    CgOptions {
-                        tol,
-                        max_iter: 50_000,
-                    },
-                )?;
-                (sol.x, sol.iterations)
-            }
+        // --- Solve through the unified backend layer -----------------------
+        let backend = self.solver.backend();
+        let prepared = match self.cache {
+            Some(cache) => cache.prepare(&*backend, &reduced.a_ff)?,
+            None => Arc::new(backend.prepare(Arc::clone(&reduced.a_ff))?),
         };
-        let nodal = reduced.expand(&x);
+        let batch = prepared.solve_many(&rhs_set, self.threads)?;
+        peak_bytes += batch.report.solver_bytes;
 
         let stats = GlobalStats {
             wall_time: start.elapsed(),
@@ -452,13 +525,18 @@ impl<'a> GlobalStage<'a> {
             total_dofs: ndof,
             free_dofs: reduced.num_free(),
             nnz: reduced.a_ff.nnz(),
-            iterations,
+            iterations: batch.report.iterations.unwrap_or(0),
+            backend: batch.report.backend,
         };
-        Ok(GlobalSolution {
-            lattice,
-            nodal,
-            stats,
-        })
+        Ok(batch
+            .xs
+            .into_iter()
+            .map(|x| GlobalSolution {
+                lattice: lattice.clone(),
+                nodal: reduced.expand(&x),
+                stats,
+            })
+            .collect())
     }
 }
 
@@ -525,7 +603,9 @@ mod tests {
         let rom = rom(BlockKind::Tsv);
         let layout = BlockLayout::uniform(1, 1, BlockKind::Tsv);
         let zero = GlobalBc::SubmodelBoundary(Arc::new(|_| [0.0; 3]));
-        let sol = GlobalStage::new(&rom).solve(&layout, -250.0, &zero).unwrap();
+        let sol = GlobalStage::new(&rom)
+            .solve(&layout, -250.0, &zero)
+            .unwrap();
         let dofs = sol.element_dofs(0, 0);
         assert!(dofs.iter().all(|&v| v == 0.0), "all element DoFs clamped");
         let u = rom.reconstruct_displacement(&dofs, -250.0);

@@ -128,9 +128,7 @@ impl InterpolationGrid {
     /// The equally-spaced node positions along one axis of extent `len`.
     pub fn axis_positions(&self, axis: usize, len: f64) -> Vec<f64> {
         let n = self.counts[axis];
-        (0..n)
-            .map(|i| len * i as f64 / (n - 1) as f64)
-            .collect()
+        (0..n).map(|i| len * i as f64 / (n - 1) as f64).collect()
     }
 
     /// Evaluates the tensor-product weights of **all surface nodes** (in
@@ -197,11 +195,11 @@ mod tests {
         let extents = [15.0, 15.0, 50.0];
         // Points on various faces.
         for pt in [
-            [0.0, 7.3, 21.0],   // x = 0 face
-            [15.0, 2.0, 49.0],  // x = p face
-            [3.3, 0.0, 10.0],   // y = 0 face
-            [8.1, 11.7, 0.0],   // z = 0 face
-            [8.1, 11.7, 50.0],  // z = h face
+            [0.0, 7.3, 21.0],  // x = 0 face
+            [15.0, 2.0, 49.0], // x = p face
+            [3.3, 0.0, 10.0],  // y = 0 face
+            [8.1, 11.7, 0.0],  // z = 0 face
+            [8.1, 11.7, 50.0], // z = h face
         ] {
             let w = g.surface_weights_at(extents, pt);
             let sum: f64 = w.iter().sum();

@@ -19,10 +19,11 @@
 //! [`LocalStageStats::galerkin_orthogonality`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use morestress_fem::{assemble_system, MaterialSet};
-use morestress_linalg::{DenseMatrix, MemoryFootprint, SparseCholesky};
+use morestress_linalg::{DenseMatrix, DirectCholesky, MemoryFootprint, SolverBackend};
 use morestress_mesh::{unit_block_mesh, BlockKind, BlockResolution, TsvGeometry};
 
 use crate::{InterpolationGrid, ReducedOrderModel, RomError};
@@ -127,7 +128,7 @@ impl LocalStage {
         for (new, &old) in boundary_dofs.iter().enumerate() {
             boundary_col_map[old] = Some(new);
         }
-        let a_ff = stiffness.extract(&free_dofs, &free_col_map, free_dofs.len());
+        let a_ff = Arc::new(stiffness.extract(&free_dofs, &free_col_map, free_dofs.len()));
         let a_fb = stiffness.extract(&free_dofs, &boundary_col_map, boundary_dofs.len());
 
         // --- Interpolation operator L (Eq. 14) ----------------------------
@@ -143,7 +144,7 @@ impl LocalStage {
         }
 
         // --- Factor once (the paper's key reuse) --------------------------
-        let chol = SparseCholesky::factor(&a_ff)?;
+        let chol = DirectCholesky::default().prepare(Arc::clone(&a_ff))?;
 
         // --- n+1 local solves, task-parallel -------------------------------
         let n = self.interp.num_dofs();
@@ -174,7 +175,7 @@ impl LocalStage {
                         }
                         let mut rhs = a_fb.spmv(&u_bc);
                         rhs.iter_mut().for_each(|v| *v = -*v);
-                        let alpha = chol.solve(&rhs);
+                        let alpha = chol.solve(&rhs)?.x;
                         let mut full = vec![0.0; ndof];
                         for (i, &d) in free_dofs.iter().enumerate() {
                             full[d] = alpha[i];
@@ -185,7 +186,7 @@ impl LocalStage {
                         full
                     } else {
                         // Thermal task: ΔT = 1, zero boundary displacement.
-                        let alpha = chol.solve(&b_free);
+                        let alpha = chol.solve(&b_free)?.x;
                         let mut full = vec![0.0; ndof];
                         for (i, &d) in free_dofs.iter().enumerate() {
                             full[d] = alpha[i];
@@ -267,7 +268,7 @@ impl LocalStage {
         let peak_bytes = stiffness.heap_bytes()
             + a_ff.heap_bytes()
             + a_fb.heap_bytes()
-            + chol.heap_bytes()
+            + chol.solver_bytes()
             + weights.heap_bytes()
             + basis_bytes
             + basis_thermal.heap_bytes();
@@ -276,7 +277,7 @@ impl LocalStage {
             build_time: start.elapsed(),
             fine_dofs: ndof,
             num_basis: n,
-            factor_nnz: chol.factor_nnz(),
+            factor_nnz: chol.factor_nnz().expect("direct backend has a factor"),
             peak_bytes,
             galerkin_orthogonality: worst_tfi / a_max,
         };

@@ -232,7 +232,11 @@ impl ReducedOrderModel {
         } else {
             BlockKind::Dummy
         };
-        let counts = [read_usize(&mut r)?, read_usize(&mut r)?, read_usize(&mut r)?];
+        let counts = [
+            read_usize(&mut r)?,
+            read_usize(&mut r)?,
+            read_usize(&mut r)?,
+        ];
         if counts.iter().any(|&c| !(2..=64).contains(&c)) {
             return Err(RomError::Format("implausible interpolation counts".into()));
         }
@@ -277,7 +281,8 @@ impl ReducedOrderModel {
             basis.push(read_f64_vec(&mut r, ndof)?);
         }
         let basis_thermal = read_f64_vec(&mut r, ndof)?;
-        let a_elem = DenseMatrix::from_vec(n_basis, n_basis, read_f64_vec(&mut r, n_basis * n_basis)?);
+        let a_elem =
+            DenseMatrix::from_vec(n_basis, n_basis, read_f64_vec(&mut r, n_basis * n_basis)?);
         let b_elem = read_f64_vec(&mut r, n_basis)?;
         Ok(Self {
             geom,

@@ -79,8 +79,7 @@ pub fn sample_array_von_mises(
                     let pt = grid.point(gi, gj);
                     let local = [pt[0] - bi as f64 * p, pt[1] - bj as f64 * p, pt[2]];
                     let sample = stress_at(mesh, mats, &u, delta_t, local)?;
-                    values[gj * grid.samples[0] + gi] =
-                        sample.map_or(f64::NAN, |s| s.von_mises);
+                    values[gj * grid.samples[0] + gi] = sample.map_or(f64::NAN, |s| s.von_mises);
                 }
             }
         }

@@ -3,6 +3,7 @@
 use std::path::PathBuf;
 
 use morestress_fem::{MaterialSet, ScalarField2d};
+use morestress_linalg::FactorCache;
 use morestress_mesh::{BlockKind, BlockLayout, BlockResolution, TsvGeometry};
 
 use crate::model::build_or_load_cached;
@@ -34,6 +35,10 @@ pub struct MoreStressSimulator {
     rom_tsv: ReducedOrderModel,
     rom_dummy: Option<ReducedOrderModel>,
     solver: RomSolver,
+    /// Memo of prepared global-stage factorizations: solving the same
+    /// lattice again (any thermal load) reuses the factor instead of
+    /// re-preparing it.
+    factor_cache: FactorCache,
 }
 
 impl MoreStressSimulator {
@@ -86,6 +91,7 @@ impl MoreStressSimulator {
             rom_tsv,
             rom_dummy,
             solver: opts.solver,
+            factor_cache: FactorCache::new(),
         })
     }
 
@@ -106,6 +112,7 @@ impl MoreStressSimulator {
             rom_tsv,
             rom_dummy,
             solver,
+            factor_cache: FactorCache::new(),
         })
     }
 
@@ -119,7 +126,26 @@ impl MoreStressSimulator {
         self.rom_dummy.as_ref()
     }
 
+    /// The factorization cache shared by every solve through this
+    /// simulator (hit/miss counters included, for tests and diagnostics).
+    pub fn factor_cache(&self) -> &FactorCache {
+        &self.factor_cache
+    }
+
+    fn stage(&self) -> Result<GlobalStage<'_>, RomError> {
+        let mut stage = GlobalStage::new(&self.rom_tsv)
+            .with_solver(self.solver)
+            .with_cache(&self.factor_cache);
+        if let Some(dummy) = &self.rom_dummy {
+            stage = stage.with_dummy(dummy)?;
+        }
+        Ok(stage)
+    }
+
     /// Solves the global problem for an array layout.
+    ///
+    /// Repeated calls over the same layout/interpolation reuse one
+    /// prepared factorization through the internal [`FactorCache`].
     ///
     /// # Errors
     ///
@@ -130,11 +156,23 @@ impl MoreStressSimulator {
         delta_t: f64,
         bc: &GlobalBc,
     ) -> Result<GlobalSolution, RomError> {
-        let mut stage = GlobalStage::new(&self.rom_tsv).with_solver(self.solver);
-        if let Some(dummy) = &self.rom_dummy {
-            stage = stage.with_dummy(dummy)?;
-        }
-        stage.solve(layout, delta_t, bc)
+        self.stage()?.solve(layout, delta_t, bc)
+    }
+
+    /// Solves the global problem for many thermal loads on one layout:
+    /// one assembly + one (cached) factorization + a task-parallel batched
+    /// solve. Returns one solution per entry of `delta_ts`, in order.
+    ///
+    /// # Errors
+    ///
+    /// See [`GlobalStage::solve_many`].
+    pub fn solve_array_many(
+        &self,
+        layout: &BlockLayout,
+        delta_ts: &[f64],
+        bc: &GlobalBc,
+    ) -> Result<Vec<GlobalSolution>, RomError> {
+        self.stage()?.solve_many(layout, delta_ts, bc)
     }
 
     /// Samples the mid-plane von Mises field of a solved array

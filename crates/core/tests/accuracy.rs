@@ -64,8 +64,22 @@ fn rom_error_is_small_and_converges() {
     // even/odd parity blip (no interpolation node at the face center), so we
     // assert the paper's qualitative claims: small error at practical node
     // counts and rapid convergence (Table 3 / Fig. 6).
-    assert!(errors[2] < 0.05, "(4,4,4) error {} should be < 5%", errors[2]);
-    assert!(errors[3] < 0.005, "(6,6,6) error {} should be < 0.5%", errors[3]);
-    assert!(errors[0] > errors[1], "error must decrease from (2,2,2) to (3,3,3)");
-    assert!(errors[1] > errors[3], "error must decrease from (3,3,3) to (6,6,6)");
+    assert!(
+        errors[2] < 0.05,
+        "(4,4,4) error {} should be < 5%",
+        errors[2]
+    );
+    assert!(
+        errors[3] < 0.005,
+        "(6,6,6) error {} should be < 0.5%",
+        errors[3]
+    );
+    assert!(
+        errors[0] > errors[1],
+        "error must decrease from (2,2,2) to (3,3,3)"
+    );
+    assert!(
+        errors[1] > errors[3],
+        "error must decrease from (3,3,3) to (6,6,6)"
+    );
 }

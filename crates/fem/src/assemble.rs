@@ -36,7 +36,10 @@ type ShapeKey = (u64, u64, u64, u16);
 ///
 /// [`FemError::UnknownMaterial`] if the mesh references an unregistered
 /// material.
-pub fn assemble_system(mesh: &HexMesh, materials: &MaterialSet) -> Result<AssembledSystem, FemError> {
+pub fn assemble_system(
+    mesh: &HexMesh,
+    materials: &MaterialSet,
+) -> Result<AssembledSystem, FemError> {
     let ndof = 3 * mesh.num_nodes();
 
     // DoF-level sparsity pattern from the node adjacency.
@@ -129,7 +132,9 @@ mod tests {
         let mesh = cube(3);
         let sys = assemble_system(&mesh, &MaterialSet::tsv_defaults()).unwrap();
         for d in 0..3 {
-            let total: f64 = (0..mesh.num_nodes()).map(|i| sys.thermal_load[3 * i + d]).sum();
+            let total: f64 = (0..mesh.num_nodes())
+                .map(|i| sys.thermal_load[3 * i + d])
+                .sum();
             assert!(total.abs() < 1e-6);
         }
     }

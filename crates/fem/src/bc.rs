@@ -8,6 +8,7 @@
 //! two formulations produce identical free-DoF solutions.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use morestress_linalg::CsrMatrix;
 
@@ -81,8 +82,10 @@ impl DirichletBcs {
 /// A symmetric reduction of `A u = b` to the free DoFs.
 #[derive(Debug, Clone)]
 pub struct ReducedSystem {
-    /// `A_ff`: the operator restricted to free DoFs.
-    pub a_ff: CsrMatrix,
+    /// `A_ff`: the operator restricted to free DoFs, shared so a solver
+    /// backend can be prepared on it (and cached across solves) without
+    /// copying the matrix.
+    pub a_ff: Arc<CsrMatrix>,
     /// Right-hand side on the free DoFs: `b_f − A_fb u_b`.
     pub rhs: Vec<f64>,
     /// Mapping free index → full DoF index.
@@ -115,7 +118,7 @@ impl ReducedSystem {
         for (new, &old) in free_dofs.iter().enumerate() {
             col_map[old] = Some(new);
         }
-        let a_ff = a.extract(&free_dofs, &col_map, free_dofs.len());
+        let a_ff = Arc::new(a.extract(&free_dofs, &col_map, free_dofs.len()));
 
         // rhs = b_f − A_fb u_b, computed row-wise without materializing A_fb.
         let mut rhs = Vec::with_capacity(free_dofs.len());
@@ -142,6 +145,31 @@ impl ReducedSystem {
     /// Number of free DoFs.
     pub fn num_free(&self) -> usize {
         self.free_dofs.len()
+    }
+
+    /// Builds the reduced right-hand sides of the scaled loads
+    /// `b_k = factor_k · unit_load`, assuming `self` was reduced with a
+    /// **zero** load (so `self.rhs` is exactly the load-independent lifting
+    /// term `−A_fb u_b`). This is the batched multi-load path: the reduced
+    /// operator and lifting are computed once, each load costs one
+    /// restriction + axpy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit_load.len()` is not the full DoF count.
+    pub fn rhs_for_scaled_loads(&self, unit_load: &[f64], factors: &[f64]) -> Vec<Vec<f64>> {
+        assert_eq!(unit_load.len(), self.ndof, "unit load length");
+        let unit_f: Vec<f64> = self.free_dofs.iter().map(|&d| unit_load[d]).collect();
+        factors
+            .iter()
+            .map(|&factor| {
+                self.rhs
+                    .iter()
+                    .zip(&unit_f)
+                    .map(|(lift, unit)| lift + factor * unit)
+                    .collect()
+            })
+            .collect()
     }
 
     /// Expands a free-DoF solution back to the full DoF vector, filling in

@@ -1,17 +1,18 @@
 //! The end-to-end full-FEM driver — the reproduction's "ANSYS substitute".
 //!
 //! Assembles the thermoelastic system on a mesh, applies Dirichlet
-//! constraints by symmetric elimination, solves directly (sparse Cholesky)
-//! or iteratively (CG/GMRES — the paper also runs ANSYS with its iterative
-//! solver for the large models), and reports wall time and an analytic peak
-//! memory estimate for the cost columns of Tables 1 and 2.
+//! constraints by symmetric elimination, and solves through the unified
+//! [`SolverBackend`] layer of `morestress-linalg` — directly (sparse
+//! Cholesky) or iteratively (CG/GMRES — the paper also runs ANSYS with its
+//! iterative solver for the large models). Wall time, iteration counts and
+//! an analytic peak memory estimate are reported for the cost columns of
+//! Tables 1 and 2. [`solve_thermal_stress_many`] batches several thermal
+//! loads over one assembly + one prepared factorization.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use morestress_linalg::{
-    solve_cg, solve_gmres, CgOptions, GmresOptions, JacobiPreconditioner, MemoryFootprint,
-    SparseCholesky, SsorPreconditioner,
-};
+use morestress_linalg::{CgOptions, MemoryFootprint, PrecondSpec, SolverBackend};
 use morestress_mesh::HexMesh;
 
 use crate::{assemble_system, DirichletBcs, FemError, MaterialSet, ReducedSystem};
@@ -38,6 +39,28 @@ pub enum LinearSolver {
     Auto,
 }
 
+impl LinearSolver {
+    /// Maps this selection to a `morestress-linalg` solver backend; every
+    /// solve in this crate routes through the returned backend.
+    pub fn backend(&self) -> Box<dyn SolverBackend> {
+        match *self {
+            LinearSolver::DirectCholesky => Box::new(morestress_linalg::DirectCholesky::default()),
+            LinearSolver::Cg { tol } => Box::new(morestress_linalg::Cg {
+                opts: CgOptions {
+                    tol,
+                    max_iter: 20_000,
+                },
+                precond: PrecondSpec::Ssor { omega: 1.2 },
+            }),
+            LinearSolver::Gmres { tol } => Box::new(morestress_linalg::Gmres::with_tol(tol)),
+            LinearSolver::Auto => Box::new(morestress_linalg::Auto {
+                direct_limit: AUTO_DIRECT_LIMIT,
+                tol: 1e-9,
+            }),
+        }
+    }
+}
+
 /// Cost accounting of one solve.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolveStats {
@@ -53,8 +76,12 @@ pub struct SolveStats {
     pub free_dofs: usize,
     /// Stored nonzeros of the reduced operator.
     pub nnz: usize,
-    /// Iterations, if an iterative solver ran.
+    /// Iterations, if an iterative solver ran (for a batched solve: summed
+    /// over the batch).
     pub iterations: Option<usize>,
+    /// Name of the solver backend that actually ran ("cholesky", "cg",
+    /// "gmres" — [`LinearSolver::Auto`] resolves to one of these).
+    pub backend: &'static str,
 }
 
 /// A full-FEM thermal stress solution.
@@ -87,77 +114,77 @@ pub fn solve_thermal_stress(
     bcs: &DirichletBcs,
     solver: LinearSolver,
 ) -> Result<FemSolution, FemError> {
+    let mut solutions = solve_thermal_stress_many(mesh, materials, &[delta_t], bcs, solver)?;
+    Ok(solutions.pop().expect("one load in, one solution out"))
+}
+
+/// Solves the thermoelastic problem for several thermal loads at once:
+/// one assembly, one constraint reduction, one solver preparation
+/// (factorization or preconditioner build), then a task-parallel batched
+/// solve over all loads via the backend's multi-RHS path.
+///
+/// Returns one [`FemSolution`] per entry of `delta_ts`, in order. The
+/// reported [`SolveStats`] are the *batch* aggregate (shared wall time and
+/// summed iterations), since the whole point is that the per-load marginal
+/// cost is a pair of triangular sweeps, not a full solve.
+///
+/// # Errors
+///
+/// Same as [`solve_thermal_stress`].
+pub fn solve_thermal_stress_many(
+    mesh: &HexMesh,
+    materials: &MaterialSet,
+    delta_ts: &[f64],
+    bcs: &DirichletBcs,
+    solver: LinearSolver,
+) -> Result<Vec<FemSolution>, FemError> {
     let start = Instant::now();
     let sys = assemble_system(mesh, materials)?;
-    let scaled_load: Vec<f64> = sys.thermal_load.iter().map(|v| v * delta_t).collect();
-    let reduced = ReducedSystem::new(&sys.stiffness, &scaled_load, bcs)?;
+
+    // Reduce once with a zero load: `reduced.rhs` is then exactly the
+    // constraint lifting term `−A_fb u_b`, which is load-independent, and
+    // every requested load is a scalar multiple of the unit thermal load.
+    let zero = vec![0.0; sys.thermal_load.len()];
+    let reduced = ReducedSystem::new(&sys.stiffness, &zero, bcs)?;
+    let rhs_set = reduced.rhs_for_scaled_loads(&sys.thermal_load, delta_ts);
 
     let mut peak = sys.stiffness.heap_bytes()
-        + scaled_load.heap_bytes()
+        + sys.thermal_load.heap_bytes()
         + reduced.a_ff.heap_bytes()
-        + reduced.rhs.heap_bytes();
+        + rhs_set
+            .iter()
+            .map(MemoryFootprint::heap_bytes)
+            .sum::<usize>();
 
     let n_free = reduced.num_free();
-    let solver = match solver {
-        LinearSolver::Auto => {
-            if n_free <= AUTO_DIRECT_LIMIT {
-                LinearSolver::DirectCholesky
-            } else {
-                LinearSolver::Cg { tol: 1e-9 }
-            }
-        }
-        other => other,
+    let prepared = solver.backend().prepare(Arc::clone(&reduced.a_ff))?;
+    let batch = prepared.solve_many(&rhs_set, morestress_linalg::default_solve_threads())?;
+    peak += batch.report.solver_bytes;
+
+    // All k expanded solutions are resident at once — the batch aggregate
+    // must count every one of them.
+    let displacements: Vec<Vec<f64>> = batch.xs.iter().map(|x| reduced.expand(x)).collect();
+    peak += displacements
+        .iter()
+        .map(MemoryFootprint::heap_bytes)
+        .sum::<usize>();
+
+    let stats = SolveStats {
+        wall_time: start.elapsed(),
+        peak_bytes: peak,
+        total_dofs: 3 * mesh.num_nodes(),
+        free_dofs: n_free,
+        nnz: reduced.a_ff.nnz(),
+        iterations: batch.report.iterations,
+        backend: batch.report.backend,
     };
-
-    let (x, iterations, solver_bytes) = match solver {
-        LinearSolver::DirectCholesky => {
-            let chol = SparseCholesky::factor(&reduced.a_ff)?;
-            let bytes = chol.heap_bytes();
-            (chol.solve(&reduced.rhs), None, bytes)
-        }
-        LinearSolver::Cg { tol } => {
-            let pre = SsorPreconditioner::new(&reduced.a_ff, 1.2);
-            let bytes = reduced.a_ff.heap_bytes(); // SSOR clones the operator
-            let sol = solve_cg(
-                &reduced.a_ff,
-                &reduced.rhs,
-                &pre,
-                CgOptions {
-                    tol,
-                    max_iter: 20_000,
-                },
-            )?;
-            (sol.x, Some(sol.iterations), bytes)
-        }
-        LinearSolver::Gmres { tol } => {
-            let pre = JacobiPreconditioner::new(&reduced.a_ff);
-            let opts = GmresOptions {
-                tol,
-                ..GmresOptions::default()
-            };
-            // GMRES keeps `restart + 1` Krylov vectors alive.
-            let bytes = (opts.restart + 1) * n_free * std::mem::size_of::<f64>();
-            let sol = solve_gmres(&reduced.a_ff, &reduced.rhs, &pre, opts)?;
-            (sol.x, Some(sol.iterations), bytes)
-        }
-        LinearSolver::Auto => unreachable!("Auto resolved above"),
-    };
-    peak += solver_bytes;
-
-    let displacement = reduced.expand(&x);
-    peak += displacement.heap_bytes();
-
-    Ok(FemSolution {
-        displacement,
-        stats: SolveStats {
-            wall_time: start.elapsed(),
-            peak_bytes: peak,
-            total_dofs: 3 * mesh.num_nodes(),
-            free_dofs: n_free,
-            nnz: reduced.a_ff.nnz(),
-            iterations,
-        },
-    })
+    Ok(displacements
+        .into_iter()
+        .map(|displacement| FemSolution {
+            displacement,
+            stats,
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -182,8 +209,7 @@ mod tests {
         let mats = MaterialSet::tsv_defaults();
         let bcs = clamped_top_bottom(&mesh);
         let sol =
-            solve_thermal_stress(&mesh, &mats, -250.0, &bcs, LinearSolver::DirectCholesky)
-                .unwrap();
+            solve_thermal_stress(&mesh, &mats, -250.0, &bcs, LinearSolver::DirectCholesky).unwrap();
         // Mirror symmetry: u_x at (x,y,z) = -u_x at (10-x,y,z).
         for (n, p) in mesh.nodes().iter().enumerate() {
             let mirrored = [10.0 - p[0], p[1], p[2]];
@@ -198,7 +224,10 @@ mod tests {
                 .unwrap();
             let ux = sol.displacement[3 * n];
             let ux_m = sol.displacement[3 * m];
-            assert!((ux + ux_m).abs() < 1e-8, "x-mirror asymmetry {ux} vs {ux_m}");
+            assert!(
+                (ux + ux_m).abs() < 1e-8,
+                "x-mirror asymmetry {ux} vs {ux_m}"
+            );
         }
     }
 
@@ -209,13 +238,17 @@ mod tests {
         let mats = MaterialSet::tsv_defaults();
         let bcs = clamped_top_bottom(&mesh);
         let direct =
-            solve_thermal_stress(&mesh, &mats, -250.0, &bcs, LinearSolver::DirectCholesky)
-                .unwrap();
+            solve_thermal_stress(&mesh, &mats, -250.0, &bcs, LinearSolver::DirectCholesky).unwrap();
         let cg = solve_thermal_stress(&mesh, &mats, -250.0, &bcs, LinearSolver::Cg { tol: 1e-11 })
             .unwrap();
-        let gmres =
-            solve_thermal_stress(&mesh, &mats, -250.0, &bcs, LinearSolver::Gmres { tol: 1e-11 })
-                .unwrap();
+        let gmres = solve_thermal_stress(
+            &mesh,
+            &mats,
+            -250.0,
+            &bcs,
+            LinearSolver::Gmres { tol: 1e-11 },
+        )
+        .unwrap();
         let max_u = direct
             .displacement
             .iter()
@@ -239,8 +272,7 @@ mod tests {
         let mats = MaterialSet::tsv_defaults();
         let bcs = clamped_top_bottom(&mesh);
         let sol =
-            solve_thermal_stress(&mesh, &mats, -250.0, &bcs, LinearSolver::DirectCholesky)
-                .unwrap();
+            solve_thermal_stress(&mesh, &mats, -250.0, &bcs, LinearSolver::DirectCholesky).unwrap();
         let grid = PlaneGrid::new([0.0, 0.0], [15.0, 15.0], 25.0, 30, 30);
         let vm = sample_von_mises(&mesh, &mats, &sol.displacement, -250.0, &grid).unwrap();
         let peak = vm.max();
@@ -249,9 +281,15 @@ mod tests {
             "peak von Mises {peak} MPa out of physical range"
         );
         // Stress near the liner must exceed stress at the block corner.
-        let near = crate::stress_at(&mesh, &mats, &sol.displacement, -250.0, [7.5 + 3.2, 7.5, 25.0])
-            .unwrap()
-            .unwrap();
+        let near = crate::stress_at(
+            &mesh,
+            &mats,
+            &sol.displacement,
+            -250.0,
+            [7.5 + 3.2, 7.5, 25.0],
+        )
+        .unwrap()
+        .unwrap();
         let far = crate::stress_at(&mesh, &mats, &sol.displacement, -250.0, [1.0, 1.0, 25.0])
             .unwrap()
             .unwrap();
@@ -261,6 +299,35 @@ mod tests {
             near.von_mises,
             far.von_mises
         );
+    }
+
+    #[test]
+    fn batched_loads_match_individual_solves() {
+        let geom = TsvGeometry::paper_defaults(12.0);
+        let mesh = unit_block_mesh(&geom, &BlockResolution::coarse(), true);
+        let mats = MaterialSet::tsv_defaults();
+        let bcs = clamped_top_bottom(&mesh);
+        let loads = [-250.0, -125.0, 60.0, 10.0];
+        let batch =
+            solve_thermal_stress_many(&mesh, &mats, &loads, &bcs, LinearSolver::DirectCholesky)
+                .unwrap();
+        assert_eq!(batch.len(), loads.len());
+        assert_eq!(batch[0].stats.backend, "cholesky");
+        for (&dt, batched) in loads.iter().zip(&batch) {
+            let single =
+                solve_thermal_stress(&mesh, &mats, dt, &bcs, LinearSolver::DirectCholesky).unwrap();
+            let scale = single
+                .displacement
+                .iter()
+                .fold(0.0f64, |m, v| m.max(v.abs()))
+                .max(1e-30);
+            for (a, b) in single.displacement.iter().zip(&batched.displacement) {
+                assert!(
+                    (a - b).abs() <= 1e-12 * scale,
+                    "batched and individual solves disagree at ΔT={dt}"
+                );
+            }
+        }
     }
 
     #[test]

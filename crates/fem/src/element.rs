@@ -109,9 +109,21 @@ impl Hex8 {
 fn gauss_points() -> impl Iterator<Item = [f64; 3]> {
     (0..8).map(|g| {
         [
-            if g & 1 == 0 { -GAUSS_2X2X2 } else { GAUSS_2X2X2 },
-            if g & 2 == 0 { -GAUSS_2X2X2 } else { GAUSS_2X2X2 },
-            if g & 4 == 0 { -GAUSS_2X2X2 } else { GAUSS_2X2X2 },
+            if g & 1 == 0 {
+                -GAUSS_2X2X2
+            } else {
+                GAUSS_2X2X2
+            },
+            if g & 2 == 0 {
+                -GAUSS_2X2X2
+            } else {
+                GAUSS_2X2X2
+            },
+            if g & 4 == 0 {
+                -GAUSS_2X2X2
+            } else {
+                GAUSS_2X2X2
+            },
         ]
     })
 }
@@ -187,12 +199,16 @@ mod tests {
     use super::*;
 
     fn unit_hex() -> Hex8 {
-        Hex8 { edges: [1.0, 1.0, 1.0] }
+        Hex8 {
+            edges: [1.0, 1.0, 1.0],
+        }
     }
 
     #[test]
     fn shape_functions_partition_unity() {
-        let hex = Hex8 { edges: [2.0, 3.0, 0.5] };
+        let hex = Hex8 {
+            edges: [2.0, 3.0, 0.5],
+        };
         for xi in [[0.0, 0.0, 0.0], [0.3, -0.7, 0.9], [-1.0, 1.0, -1.0]] {
             let n = hex.shape(xi);
             let sum: f64 = n.iter().sum();
@@ -215,7 +231,9 @@ mod tests {
     #[test]
     fn gradients_sum_to_zero() {
         // Σ_a ∇N_a = 0 (constant field has zero gradient).
-        let hex = Hex8 { edges: [2.0, 1.0, 4.0] };
+        let hex = Hex8 {
+            edges: [2.0, 1.0, 4.0],
+        };
         let g = hex.shape_gradients([0.2, -0.4, 0.6]);
         for d in 0..3 {
             let s: f64 = g.iter().map(|ga| ga[d]).sum();
@@ -226,7 +244,9 @@ mod tests {
     #[test]
     fn gradients_reproduce_linear_field() {
         // u(x) = x should give du/dx = 1 everywhere.
-        let hex = Hex8 { edges: [2.0, 3.0, 4.0] };
+        let hex = Hex8 {
+            edges: [2.0, 3.0, 4.0],
+        };
         // Corner x-coordinates for a box rooted at origin.
         let xs: Vec<f64> = SIGNS.iter().map(|s| (s[0] + 1.0) / 2.0 * 2.0).collect();
         let g = hex.shape_gradients([0.1, 0.5, -0.3]);
@@ -236,7 +256,9 @@ mod tests {
 
     #[test]
     fn stiffness_is_symmetric_with_rigid_body_nullspace() {
-        let hex = Hex8 { edges: [1.5, 1.0, 2.0] };
+        let hex = Hex8 {
+            edges: [1.5, 1.0, 2.0],
+        };
         let ke = element_stiffness(&hex, &Material::silicon());
         // Symmetry.
         for r in 0..24 {
@@ -258,7 +280,9 @@ mod tests {
     #[test]
     fn thermal_load_is_self_equilibrated() {
         // Free thermal expansion: total force must vanish componentwise.
-        let hex = Hex8 { edges: [1.0, 2.0, 3.0] };
+        let hex = Hex8 {
+            edges: [1.0, 2.0, 3.0],
+        };
         let fe = element_thermal_load(&hex, &Material::copper());
         for d in 0..3 {
             let total: f64 = (0..8).map(|a| fe[3 * a + d]).sum();
@@ -270,7 +294,9 @@ mod tests {
     fn free_expansion_is_stress_free() {
         // If u = alpha*dT*x (pure thermal expansion), then K u = dT * f_th.
         let mat = Material::silicon();
-        let hex = Hex8 { edges: [2.0, 2.0, 2.0] };
+        let hex = Hex8 {
+            edges: [2.0, 2.0, 2.0],
+        };
         let ke = element_stiffness(&hex, &mat);
         let fe = element_thermal_load(&hex, &mat);
         let dt = -250.0;
@@ -285,7 +311,8 @@ mod tests {
         for r in 0..24 {
             let ku: f64 = (0..24).map(|c| ke[r * 24 + c] * u[c]).sum();
             assert!(
-                (ku - dt * fe[r]).abs() < 1e-6 * (dt.abs() * fe.iter().fold(0.0f64, |m, v| m.max(v.abs()))),
+                (ku - dt * fe[r]).abs()
+                    < 1e-6 * (dt.abs() * fe.iter().fold(0.0f64, |m, v| m.max(v.abs()))),
                 "row {r}: K u = {ku}, dT f = {}",
                 dt * fe[r]
             );

@@ -193,7 +193,11 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("read");
         assert!(text.starts_with("# vtk DataFile Version 3.0"));
         assert!(text.contains(&format!("POINTS {} double", mesh.num_nodes())));
-        assert!(text.contains(&format!("CELLS {} {}", mesh.num_elems(), mesh.num_elems() * 9)));
+        assert!(text.contains(&format!(
+            "CELLS {} {}",
+            mesh.num_elems(),
+            mesh.num_elems() * 9
+        )));
         assert!(text.contains("VECTORS displacement double"));
         assert!(text.contains("SCALARS von_mises double 1"));
         assert!(text.contains("SCALARS material int 1"));

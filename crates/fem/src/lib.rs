@@ -44,15 +44,17 @@
 mod assemble;
 mod bc;
 mod driver;
-mod export;
 mod element;
 mod error;
+mod export;
 mod material;
 mod stress;
 
 pub use assemble::{assemble_system, AssembledSystem};
 pub use bc::{DirichletBcs, ReducedSystem};
-pub use driver::{solve_thermal_stress, FemSolution, LinearSolver, SolveStats};
+pub use driver::{
+    solve_thermal_stress, solve_thermal_stress_many, FemSolution, LinearSolver, SolveStats,
+};
 pub use element::{element_stiffness, element_thermal_load, Hex8, GAUSS_2X2X2};
 pub use error::FemError;
 pub use export::{write_field_csv, write_vtk, ExportError};

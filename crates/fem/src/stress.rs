@@ -28,7 +28,9 @@ impl StressSample {
         let [sxx, syy, szz, txy, tyz, tzx] = self.tensor;
         let i1 = sxx + syy + szz;
         let q = i1 / 3.0;
-        let p2 = (sxx - q).powi(2) + (syy - q).powi(2) + (szz - q).powi(2)
+        let p2 = (sxx - q).powi(2)
+            + (syy - q).powi(2)
+            + (szz - q).powi(2)
             + 2.0 * (txy * txy + tyz * tyz + tzx * tzx);
         let p = (p2 / 6.0).sqrt();
         if p < 1e-300 {
@@ -36,9 +38,15 @@ impl StressSample {
         }
         // r = det((A - q I) / p) / 2, clamped into [-1, 1].
         let b = [
-            (sxx - q) / p, txy / p, tzx / p,
-            txy / p, (syy - q) / p, tyz / p,
-            tzx / p, tyz / p, (szz - q) / p,
+            (sxx - q) / p,
+            txy / p,
+            tzx / p,
+            txy / p,
+            (syy - q) / p,
+            tyz / p,
+            tzx / p,
+            tyz / p,
+            (szz - q) / p,
         ];
         let det = b[0] * (b[4] * b[8] - b[5] * b[7]) - b[1] * (b[3] * b[8] - b[5] * b[6])
             + b[2] * (b[3] * b[7] - b[4] * b[6]);
@@ -149,7 +157,10 @@ impl PlaneGrid {
     ///
     /// Panics if the rectangle is degenerate or a sample count is zero.
     pub fn new(origin: [f64; 2], corner: [f64; 2], z: f64, nx: usize, ny: usize) -> Self {
-        assert!(corner[0] > origin[0] && corner[1] > origin[1], "degenerate rectangle");
+        assert!(
+            corner[0] > origin[0] && corner[1] > origin[1],
+            "degenerate rectangle"
+        );
         assert!(nx > 0 && ny > 0, "sample counts must be nonzero");
         Self {
             origin,
@@ -188,7 +199,11 @@ pub struct ScalarField2d {
 impl ScalarField2d {
     /// Maximum (ignoring `NaN` voids).
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().filter(|v| !v.is_nan()).fold(0.0, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .filter(|v| !v.is_nan())
+            .fold(0.0, f64::max)
     }
 
     /// Extracts the `ni × nj` sub-field starting at sample `(i0, j0)`.
@@ -263,7 +278,10 @@ pub fn sample_von_mises(
             values.push(s.map_or(f64::NAN, |s| s.von_mises));
         }
     }
-    Ok(ScalarField2d { grid: *grid, values })
+    Ok(ScalarField2d {
+        grid: *grid,
+        values,
+    })
 }
 
 /// The paper's error metric: mean absolute error between `candidate` and
@@ -400,7 +418,8 @@ mod principal_tests {
         // Trace invariant.
         assert!((p[0] + p[1] + p[2] - (t[0] + t[1] + t[2])).abs() < 1e-9);
         // Von Mises from principal values must match the Voigt formula.
-        let vm_p = (0.5 * ((p[0] - p[1]).powi(2) + (p[1] - p[2]).powi(2) + (p[2] - p[0]).powi(2))).sqrt();
+        let vm_p =
+            (0.5 * ((p[0] - p[1]).powi(2) + (p[1] - p[2]).powi(2) + (p[2] - p[0]).powi(2))).sqrt();
         assert!((vm_p - s.von_mises).abs() < 1e-9);
     }
 

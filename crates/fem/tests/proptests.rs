@@ -1,9 +1,7 @@
 //! Property-based tests of the FEM kernels: physical invariants that must
 //! hold for any material in range and any element shape.
 
-use morestress_fem::{
-    element_stiffness, element_thermal_load, Hex8, Material, StressSample,
-};
+use morestress_fem::{element_stiffness, element_thermal_load, Hex8, Material, StressSample};
 use proptest::prelude::*;
 
 fn material_strategy() -> impl Strategy<Value = Material> {

@@ -1,0 +1,1038 @@
+//! The unified solver backend layer.
+//!
+//! Every linear solve in the MORE-Stress workspace — the full-FEM reference
+//! driver, the ROM global stage, the coarse chiplet model — routes through
+//! the [`SolverBackend`] trait defined here instead of hand-wiring
+//! [`SparseCholesky`], [`solve_cg`](crate::solve_cg) or
+//! [`solve_gmres`](crate::solve_gmres) calls. The layer separates the two
+//! phases every sparse solver has:
+//!
+//! 1. **prepare** — the expensive, per-matrix work (symbolic + numeric
+//!    Cholesky factorization, or preconditioner construction), producing a
+//!    [`PreparedSolver`];
+//! 2. **solve** — the cheap, per-right-hand-side work, which can be repeated
+//!    (`solve`) or batched task-parallel over many loads (`solve_many`).
+//!
+//! This split is the paper's own economics (§4.2: *"the time-consuming
+//! decomposition needs to be performed only once and the intermediate
+//! results can be reused"*) promoted to an architectural boundary, so the
+//! global stage inherits it too: a [`FactorCache`] memoizes prepared solvers
+//! by matrix fingerprint, turning the paper's Table 1/2 workloads — one
+//! lattice, many thermal loads — into one factorization plus k cheap solves.
+//!
+//! Every solve returns a [`SolveReport`] carrying iterations, residual,
+//! setup/solve wall time and an analytic memory estimate, so cost accounting
+//! is uniform across backends and layers.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::{
+    solve_cg, solve_gmres, CgOptions, CsrMatrix, DenseMatrix, GmresOptions, IdentityPreconditioner,
+    JacobiPreconditioner, LinalgError, MemoryFootprint, Preconditioner, SparseCholesky,
+    SsorPreconditioner,
+};
+
+// ---------------------------------------------------------------------------
+// LinearOperator
+// ---------------------------------------------------------------------------
+
+/// A matrix-free linear operator `y = A x`.
+///
+/// The iterative solvers ([`solve_cg`], [`solve_gmres`]) are generic over
+/// this trait, so they work on any operator that can apply itself — a stored
+/// [`CsrMatrix`], a dense reduced operator, or a composite that never
+/// materializes its entries.
+pub trait LinearOperator {
+    /// Number of rows of the operator.
+    fn nrows(&self) -> usize;
+
+    /// Number of columns of the operator.
+    fn ncols(&self) -> usize;
+
+    /// Computes `y = A x` into `y` (`y.len() == nrows`, `x.len() == ncols`).
+    fn apply_into(&self, x: &[f64], y: &mut [f64]);
+
+    /// Computes `A x` into a fresh vector.
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.nrows()];
+        self.apply_into(x, &mut y);
+        y
+    }
+
+    /// Relative residual `‖b − A x‖₂ / ‖b‖₂` (absolute if `‖b‖₂ = 0`).
+    fn rel_residual(&self, x: &[f64], b: &[f64]) -> f64 {
+        let ax = self.apply(x);
+        let r = b
+            .iter()
+            .zip(&ax)
+            .map(|(bi, axi)| (bi - axi) * (bi - axi))
+            .sum::<f64>()
+            .sqrt();
+        let nb = crate::norm2(b);
+        if nb > 0.0 {
+            r / nb
+        } else {
+            r
+        }
+    }
+}
+
+impl LinearOperator for CsrMatrix {
+    fn nrows(&self) -> usize {
+        CsrMatrix::nrows(self)
+    }
+
+    fn ncols(&self) -> usize {
+        CsrMatrix::ncols(self)
+    }
+
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv_into(x, y);
+    }
+
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        self.spmv(x)
+    }
+
+    fn rel_residual(&self, x: &[f64], b: &[f64]) -> f64 {
+        self.residual(x, b)
+    }
+}
+
+impl LinearOperator for DenseMatrix {
+    fn nrows(&self) -> usize {
+        self.rows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.cols()
+    }
+
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        y.copy_from_slice(&self.matvec(x));
+    }
+
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        self.matvec(x)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Preconditioner selection
+// ---------------------------------------------------------------------------
+
+/// Declarative preconditioner choice for the iterative backends.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PrecondSpec {
+    /// No preconditioning.
+    Identity,
+    /// Diagonal (Jacobi) scaling.
+    Jacobi,
+    /// Symmetric successive over-relaxation with relaxation factor `omega`.
+    Ssor {
+        /// Relaxation factor in `(0, 2)`.
+        omega: f64,
+    },
+}
+
+impl PrecondSpec {
+    /// Builds the preconditioner for `a`, returning it with an analytic
+    /// heap estimate of what the build allocated.
+    pub fn build(&self, a: &CsrMatrix) -> (Box<dyn Preconditioner + Send + Sync>, usize) {
+        let n = a.nrows();
+        match *self {
+            PrecondSpec::Identity => (Box::new(IdentityPreconditioner), 0),
+            PrecondSpec::Jacobi => (
+                Box::new(JacobiPreconditioner::new(a)),
+                n * std::mem::size_of::<f64>(),
+            ),
+            PrecondSpec::Ssor { omega } => (
+                Box::new(SsorPreconditioner::new(a, omega)),
+                // SSOR clones the operator and stores the diagonal.
+                a.heap_bytes() + n * std::mem::size_of::<f64>(),
+            ),
+        }
+    }
+
+    fn fingerprint(&self) -> u64 {
+        match *self {
+            PrecondSpec::Identity => 1,
+            PrecondSpec::Jacobi => 2,
+            PrecondSpec::Ssor { omega } => 3 ^ omega.to_bits().rotate_left(8),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SolveReport
+// ---------------------------------------------------------------------------
+
+/// Uniform cost/quality accounting of one (possibly batched) solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveReport {
+    /// Name of the backend that ran (`"cholesky"`, `"cg"`, `"gmres"`).
+    pub backend: &'static str,
+    /// Wall time of the one-time preparation (factorization or
+    /// preconditioner build) behind this solve.
+    pub setup_time: Duration,
+    /// Wall time of the solve itself (summed over the batch for
+    /// [`PreparedSolver::solve_many`]).
+    pub solve_time: Duration,
+    /// Iterations performed (summed over the batch); `None` for direct
+    /// solves.
+    pub iterations: Option<usize>,
+    /// Relative residual estimate (worst over the batch); `None` for direct
+    /// solves, which do not compute it.
+    pub residual: Option<f64>,
+    /// Analytic heap estimate (bytes) of the solver state: factor or
+    /// preconditioner plus iteration workspace.
+    pub solver_bytes: usize,
+    /// Number of right-hand sides this report covers.
+    pub rhs_count: usize,
+}
+
+/// One solved right-hand side with its report.
+#[derive(Debug, Clone)]
+pub struct BackendSolution {
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// Cost/quality accounting.
+    pub report: SolveReport,
+}
+
+/// A batch of solved right-hand sides with one aggregate report.
+#[derive(Debug, Clone)]
+pub struct BatchSolution {
+    /// Solutions, in right-hand-side order.
+    pub xs: Vec<Vec<f64>>,
+    /// Aggregate cost/quality accounting.
+    pub report: SolveReport,
+}
+
+// ---------------------------------------------------------------------------
+// SolverBackend + PreparedSolver
+// ---------------------------------------------------------------------------
+
+/// A linear solver strategy: factorization- or iteration-based.
+///
+/// A backend is cheap configuration; [`SolverBackend::prepare`] does the
+/// per-matrix work once and returns a [`PreparedSolver`] that can solve any
+/// number of right-hand sides (also batched and task-parallel).
+pub trait SolverBackend: fmt::Debug + Send + Sync {
+    /// Short stable name for reports and cache keys.
+    fn name(&self) -> &'static str;
+
+    /// Performs the one-time per-matrix setup.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::NotPositiveDefinite`] from direct factorization of an
+    /// indefinite operator; dimension errors for non-square input.
+    fn prepare(&self, a: Arc<CsrMatrix>) -> Result<PreparedSolver, LinalgError>;
+
+    /// Fingerprint of the backend *configuration* (tolerances,
+    /// preconditioner, restart length, …), mixed into [`FactorCache`] keys
+    /// so differently-configured backends never share an entry.
+    fn config_fingerprint(&self) -> u64;
+}
+
+enum Engine {
+    Direct(SparseCholesky),
+    Cg {
+        precond: Box<dyn Preconditioner + Send + Sync>,
+        opts: CgOptions,
+    },
+    Gmres {
+        precond: Box<dyn Preconditioner + Send + Sync>,
+        opts: GmresOptions,
+    },
+}
+
+impl Engine {
+    fn label(&self) -> &'static str {
+        match self {
+            Engine::Direct(_) => "cholesky",
+            Engine::Cg { .. } => "cg",
+            Engine::Gmres { .. } => "gmres",
+        }
+    }
+}
+
+/// The reusable product of [`SolverBackend::prepare`]: a factorization or a
+/// built preconditioner, ready to solve many right-hand sides.
+///
+/// All state is immutable after preparation, so a `PreparedSolver` is
+/// `Send + Sync` and [`solve`](Self::solve) takes `&self` — many loads can
+/// be solved concurrently from one shared factor, which is exactly how the
+/// paper's one-shot local stage (and our batched global stage) works.
+pub struct PreparedSolver {
+    matrix: Arc<CsrMatrix>,
+    engine: Engine,
+    setup_time: Duration,
+    /// Bytes of the shared, reusable state (factor or preconditioner).
+    shared_bytes: usize,
+    /// Bytes of the per-solve workspace (work/Krylov vectors) — allocated
+    /// once per *concurrent* solve in the batched path.
+    workspace_bytes: usize,
+}
+
+impl fmt::Debug for PreparedSolver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PreparedSolver")
+            .field("backend", &self.engine.label())
+            .field("dim", &self.dim())
+            .field("setup_time", &self.setup_time)
+            .field("solver_bytes", &self.solver_bytes())
+            .finish()
+    }
+}
+
+/// `(x, iterations, residual)` of one engine solve.
+type EngineResult = Result<(Vec<f64>, Option<usize>, Option<f64>), LinalgError>;
+
+impl PreparedSolver {
+    /// Name of the backend that prepared this solver.
+    pub fn backend(&self) -> &'static str {
+        self.engine.label()
+    }
+
+    /// Dimension of the prepared operator.
+    pub fn dim(&self) -> usize {
+        self.matrix.nrows()
+    }
+
+    /// The prepared operator.
+    pub fn matrix(&self) -> &Arc<CsrMatrix> {
+        &self.matrix
+    }
+
+    /// Wall time the preparation took.
+    pub fn setup_time(&self) -> Duration {
+        self.setup_time
+    }
+
+    /// Analytic heap estimate (bytes) of factor/preconditioner plus one
+    /// solve's iteration workspace. A batched solve with `t` concurrent
+    /// workers holds `t` workspaces; [`SolveReport::solver_bytes`] accounts
+    /// for that.
+    pub fn solver_bytes(&self) -> usize {
+        self.shared_bytes + self.workspace_bytes
+    }
+
+    /// Stored nonzeros of the direct factor (`None` for iterative
+    /// engines) — the fill measure the ordering ablation reports.
+    pub fn factor_nnz(&self) -> Option<usize> {
+        match &self.engine {
+            Engine::Direct(chol) => Some(chol.factor_nnz()),
+            _ => None,
+        }
+    }
+
+    fn solve_one(&self, b: &[f64]) -> EngineResult {
+        match &self.engine {
+            Engine::Direct(chol) => Ok((chol.solve(b), None, None)),
+            Engine::Cg { precond, opts } => {
+                let sol = solve_cg(&*self.matrix, b, &**precond, *opts)?;
+                Ok((sol.x, Some(sol.iterations), Some(sol.residual)))
+            }
+            Engine::Gmres { precond, opts } => {
+                let sol = solve_gmres(&*self.matrix, b, &**precond, *opts)?;
+                Ok((sol.x, Some(sol.iterations), Some(sol.residual)))
+            }
+        }
+    }
+
+    /// Solves `A x = b` for one right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DidNotConverge`] from the iterative engines;
+    /// [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<BackendSolution, LinalgError> {
+        if b.len() != self.dim() {
+            return Err(LinalgError::DimensionMismatch {
+                context: "prepared solve",
+                expected: self.dim(),
+                found: b.len(),
+            });
+        }
+        let t0 = Instant::now();
+        let (x, iterations, residual) = self.solve_one(b)?;
+        Ok(BackendSolution {
+            x,
+            report: SolveReport {
+                backend: self.engine.label(),
+                setup_time: self.setup_time,
+                solve_time: t0.elapsed(),
+                iterations,
+                residual,
+                solver_bytes: self.solver_bytes(),
+                rhs_count: 1,
+            },
+        })
+    }
+
+    /// Solves `A X = B` for many right-hand sides, task-parallel across up
+    /// to `threads` workers sharing this one prepared factor.
+    ///
+    /// This is the batched path the paper's Table 1/2 workloads want: one
+    /// factorization (or preconditioner build) serving every thermal load.
+    ///
+    /// # Errors
+    ///
+    /// The first *solver* failure is propagated; dimension mismatches are
+    /// reported before any work starts.
+    pub fn solve_many(
+        &self,
+        rhs: &[Vec<f64>],
+        threads: usize,
+    ) -> Result<BatchSolution, LinalgError> {
+        for b in rhs {
+            if b.len() != self.dim() {
+                return Err(LinalgError::DimensionMismatch {
+                    context: "prepared batched solve",
+                    expected: self.dim(),
+                    found: b.len(),
+                });
+            }
+        }
+        let t0 = Instant::now();
+        let concurrency = threads.max(1).min(rhs.len().max(1));
+        let results: Vec<EngineResult> = if concurrency == 1 {
+            // No point paying thread spawn + per-slot locks for a serial
+            // batch (the common single-RHS case routed through here).
+            rhs.iter().map(|b| self.solve_one(b)).collect()
+        } else {
+            let slots: Vec<Mutex<Option<EngineResult>>> =
+                rhs.iter().map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..concurrency {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= rhs.len() {
+                            return;
+                        }
+                        let result = self.solve_one(&rhs[i]);
+                        *slots[i].lock().expect("solve slot poisoned") = Some(result);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("solve slot poisoned")
+                        .expect("every slot visited")
+                })
+                .collect()
+        };
+
+        let mut xs = Vec::with_capacity(rhs.len());
+        let mut iterations: Option<usize> = None;
+        let mut residual: Option<f64> = None;
+        for result in results {
+            let (x, it, res) = result?;
+            if let Some(it) = it {
+                iterations = Some(iterations.unwrap_or(0) + it);
+            }
+            if let Some(res) = res {
+                residual = Some(residual.map_or(res, |worst: f64| worst.max(res)));
+            }
+            xs.push(x);
+        }
+        Ok(BatchSolution {
+            xs,
+            report: SolveReport {
+                backend: self.engine.label(),
+                setup_time: self.setup_time,
+                solve_time: t0.elapsed(),
+                iterations,
+                residual,
+                // Each concurrent worker holds its own iteration workspace.
+                solver_bytes: self.shared_bytes + concurrency * self.workspace_bytes,
+                rhs_count: rhs.len(),
+            },
+        })
+    }
+}
+
+/// Default worker cap for batched solves: the machine's parallelism,
+/// clamped to 16 (the paper's thread count).
+pub fn default_solve_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |p| p.get().min(16))
+}
+
+// ---------------------------------------------------------------------------
+// Backend implementations
+// ---------------------------------------------------------------------------
+
+/// Direct sparse Cholesky backend (RCM ordering by default).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirectCholesky {
+    /// Factor with the natural (identity) ordering instead of RCM.
+    pub natural_ordering: bool,
+}
+
+impl SolverBackend for DirectCholesky {
+    fn name(&self) -> &'static str {
+        "cholesky"
+    }
+
+    fn prepare(&self, a: Arc<CsrMatrix>) -> Result<PreparedSolver, LinalgError> {
+        let t0 = Instant::now();
+        let chol = if self.natural_ordering {
+            SparseCholesky::factor_natural(&a)?
+        } else {
+            SparseCholesky::factor(&a)?
+        };
+        let shared_bytes = chol.heap_bytes();
+        // Two permuted copies of the solution vector per solve.
+        let workspace_bytes = 2 * a.nrows() * std::mem::size_of::<f64>();
+        Ok(PreparedSolver {
+            matrix: a,
+            engine: Engine::Direct(chol),
+            setup_time: t0.elapsed(),
+            shared_bytes,
+            workspace_bytes,
+        })
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        0x10 | u64::from(self.natural_ordering)
+    }
+}
+
+/// Preconditioned conjugate-gradient backend (SPD operators).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cg {
+    /// Iteration options.
+    pub opts: CgOptions,
+    /// Preconditioner choice.
+    pub precond: PrecondSpec,
+}
+
+impl Cg {
+    /// CG at tolerance `tol` with Jacobi preconditioning.
+    pub fn with_tol(tol: f64) -> Self {
+        Self {
+            opts: CgOptions {
+                tol,
+                ..CgOptions::default()
+            },
+            precond: PrecondSpec::Jacobi,
+        }
+    }
+}
+
+impl Default for Cg {
+    fn default() -> Self {
+        Self::with_tol(CgOptions::default().tol)
+    }
+}
+
+impl SolverBackend for Cg {
+    fn name(&self) -> &'static str {
+        "cg"
+    }
+
+    fn prepare(&self, a: Arc<CsrMatrix>) -> Result<PreparedSolver, LinalgError> {
+        let t0 = Instant::now();
+        let n = a.nrows();
+        let (precond, precond_bytes) = self.precond.build(&a);
+        Ok(PreparedSolver {
+            matrix: a,
+            engine: Engine::Cg {
+                precond,
+                opts: self.opts,
+            },
+            setup_time: t0.elapsed(),
+            shared_bytes: precond_bytes,
+            // The 5 CG work vectors, per concurrent solve.
+            workspace_bytes: 5 * n * std::mem::size_of::<f64>(),
+        })
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        0x20 ^ self.opts.tol.to_bits()
+            ^ (self.opts.max_iter as u64).rotate_left(16)
+            ^ self.precond.fingerprint().rotate_left(32)
+    }
+}
+
+/// Preconditioned restarted-GMRES backend (general operators; the paper's
+/// global-stage prescription).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gmres {
+    /// Iteration options.
+    pub opts: GmresOptions,
+    /// Preconditioner choice.
+    pub precond: PrecondSpec,
+}
+
+impl Gmres {
+    /// GMRES at tolerance `tol` with Jacobi preconditioning.
+    pub fn with_tol(tol: f64) -> Self {
+        Self {
+            opts: GmresOptions {
+                tol,
+                ..GmresOptions::default()
+            },
+            precond: PrecondSpec::Jacobi,
+        }
+    }
+}
+
+impl Default for Gmres {
+    fn default() -> Self {
+        Self::with_tol(GmresOptions::default().tol)
+    }
+}
+
+impl SolverBackend for Gmres {
+    fn name(&self) -> &'static str {
+        "gmres"
+    }
+
+    fn prepare(&self, a: Arc<CsrMatrix>) -> Result<PreparedSolver, LinalgError> {
+        let t0 = Instant::now();
+        let n = a.nrows();
+        let (precond, precond_bytes) = self.precond.build(&a);
+        Ok(PreparedSolver {
+            matrix: a,
+            engine: Engine::Gmres {
+                precond,
+                opts: self.opts,
+            },
+            setup_time: t0.elapsed(),
+            shared_bytes: precond_bytes,
+            // `restart + 1` Krylov vectors, per concurrent solve.
+            workspace_bytes: (self.opts.restart + 1) * n * std::mem::size_of::<f64>(),
+        })
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        0x30 ^ self.opts.tol.to_bits()
+            ^ (self.opts.restart as u64).rotate_left(16)
+            ^ (self.opts.max_restarts as u64).rotate_left(24)
+            ^ self.precond.fingerprint().rotate_left(32)
+    }
+}
+
+/// Policy backend: direct Cholesky below a size threshold, SSOR-CG above
+/// it, with a GMRES fallback when factorization rejects the operator.
+///
+/// This mirrors common practice (and the paper's ANSYS setup, which
+/// switches to the iterative solver for large models) while staying robust:
+/// every SPD operator ends up with a converging backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Auto {
+    /// Largest dimension still handed to the direct solver.
+    pub direct_limit: usize,
+    /// Tolerance for the iterative engines.
+    pub tol: f64,
+}
+
+impl Default for Auto {
+    fn default() -> Self {
+        Self {
+            direct_limit: 120_000,
+            tol: 1e-9,
+        }
+    }
+}
+
+impl SolverBackend for Auto {
+    fn name(&self) -> &'static str {
+        "auto"
+    }
+
+    fn prepare(&self, a: Arc<CsrMatrix>) -> Result<PreparedSolver, LinalgError> {
+        if a.nrows() <= self.direct_limit {
+            match (DirectCholesky::default()).prepare(Arc::clone(&a)) {
+                Ok(prepared) => Ok(prepared),
+                // Not numerically SPD — fall back to GMRES, which only
+                // needs the operator action.
+                Err(LinalgError::NotPositiveDefinite { .. }) => {
+                    Gmres::with_tol(self.tol).prepare(a)
+                }
+                Err(e) => Err(e),
+            }
+        } else {
+            Cg {
+                opts: CgOptions {
+                    tol: self.tol,
+                    max_iter: 20_000,
+                },
+                precond: PrecondSpec::Ssor { omega: 1.2 },
+            }
+            .prepare(a)
+        }
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        0x40 ^ self.tol.to_bits() ^ (self.direct_limit as u64).rotate_left(20)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FactorCache
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CacheKey {
+    backend_config: u64,
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    matrix_fingerprint: u64,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    key: CacheKey,
+    solver: Arc<PreparedSolver>,
+}
+
+/// Content-addressed memo of [`PreparedSolver`]s.
+///
+/// Keyed by a fingerprint of the matrix (dimensions, sparsity pattern and
+/// values) and of the backend configuration, so a simulator solving many
+/// layouts/loads over the same lattice reuses one symbolic + numeric
+/// factorization instead of re-factoring per call. A small LRU list (default
+/// capacity 4) keeps alternating layouts from thrashing a single slot.
+#[derive(Debug)]
+pub struct FactorCache {
+    capacity: usize,
+    entries: Mutex<Vec<CacheEntry>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl Default for FactorCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// FNV-1a over the CSR arrays: structure and values.
+fn matrix_fingerprint(a: &CsrMatrix) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for &p in a.row_ptr() {
+        mix(p as u64);
+    }
+    for &c in a.col_idx() {
+        mix(c as u64);
+    }
+    for &v in a.values() {
+        mix(v.to_bits());
+    }
+    h
+}
+
+impl FactorCache {
+    /// A cache holding up to 4 prepared solvers.
+    pub fn new() -> Self {
+        Self::with_capacity(4)
+    }
+
+    /// A cache holding up to `capacity` prepared solvers.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            entries: Mutex::new(Vec::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Returns the cached prepared solver for `(backend, a)`, preparing and
+    /// inserting it on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SolverBackend::prepare`] failures (nothing is cached on
+    /// error).
+    pub fn prepare(
+        &self,
+        backend: &dyn SolverBackend,
+        a: &Arc<CsrMatrix>,
+    ) -> Result<Arc<PreparedSolver>, LinalgError> {
+        let key = CacheKey {
+            backend_config: backend.config_fingerprint(),
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            nnz: a.nnz(),
+            matrix_fingerprint: matrix_fingerprint(a),
+        };
+        // A key match is only trusted after an exact comparison with the
+        // cached operator: the O(nnz) check costs no more than the hash we
+        // already computed and closes the fingerprint-collision hole.
+        let lookup = |entries: &mut Vec<CacheEntry>| -> Option<Arc<PreparedSolver>> {
+            let pos = entries
+                .iter()
+                .position(|e| e.key == key && e.solver.matrix().as_ref() == a.as_ref())?;
+            let entry = entries.remove(pos);
+            let solver = Arc::clone(&entry.solver);
+            entries.insert(0, entry); // LRU: move to front
+            Some(solver)
+        };
+        {
+            let mut entries = self.entries.lock().expect("factor cache poisoned");
+            if let Some(solver) = lookup(&mut entries) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(solver);
+            }
+        }
+        // Prepare outside the lock: factorization is the expensive part.
+        let solver = Arc::new(backend.prepare(Arc::clone(a))?);
+        let mut entries = self.entries.lock().expect("factor cache poisoned");
+        // Re-check: a concurrent caller may have prepared the same system
+        // while we did; keep one entry and drop the duplicate work.
+        if let Some(existing) = lookup(&mut entries) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(existing);
+        }
+        entries.insert(
+            0,
+            CacheEntry {
+                key,
+                solver: Arc::clone(&solver),
+            },
+        );
+        entries.truncate(self.capacity);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok(solver)
+    }
+
+    /// Number of cache hits so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of cache misses (i.e. preparations performed) so far.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of currently cached solvers.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("factor cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached solver (counters are kept).
+    pub fn clear(&self) {
+        self.entries.lock().expect("factor cache poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn spd(n: usize) -> Arc<CsrMatrix> {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0);
+            if i > 0 {
+                coo.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0);
+            }
+        }
+        Arc::new(coo.to_csr())
+    }
+
+    fn rhs(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 7) % 5) as f64 - 2.0).collect()
+    }
+
+    #[test]
+    fn backends_agree_on_the_same_system() {
+        let a = spd(64);
+        let b = rhs(64);
+        let backends: Vec<Box<dyn SolverBackend>> = vec![
+            Box::new(DirectCholesky::default()),
+            Box::new(Cg::with_tol(1e-12)),
+            Box::new(Gmres::with_tol(1e-12)),
+            Box::new(Auto::default()),
+            Box::new(Auto {
+                direct_limit: 8, // force the iterative arm
+                tol: 1e-12,
+            }),
+        ];
+        let reference = backends[0]
+            .prepare(Arc::clone(&a))
+            .unwrap()
+            .solve(&b)
+            .unwrap()
+            .x;
+        for backend in &backends {
+            let prepared = backend.prepare(Arc::clone(&a)).unwrap();
+            let sol = prepared.solve(&b).unwrap();
+            assert!(
+                a.residual(&sol.x, &b) < 1e-9,
+                "{} residual too large",
+                backend.name()
+            );
+            for (p, q) in sol.x.iter().zip(&reference) {
+                assert!(
+                    (p - q).abs() < 1e-7,
+                    "{} disagrees with direct",
+                    backend.name()
+                );
+            }
+            assert_eq!(sol.report.rhs_count, 1);
+            assert!(sol.report.solver_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn solve_many_matches_individual_solves() {
+        let a = spd(48);
+        let prepared = DirectCholesky::default().prepare(Arc::clone(&a)).unwrap();
+        let loads: Vec<Vec<f64>> = (0..5)
+            .map(|k| (0..48).map(|i| ((i + 3 * k) % 7) as f64 - 3.0).collect())
+            .collect();
+        let batch = prepared.solve_many(&loads, 4).unwrap();
+        assert_eq!(batch.report.rhs_count, 5);
+        assert_eq!(batch.xs.len(), 5);
+        for (b, x) in loads.iter().zip(&batch.xs) {
+            let single = prepared.solve(b).unwrap();
+            assert_eq!(&single.x, x, "batched and individual solves must agree");
+        }
+    }
+
+    #[test]
+    fn solve_many_aggregates_iterative_reports() {
+        let a = spd(32);
+        let prepared = Cg::with_tol(1e-11).prepare(Arc::clone(&a)).unwrap();
+        let loads: Vec<Vec<f64>> = (0..3)
+            .map(|k| (0..32).map(|i| ((i * (k + 2)) % 5) as f64).collect())
+            .collect();
+        let batch = prepared.solve_many(&loads, 2).unwrap();
+        assert!(batch.report.iterations.unwrap() > 0);
+        assert!(batch.report.residual.unwrap() <= 1e-11);
+        for (b, x) in loads.iter().zip(&batch.xs) {
+            assert!(a.residual(x, b) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn auto_falls_back_on_indefinite_operators() {
+        // Symmetric but indefinite: Cholesky must fail, Auto must still
+        // produce a working (GMRES) solver.
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 1, 3.0);
+        coo.push(1, 0, 3.0);
+        coo.push(1, 1, 1.0);
+        let a = Arc::new(coo.to_csr());
+        let prepared = Auto::default().prepare(Arc::clone(&a)).unwrap();
+        assert_eq!(prepared.backend(), "gmres");
+        let sol = prepared.solve(&[1.0, 2.0]).unwrap();
+        assert!(a.residual(&sol.x, &[1.0, 2.0]) < 1e-8);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let a = spd(8);
+        let prepared = DirectCholesky::default().prepare(a).unwrap();
+        assert!(matches!(
+            prepared.solve(&[1.0; 7]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            prepared.solve_many(&[vec![1.0; 8], vec![1.0; 9]], 2),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn factor_cache_hits_on_identical_systems() {
+        let cache = FactorCache::new();
+        let backend = DirectCholesky::default();
+        let a = spd(24);
+        let b = rhs(24);
+        let first = cache.prepare(&backend, &a).unwrap();
+        let x1 = first.solve(&b).unwrap().x;
+        for _ in 0..3 {
+            let again = cache.prepare(&backend, &a).unwrap();
+            assert!(Arc::ptr_eq(&first, &again), "same factor must be reused");
+            assert_eq!(again.solve(&b).unwrap().x, x1);
+        }
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 3);
+
+        // A matrix with identical pattern but different values must miss.
+        let mut coo = CooMatrix::new(24, 24);
+        for i in 0..24 {
+            coo.push(i, i, 5.0);
+            if i > 0 {
+                coo.push(i, i - 1, -1.0);
+            }
+            if i + 1 < 24 {
+                coo.push(i, i + 1, -1.0);
+            }
+        }
+        let a2 = Arc::new(coo.to_csr());
+        let other = cache.prepare(&backend, &a2).unwrap();
+        assert!(!Arc::ptr_eq(&first, &other));
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn factor_cache_distinguishes_backend_configs() {
+        let cache = FactorCache::new();
+        let a = spd(16);
+        cache.prepare(&Cg::with_tol(1e-6), &a).unwrap();
+        cache.prepare(&Cg::with_tol(1e-12), &a).unwrap();
+        assert_eq!(
+            cache.misses(),
+            2,
+            "different tolerances must not share an entry"
+        );
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn factor_cache_evicts_lru() {
+        let cache = FactorCache::with_capacity(2);
+        let backend = DirectCholesky::default();
+        let (a, b, c) = (spd(4), spd(5), spd(6));
+        cache.prepare(&backend, &a).unwrap();
+        cache.prepare(&backend, &b).unwrap();
+        cache.prepare(&backend, &a).unwrap(); // refresh a
+        cache.prepare(&backend, &c).unwrap(); // evicts b
+        assert_eq!(cache.len(), 2);
+        cache.prepare(&backend, &a).unwrap(); // still cached
+        assert_eq!(cache.hits(), 2);
+        cache.prepare(&backend, &b).unwrap(); // was evicted → miss
+        assert_eq!(cache.misses(), 4);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn dense_matrix_is_a_linear_operator() {
+        let m = DenseMatrix::from_rows(&[&[2.0, 0.0], &[1.0, 3.0]]);
+        assert_eq!(LinearOperator::apply(&m, &[1.0, 1.0]), vec![2.0, 4.0]);
+        assert!(m.rel_residual(&[1.0, 1.0], &[2.0, 4.0]) < 1e-15);
+    }
+}

@@ -78,10 +78,7 @@ impl SparseCholesky {
     /// # Errors
     ///
     /// Same as [`SparseCholesky::factor`].
-    pub fn factor_with_permutation(
-        a: &CsrMatrix,
-        perm: Permutation,
-    ) -> Result<Self, LinalgError> {
+    pub fn factor_with_permutation(a: &CsrMatrix, perm: Permutation) -> Result<Self, LinalgError> {
         if a.nrows() != a.ncols() {
             return Err(LinalgError::DimensionMismatch {
                 context: "sparse Cholesky (matrix must be square)",

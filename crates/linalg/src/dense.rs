@@ -60,7 +60,11 @@ impl DenseMatrix {
             assert_eq!(row.len(), c, "from_rows: ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix from a flat row-major buffer.
@@ -313,11 +317,7 @@ mod tests {
 
     #[test]
     fn solve_small_system() {
-        let a = DenseMatrix::from_rows(&[
-            &[4.0, -2.0, 1.0],
-            &[-2.0, 4.0, -2.0],
-            &[1.0, -2.0, 4.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[4.0, -2.0, 1.0], &[-2.0, 4.0, -2.0], &[1.0, -2.0, 4.0]]);
         let x_true = [1.0, 2.0, 3.0];
         let b = a.matvec(&x_true);
         let x = a.lu().unwrap().solve(&b).unwrap();
@@ -359,9 +359,6 @@ mod tests {
     #[test]
     fn non_square_lu_rejected() {
         let a = DenseMatrix::zeros(2, 3);
-        assert!(matches!(
-            a.lu(),
-            Err(LinalgError::DimensionMismatch { .. })
-        ));
+        assert!(matches!(a.lu(), Err(LinalgError::DimensionMismatch { .. })));
     }
 }

@@ -7,7 +7,7 @@
 //! projection of an SPD operator), so CG applies too; both are provided and
 //! compared in `benches/ablation_global_solver.rs`.
 
-use crate::{axpy, dot, norm2, CsrMatrix, LinalgError};
+use crate::{axpy, dot, norm2, CsrMatrix, LinalgError, LinearOperator};
 
 /// Application of a preconditioner `z ≈ A⁻¹ r`.
 ///
@@ -149,7 +149,7 @@ pub struct IterativeSolution {
 }
 
 /// Options for [`solve_cg`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CgOptions {
     /// Relative residual tolerance `‖r‖/‖b‖`.
     pub tol: f64,
@@ -187,12 +187,16 @@ impl Default for CgOptions {
 /// # Ok(())
 /// # }
 /// ```
-pub fn solve_cg<P: Preconditioner>(
-    a: &CsrMatrix,
+pub fn solve_cg<A, P>(
+    a: &A,
     b: &[f64],
     precond: &P,
     opts: CgOptions,
-) -> Result<IterativeSolution, LinalgError> {
+) -> Result<IterativeSolution, LinalgError>
+where
+    A: LinearOperator + ?Sized,
+    P: Preconditioner + ?Sized,
+{
     let n = a.nrows();
     if b.len() != n || a.ncols() != n {
         return Err(LinalgError::DimensionMismatch {
@@ -217,7 +221,7 @@ pub fn solve_cg<P: Preconditioner>(
     let mut rz = dot(&r, &z);
     let mut ap = vec![0.0; n];
     for it in 0..opts.max_iter {
-        a.spmv_into(&p, &mut ap);
+        a.apply_into(&p, &mut ap);
         let alpha = rz / dot(&p, &ap);
         axpy(alpha, &p, &mut x);
         axpy(-alpha, &ap, &mut r);
@@ -244,7 +248,7 @@ pub fn solve_cg<P: Preconditioner>(
 }
 
 /// Options for [`solve_gmres`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GmresOptions {
     /// Relative residual tolerance `‖r‖/‖b‖`.
     pub tol: f64,
@@ -274,12 +278,16 @@ impl Default for GmresOptions {
 ///
 /// [`LinalgError::DidNotConverge`] if the tolerance is not met within the
 /// restart budget; [`LinalgError::DimensionMismatch`] on shape errors.
-pub fn solve_gmres<P: Preconditioner>(
-    a: &CsrMatrix,
+pub fn solve_gmres<A, P>(
+    a: &A,
     b: &[f64],
     precond: &P,
     opts: GmresOptions,
-) -> Result<IterativeSolution, LinalgError> {
+) -> Result<IterativeSolution, LinalgError>
+where
+    A: LinearOperator + ?Sized,
+    P: Preconditioner + ?Sized,
+{
     let n = a.nrows();
     if b.len() != n || a.ncols() != n {
         return Err(LinalgError::DimensionMismatch {
@@ -308,13 +316,13 @@ pub fn solve_gmres<P: Preconditioner>(
 
     for _cycle in 0..opts.max_restarts {
         // r = M⁻¹ (b - A x)
-        let ax = a.spmv(&x);
+        let ax = a.apply(&x);
         let raw: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
         let mut r = vec![0.0; n];
         precond.apply(&raw, &mut r);
         let beta = norm2(&r);
         if beta / nmb <= opts.tol {
-            let rn = a.residual(&x, b);
+            let rn = a.rel_residual(&x, b);
             return Ok(IterativeSolution {
                 x,
                 iterations: total_iters,
@@ -336,7 +344,7 @@ pub fn solve_gmres<P: Preconditioner>(
         for j in 0..m {
             total_iters += 1;
             // w = M⁻¹ A v_j
-            a.spmv_into(&v[j], &mut scratch);
+            a.apply_into(&v[j], &mut scratch);
             let mut w = vec![0.0; n];
             precond.apply(&scratch, &mut w);
             // Modified Gram–Schmidt.
@@ -389,7 +397,7 @@ pub fn solve_gmres<P: Preconditioner>(
             axpy(*yj, &v[j], &mut x);
         }
         if converged {
-            let rn = a.residual(&x, b);
+            let rn = a.rel_residual(&x, b);
             return Ok(IterativeSolution {
                 x,
                 iterations: total_iters,
@@ -397,7 +405,7 @@ pub fn solve_gmres<P: Preconditioner>(
             });
         }
     }
-    let rn = a.residual(&x, b);
+    let rn = a.rel_residual(&x, b);
     Err(LinalgError::DidNotConverge {
         iterations: total_iters,
         residual: rn,
@@ -489,10 +497,21 @@ mod tests {
     #[test]
     fn zero_rhs_short_circuits() {
         let a = spd_test_matrix(10);
-        let sol = solve_cg(&a, &[0.0; 10], &IdentityPreconditioner, CgOptions::default()).unwrap();
+        let sol = solve_cg(
+            &a,
+            &[0.0; 10],
+            &IdentityPreconditioner,
+            CgOptions::default(),
+        )
+        .unwrap();
         assert_eq!(sol.x, vec![0.0; 10]);
-        let sol = solve_gmres(&a, &[0.0; 10], &IdentityPreconditioner, GmresOptions::default())
-            .unwrap();
+        let sol = solve_gmres(
+            &a,
+            &[0.0; 10],
+            &IdentityPreconditioner,
+            GmresOptions::default(),
+        )
+        .unwrap();
         assert_eq!(sol.iterations, 0);
     }
 
@@ -518,7 +537,9 @@ mod tests {
         let b: Vec<f64> = (0..60).map(|i| ((i % 5) as f64) - 2.0).collect();
         let jac = JacobiPreconditioner::new(&a);
         let x1 = solve_cg(&a, &b, &jac, CgOptions::default()).unwrap().x;
-        let x2 = solve_gmres(&a, &b, &jac, GmresOptions::default()).unwrap().x;
+        let x2 = solve_gmres(&a, &b, &jac, GmresOptions::default())
+            .unwrap()
+            .x;
         for (p, q) in x1.iter().zip(&x2) {
             assert!((p - q).abs() < 1e-7);
         }

@@ -14,6 +14,14 @@
 //!   by the global stage (the paper solves the global system with GMRES).
 //! * [`MemoryFootprint`] — analytic heap accounting used to report the memory
 //!   columns of Tables 1 and 2.
+//! * [`SolverBackend`] / [`PreparedSolver`] — the unified solver backend
+//!   layer every solve site in the workspace routes through: prepare once
+//!   (factor or build a preconditioner), then solve any number of
+//!   right-hand sides, batched task-parallel via
+//!   [`PreparedSolver::solve_many`].
+//! * [`FactorCache`] — content-addressed memo of prepared solvers, so
+//!   repeated solves over the same operator (many thermal loads on one
+//!   lattice) pay for one factorization.
 //!
 //! # Example
 //!
@@ -38,6 +46,7 @@
 #![warn(missing_docs)]
 #![allow(clippy::needless_range_loop)] // indexed loops over parallel arrays are the FEM idiom
 
+mod backend;
 mod cholesky;
 mod dense;
 mod error;
@@ -47,12 +56,16 @@ mod ordering;
 mod sparse;
 mod vecops;
 
+pub use backend::{
+    default_solve_threads, Auto, BackendSolution, BatchSolution, Cg, DirectCholesky, FactorCache,
+    Gmres, LinearOperator, PrecondSpec, PreparedSolver, SolveReport, SolverBackend,
+};
 pub use cholesky::SparseCholesky;
 pub use dense::{DenseLu, DenseMatrix};
 pub use error::LinalgError;
 pub use iterative::{
-    solve_cg, solve_gmres, CgOptions, GmresOptions, IdentityPreconditioner,
-    IterativeSolution, JacobiPreconditioner, Preconditioner, SsorPreconditioner,
+    solve_cg, solve_gmres, CgOptions, GmresOptions, IdentityPreconditioner, IterativeSolution,
+    JacobiPreconditioner, Preconditioner, SsorPreconditioner,
 };
 pub use memory::MemoryFootprint;
 pub use ordering::{bandwidth, reverse_cuthill_mckee, Permutation};

@@ -151,7 +151,13 @@ pub fn reverse_cuthill_mckee(a: &CsrMatrix) -> Permutation {
         while let Some(v) = queue.pop_front() {
             order.push(v);
             neighbors.clear();
-            neighbors.extend(a.row(v).0.iter().copied().filter(|&w| w != v && !visited[w]));
+            neighbors.extend(
+                a.row(v)
+                    .0
+                    .iter()
+                    .copied()
+                    .filter(|&w| w != v && !visited[w]),
+            );
             neighbors.sort_unstable_by_key(|&w| degree(w));
             for &w in &neighbors {
                 if !visited[w] {

@@ -61,7 +61,10 @@ impl CooMatrix {
     /// Panics if `i` or `j` is out of bounds.
     #[inline]
     pub fn push(&mut self, i: usize, j: usize, v: f64) {
-        assert!(i < self.nrows && j < self.ncols, "CooMatrix::push out of bounds");
+        assert!(
+            i < self.nrows && j < self.ncols,
+            "CooMatrix::push out of bounds"
+        );
         self.rows.push(i);
         self.cols.push(j);
         self.vals.push(v);
@@ -112,7 +115,12 @@ impl CooMatrix {
             let lo = row_ptr[r];
             let hi = row_ptr[r + 1];
             scratch.clear();
-            scratch.extend(col_idx[lo..hi].iter().copied().zip(values[lo..hi].iter().copied()));
+            scratch.extend(
+                col_idx[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(values[lo..hi].iter().copied()),
+            );
             scratch.sort_unstable_by_key(|&(c, _)| c);
             let mut i = 0;
             while i < scratch.len() {
@@ -391,7 +399,12 @@ impl CsrMatrix {
     ///
     /// The local stage uses this to split the unit-block operator into
     /// `A_ff` (free × free) and `A_fb` (free × boundary), Eq. 12 of the paper.
-    pub fn extract(&self, rows: &[usize], col_map: &[Option<usize>], new_ncols: usize) -> CsrMatrix {
+    pub fn extract(
+        &self,
+        rows: &[usize],
+        col_map: &[Option<usize>],
+        new_ncols: usize,
+    ) -> CsrMatrix {
         assert_eq!(col_map.len(), self.ncols, "extract: col_map length");
         let mut row_ptr = Vec::with_capacity(rows.len() + 1);
         row_ptr.push(0usize);
@@ -585,7 +598,10 @@ mod tests {
         // b[new_i][new_j] == a[perm[new_i]][perm[new_j]]
         for ni in 0..4 {
             for nj in 0..4 {
-                assert_eq!(b.get(ni, nj), a.get(perm.as_slice()[ni], perm.as_slice()[nj]));
+                assert_eq!(
+                    b.get(ni, nj),
+                    a.get(perm.as_slice()[ni], perm.as_slice()[nj])
+                );
             }
         }
     }

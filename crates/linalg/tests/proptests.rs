@@ -1,18 +1,19 @@
 //! Property-based tests of the linear algebra kernels.
 
+#![allow(clippy::needless_range_loop)] // indexed loops over parallel arrays
+
+use std::sync::Arc;
+
 use morestress_linalg::{
-    reverse_cuthill_mckee, solve_cg, solve_gmres, CgOptions, CooMatrix, CsrMatrix, DenseMatrix,
-    GmresOptions, JacobiPreconditioner, Permutation, SparseCholesky,
+    reverse_cuthill_mckee, solve_cg, solve_gmres, Auto, CgOptions, CooMatrix, CsrMatrix,
+    DenseMatrix, DirectCholesky, GmresOptions, JacobiPreconditioner, Permutation, SolverBackend,
+    SparseCholesky,
 };
 use proptest::prelude::*;
 
 /// Random sparse triplets on an n×n matrix.
 fn coo_strategy(n: usize, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
-    prop::collection::vec(
-        (0..n, 0..n, -10.0f64..10.0),
-        1..max_nnz,
-    )
-    .prop_map(move |trips| {
+    prop::collection::vec((0..n, 0..n, -10.0f64..10.0), 1..max_nnz).prop_map(move |trips| {
         let mut coo = CooMatrix::new(n, n);
         for (i, j, v) in trips {
             coo.push(i, j, v);
@@ -166,6 +167,44 @@ proptest! {
         let solved = m.lu().unwrap().solve(&b).unwrap();
         for i in 0..4 {
             prop_assert!((solved[i] - x[i]).abs() < 1e-8);
+        }
+    }
+
+    /// The `Auto` policy always prepares a backend that converges on random
+    /// SPD systems, whichever side of the direct/iterative threshold the
+    /// system lands on.
+    #[test]
+    fn auto_policy_converges_on_random_spd(a in spd_strategy(12),
+                                           b in prop::collection::vec(-3.0f64..3.0, 12),
+                                           direct_limit in 0usize..24) {
+        let a = Arc::new(a);
+        let auto = Auto { direct_limit, tol: 1e-10 };
+        let prepared = auto
+            .prepare(Arc::clone(&a))
+            .expect("Auto must prepare on an SPD operator");
+        let sol = prepared
+            .solve(&b)
+            .expect("the auto-selected backend must converge");
+        prop_assert!(
+            a.residual(&sol.x, &b) < 1e-7,
+            "auto picked {} with residual {}",
+            prepared.backend(),
+            a.residual(&sol.x, &b)
+        );
+    }
+
+    /// The batched multi-RHS path returns exactly what per-RHS solves do.
+    #[test]
+    fn batched_solves_match_individual(a in spd_strategy(10),
+                                       bs in prop::collection::vec(
+                                           prop::collection::vec(-2.0f64..2.0, 10), 1..6)) {
+        let prepared = DirectCholesky::default()
+            .prepare(Arc::new(a))
+            .expect("SPD by construction");
+        let batch = prepared.solve_many(&bs, 3).expect("direct solve");
+        prop_assert_eq!(batch.xs.len(), bs.len());
+        for (b, x) in bs.iter().zip(&batch.xs) {
+            prop_assert_eq!(&prepared.solve(b).expect("direct solve").x, x);
         }
     }
 }

@@ -171,7 +171,11 @@ mod tests {
             assert_eq!(array.material(e), MAT_CU);
         }
         // Count Cu elements: exactly 2x the unit block's.
-        let count = |m: &HexMesh| (0..m.num_elems()).filter(|&e| m.material(e) == MAT_CU).count();
+        let count = |m: &HexMesh| {
+            (0..m.num_elems())
+                .filter(|&e| m.material(e) == MAT_CU)
+                .count()
+        };
         assert_eq!(count(&array), 2 * count(&block));
     }
 

@@ -70,7 +70,10 @@ impl Grid1d {
             a < b_lo && b_lo < b_hi && b_hi < b,
             "band must be strictly inside the interval"
         );
-        assert!(outer_cells > 0 && band_cells > 0, "cell counts must be nonzero");
+        assert!(
+            outer_cells > 0 && band_cells > 0,
+            "cell counts must be nonzero"
+        );
         let mut points = Vec::with_capacity(2 * outer_cells + band_cells + 1);
         let left = Grid1d::uniform(a, b_lo, outer_cells);
         let mid = Grid1d::uniform(b_lo, b_hi, band_cells);

@@ -81,11 +81,11 @@ impl HexMesh {
         let mut elem_of_cell = vec![ABSENT; ncx * ncy * ncz];
 
         let touch = |node_of_lattice: &mut Vec<usize>,
-                         nodes: &mut Vec<[f64; 3]>,
-                         lattice_of_node: &mut Vec<[usize; 3]>,
-                         i: usize,
-                         j: usize,
-                         k: usize|
+                     nodes: &mut Vec<[f64; 3]>,
+                     lattice_of_node: &mut Vec<[usize; 3]>,
+                     i: usize,
+                     j: usize,
+                     k: usize|
          -> usize {
             let lat = lat_node(i, j, k);
             if node_of_lattice[lat] == ABSENT {
@@ -104,14 +104,70 @@ impl HexMesh {
                         continue;
                     };
                     let conn = [
-                        touch(&mut node_of_lattice, &mut nodes, &mut lattice_of_node, i, j, k),
-                        touch(&mut node_of_lattice, &mut nodes, &mut lattice_of_node, i + 1, j, k),
-                        touch(&mut node_of_lattice, &mut nodes, &mut lattice_of_node, i + 1, j + 1, k),
-                        touch(&mut node_of_lattice, &mut nodes, &mut lattice_of_node, i, j + 1, k),
-                        touch(&mut node_of_lattice, &mut nodes, &mut lattice_of_node, i, j, k + 1),
-                        touch(&mut node_of_lattice, &mut nodes, &mut lattice_of_node, i + 1, j, k + 1),
-                        touch(&mut node_of_lattice, &mut nodes, &mut lattice_of_node, i + 1, j + 1, k + 1),
-                        touch(&mut node_of_lattice, &mut nodes, &mut lattice_of_node, i, j + 1, k + 1),
+                        touch(
+                            &mut node_of_lattice,
+                            &mut nodes,
+                            &mut lattice_of_node,
+                            i,
+                            j,
+                            k,
+                        ),
+                        touch(
+                            &mut node_of_lattice,
+                            &mut nodes,
+                            &mut lattice_of_node,
+                            i + 1,
+                            j,
+                            k,
+                        ),
+                        touch(
+                            &mut node_of_lattice,
+                            &mut nodes,
+                            &mut lattice_of_node,
+                            i + 1,
+                            j + 1,
+                            k,
+                        ),
+                        touch(
+                            &mut node_of_lattice,
+                            &mut nodes,
+                            &mut lattice_of_node,
+                            i,
+                            j + 1,
+                            k,
+                        ),
+                        touch(
+                            &mut node_of_lattice,
+                            &mut nodes,
+                            &mut lattice_of_node,
+                            i,
+                            j,
+                            k + 1,
+                        ),
+                        touch(
+                            &mut node_of_lattice,
+                            &mut nodes,
+                            &mut lattice_of_node,
+                            i + 1,
+                            j,
+                            k + 1,
+                        ),
+                        touch(
+                            &mut node_of_lattice,
+                            &mut nodes,
+                            &mut lattice_of_node,
+                            i + 1,
+                            j + 1,
+                            k + 1,
+                        ),
+                        touch(
+                            &mut node_of_lattice,
+                            &mut nodes,
+                            &mut lattice_of_node,
+                            i,
+                            j + 1,
+                            k + 1,
+                        ),
                     ];
                     elem_of_cell[cell] = elems.len();
                     elems.push(conn);

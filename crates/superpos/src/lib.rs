@@ -135,15 +135,16 @@ impl SuperpositionSolver {
         let p = geom.pitch;
         let z_mid = 0.5 * geom.height;
 
-        let solve = |layout: &BlockLayout| -> Result<(morestress_mesh::HexMesh, Vec<f64>), FemError> {
-            let mesh = array_mesh(geom, res, layout);
-            let (_, _, npz) = mesh.lattice_dims();
-            let mut bcs = DirichletBcs::new();
-            bcs.clamp_nodes(&mesh.plane_nodes(2, 0));
-            bcs.clamp_nodes(&mesh.plane_nodes(2, npz - 1));
-            let sol = solve_thermal_stress(&mesh, materials, 1.0, &bcs, LinearSolver::Auto)?;
-            Ok((mesh, sol.displacement))
-        };
+        let solve =
+            |layout: &BlockLayout| -> Result<(morestress_mesh::HexMesh, Vec<f64>), FemError> {
+                let mesh = array_mesh(geom, res, layout);
+                let (_, _, npz) = mesh.lattice_dims();
+                let mut bcs = DirichletBcs::new();
+                bcs.clamp_nodes(&mesh.plane_nodes(2, 0));
+                bcs.clamp_nodes(&mesh.plane_nodes(2, npz - 1));
+                let sol = solve_thermal_stress(&mesh, materials, 1.0, &bcs, LinearSolver::Auto)?;
+                Ok((mesh, sol.displacement))
+            };
         let (mesh_tsv, u_tsv) = solve(&layout)?;
         let (mesh_si, u_si) = solve(&pure)?;
 

@@ -7,12 +7,20 @@
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
-//! | [`rom`] | `morestress-core` | the MORE-Stress algorithm (local stage, global stage, sub-modeling, reconstruction) |
-//! | [`fem`] | `morestress-fem` | the full-FEM reference solver ("ANSYS substitute"), materials, stress recovery |
+//! | [`rom`] | `morestress-core` | the MORE-Stress algorithm: one-shot local stage, global stage with batched multi-load solves (`solve_array_many`), sub-modeling, reconstruction |
+//! | [`fem`] | `morestress-fem` | the full-FEM reference solver ("ANSYS substitute"), materials, stress recovery, batched `solve_thermal_stress_many` |
 //! | [`mesh`] | `morestress-mesh` | graded structured hex meshes of unit blocks, arrays and chiplet stacks |
-//! | [`linalg`] | `morestress-linalg` | CSR, sparse Cholesky, CG, GMRES, RCM ordering |
+//! | [`linalg`] | `morestress-linalg` | CSR, sparse Cholesky, CG, GMRES, RCM ordering, and the unified `SolverBackend` layer with `FactorCache` and multi-RHS `solve_many` |
 //! | [`superpos`] | `morestress-superpos` | the linear-superposition baseline |
 //! | [`chiplet`] | `morestress-chiplet` | the coarse package model driving sub-modeling |
+//!
+//! Every linear solve in the workspace — reference FEM, ROM global stage,
+//! chiplet coarse model — routes through `linalg`'s `SolverBackend` trait:
+//! backends are *prepared* once per operator (factorization or
+//! preconditioner build) and then solve any number of right-hand sides,
+//! task-parallel for batches. A `FactorCache` memoizes prepared backends by
+//! operator fingerprint, so re-solving the same lattice under new thermal
+//! loads costs two triangular sweeps, not a new factorization.
 //!
 //! # Quickstart
 //!
@@ -30,13 +38,28 @@
 //!     &SimulatorOptions::default(),
 //! )?;
 //! // Global stage: any array size / thermal load, in milliseconds.
-//! let layout = BlockLayout::uniform(5, 5, BlockKind::Tsv);
+//! let layout = BlockLayout::uniform(4, 4, BlockKind::Tsv);
 //! let solution = sim.solve_array(&layout, -250.0, &GlobalBc::ClampedTopBottom)?;
-//! let stress = sim.sample_midplane(&layout, &solution, -250.0, 10)?;
+//! let stress = sim.sample_midplane(&layout, &solution, -250.0, 4)?;
 //! println!("peak von Mises: {:.1} MPa", stress.max());
+//!
+//! // Batched: many thermal loads from ONE cached factorization.
+//! let sweep = sim.solve_array_many(
+//!     &layout,
+//!     &[-250.0, -150.0, -50.0, 85.0],
+//!     &GlobalBc::ClampedTopBottom,
+//! )?;
+//! assert_eq!(sweep.len(), 4);
+//! assert_eq!(sim.factor_cache().misses(), 1); // solve_array reused it too
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Larger, slower walkthroughs (array scaling sweeps, the chiplet
+//! sub-modeling pipeline, convergence studies) are kept out of doctests and
+//! live in `examples/` — run them with `cargo run --release --example
+//! quickstart` etc.; the paper's tables regenerate with `cargo run -p
+//! morestress-bench --bin repro --release`.
 
 pub use morestress_chiplet as chiplet;
 pub use morestress_core as rom;
@@ -55,10 +78,11 @@ pub mod prelude {
         LocalStageOptions, MoreStressSimulator, ReducedOrderModel, RomSolver, SimulatorOptions,
     };
     pub use morestress_fem::{
-        normalized_mae, sample_von_mises, solve_thermal_stress, stress_at, write_field_csv,
-        write_vtk, DirichletBcs, LinearSolver, Material, MaterialSet, PlaneGrid, ScalarField2d,
-        StressSample,
+        normalized_mae, sample_von_mises, solve_thermal_stress, solve_thermal_stress_many,
+        stress_at, write_field_csv, write_vtk, DirichletBcs, LinearSolver, Material, MaterialSet,
+        PlaneGrid, ScalarField2d, StressSample,
     };
+    pub use morestress_linalg::{FactorCache, PreparedSolver, SolveReport, SolverBackend};
     pub use morestress_mesh::{
         array_mesh, unit_block_mesh, BlockKind, BlockLayout, BlockResolution, TsvGeometry,
     };

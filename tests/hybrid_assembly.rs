@@ -30,13 +30,7 @@ fn checkerboard_hybrid_array_matches_full_fem() {
     bcs.clamp_nodes(&mesh.plane_nodes(2, npz - 1));
     let fem = solve_thermal_stress(&mesh, &mats, delta_t, &bcs, LinearSolver::DirectCholesky)
         .expect("reference");
-    let grid = PlaneGrid::new(
-        [0.0, 0.0],
-        [45.0, 45.0],
-        0.5 * geom.height,
-        g * 3,
-        g * 3,
-    );
+    let grid = PlaneGrid::new([0.0, 0.0], [45.0, 45.0], 0.5 * geom.height, g * 3, g * 3);
     let reference =
         sample_von_mises(&mesh, &mats, &fem.displacement, delta_t, &grid).expect("sampling");
 

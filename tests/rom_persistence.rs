@@ -40,11 +40,7 @@ fn save_load_roundtrip_preserves_solutions() {
         .expect("simulator")
         .solve_array(&layout, -250.0, &GlobalBc::ClampedTopBottom)
         .expect("solve");
-    for (x, y) in a
-        .nodal_displacement()
-        .iter()
-        .zip(b.nodal_displacement())
-    {
+    for (x, y) in a.nodal_displacement().iter().zip(b.nodal_displacement()) {
         assert_eq!(x, y, "bitwise identical solutions after reload");
     }
     let _ = std::fs::remove_file(&path);

@@ -46,8 +46,15 @@ fn rom_beats_superposition_on_dense_array() {
     let ls_field = superpos.evaluate_array(&layout, delta_t, g);
     let ls_err = normalized_mae(&ls_field, &reference);
 
-    println!("p=10 3x3: ROM {:.3}%, LS {:.3}%", rom_err * 100.0, ls_err * 100.0);
-    assert!(rom_err < ls_err, "ROM {rom_err} must beat superposition {ls_err}");
+    println!(
+        "p=10 3x3: ROM {:.3}%, LS {:.3}%",
+        rom_err * 100.0,
+        ls_err * 100.0
+    );
+    assert!(
+        rom_err < ls_err,
+        "ROM {rom_err} must beat superposition {ls_err}"
+    );
     assert!(rom_err < 0.02, "ROM error {rom_err} should be below 2%");
 }
 

@@ -23,13 +23,8 @@ fn setup() -> Scenario2 {
     let mats = MaterialSet::tsv_defaults();
     let chiplet_geom = ChipletGeometry::bench_defaults();
     let chiplet = Arc::new(
-        ChipletModel::solve(
-            &chiplet_geom,
-            &ChipletResolution::coarse(),
-            &mats,
-            -250.0,
-        )
-        .expect("chiplet solves"),
+        ChipletModel::solve(&chiplet_geom, &ChipletResolution::coarse(), &mats, -250.0)
+            .expect("chiplet solves"),
     );
     let layout = BlockLayout::uniform(2, 2, BlockKind::Tsv).padded(1);
     let array_size = geom.pitch * layout.nx() as f64;
@@ -95,7 +90,11 @@ fn rom_handles_sharp_background_better_than_superposition() {
     let ls_field = superpos.evaluate_array_with_background(&s.layout, -250.0, g, |p| bg(p));
     let ls_err = normalized_mae(&ls_field, &reference);
 
-    println!("loc5: ROM {:.2}%, LS {:.2}%", rom_err * 100.0, ls_err * 100.0);
+    println!(
+        "loc5: ROM {:.2}%, LS {:.2}%",
+        rom_err * 100.0,
+        ls_err * 100.0
+    );
     assert!(
         rom_err * 2.0 < ls_err,
         "ROM ({rom_err}) must be at least 2x more accurate than superposition ({ls_err}) at loc5"
@@ -131,14 +130,22 @@ fn rom_submodel_error_converges_with_interpolation_order() {
             .expect("sampling");
         errors.push(normalized_mae(&field, &reference));
     }
-    println!("loc3 convergence: (3,3,3) {:.3}% -> (6,6,6) {:.3}%", errors[0] * 100.0, errors[1] * 100.0);
+    println!(
+        "loc3 convergence: (3,3,3) {:.3}% -> (6,6,6) {:.3}%",
+        errors[0] * 100.0,
+        errors[1] * 100.0
+    );
     assert!(
         errors[1] < 0.5 * errors[0],
         "error must at least halve from (3,3,3) ({}) to (6,6,6) ({})",
         errors[0],
         errors[1]
     );
-    assert!(errors[1] < 0.03, "(6,6,6) sub-model error {} < 3%", errors[1]);
+    assert!(
+        errors[1] < 0.03,
+        "(6,6,6) sub-model error {} < 3%",
+        errors[1]
+    );
 }
 
 #[test]
