@@ -1,10 +1,20 @@
 //! Ablation: thread count of the one-shot local stage. The paper runs its
 //! local stage with 16 threads; the n+1 local solves share one Cholesky
-//! factor and parallelize at task level.
+//! factor and parallelize at task level on the shared [`WorkPool`].
+//!
+//! The `spawn_overhead` group isolates what the pool buys over the pre-pool
+//! pattern (a fresh `std::thread::scope` per stage call): both dispatchers
+//! run the same task-counter loop over a local-stage-shaped task set whose
+//! tasks are trivially small, so the measured difference is almost pure
+//! spawn/teardown cost — exactly the per-call overhead a placement loop
+//! that builds thousands of small stages keeps paying without the pool.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use morestress_core::{InterpolationGrid, LocalStage, LocalStageOptions};
 use morestress_fem::MaterialSet;
+use morestress_linalg::WorkPool;
 use morestress_mesh::{BlockKind, BlockResolution, TsvGeometry};
 
 fn bench_parallel_local(c: &mut Criterion) {
@@ -33,5 +43,60 @@ fn bench_parallel_local(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parallel_local);
+fn bench_spawn_overhead(c: &mut Criterion) {
+    // The local stage's dispatch shape with [3,3,3] interpolation: a small
+    // task set (n+1 = 79 tasks) of near-zero work each, fanned over 8
+    // workers — small enough that per-call spawn cost dominates.
+    const TASKS: usize = 79;
+    const WORKERS: usize = 8;
+    let tiny_task = |i: usize| {
+        black_box(i.wrapping_mul(0x9E37_79B9).rotate_left(7));
+    };
+
+    let mut group = c.benchmark_group("spawn_overhead");
+
+    // Pre-PR pattern: every stage call spawns (and joins) fresh threads.
+    group.bench_function("adhoc_scope", |b| {
+        b.iter(|| {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..WORKERS {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= TASKS {
+                            return;
+                        }
+                        tiny_task(i);
+                    });
+                }
+            });
+        })
+    });
+
+    // Post-PR pattern: the same task set on the warm shared pool.
+    let pool = WorkPool::new(WORKERS);
+    pool.scope_chunks(WORKERS, TASKS, tiny_task); // warm the workers up
+    group.bench_function("warm_pool", |b| {
+        b.iter(|| {
+            pool.scope_chunks(WORKERS, TASKS, tiny_task);
+        })
+    });
+
+    // And the real thing at a size where the overhead is still visible: a
+    // coarse [2,2,2] local-stage build (25 tasks of real but small solves).
+    let small_stage = LocalStage::new(
+        &TsvGeometry::paper_defaults(10.0),
+        &BlockResolution::coarse(),
+        InterpolationGrid::new([2, 2, 2]),
+        &MaterialSet::tsv_defaults(),
+        BlockKind::Tsv,
+    );
+    let opts = LocalStageOptions { threads: WORKERS };
+    group.bench_function("small_local_stage_warm_pool", |b| {
+        b.iter(|| pool.install(|| small_stage.build(&opts).expect("build")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_local, bench_spawn_overhead);
 criterion_main!(benches);

@@ -182,8 +182,10 @@ impl ChipletModel {
 
     /// Solves the coarse chiplet for several thermal loads at once: the
     /// mesh is built and the stiffness factored once, then all loads are
-    /// solved through the batched multi-RHS backend path. Returns one model
-    /// per entry of `delta_ts`, in order.
+    /// solved through the batched multi-RHS backend path on the shared
+    /// `morestress_linalg::WorkPool` (wrap the call in `WorkPool::install`
+    /// to bound its parallelism). Returns one model per entry of
+    /// `delta_ts`, in order.
     ///
     /// # Errors
     ///

@@ -245,6 +245,9 @@ pub struct GlobalStats {
     /// Name of the solver backend that ran ("cholesky", "cg", "gmres";
     /// "none" when every DoF was prescribed).
     pub backend: &'static str,
+    /// Effective [`WorkPool`](morestress_linalg::WorkPool) worker slots the
+    /// batched solve ran on (1 for serial and fully-constrained solves).
+    pub workers: usize,
 }
 
 /// The solved global problem of one array.
@@ -310,8 +313,13 @@ impl<'a> GlobalStage<'a> {
         self
     }
 
-    /// Sets the worker-thread cap for the batched
+    /// Sets the worker-slot cap for the batched
     /// [`solve_many`](Self::solve_many) path.
+    ///
+    /// This overrides the default (the current
+    /// [`WorkPool`](morestress_linalg::WorkPool) cap) downwards; the solve
+    /// runs on the shared pool either way, so the override can narrow a
+    /// call but never adds threads beyond the pool cap.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
@@ -482,6 +490,7 @@ impl<'a> GlobalStage<'a> {
                 nnz: 0,
                 iterations: 0,
                 backend: "none",
+                workers: 1,
             };
             return Ok(delta_ts
                 .iter()
@@ -527,6 +536,7 @@ impl<'a> GlobalStage<'a> {
             nnz: reduced.a_ff.nnz(),
             iterations: batch.report.iterations.unwrap_or(0),
             backend: batch.report.backend,
+            workers: batch.report.workers,
         };
         Ok(batch
             .xs

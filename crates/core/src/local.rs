@@ -19,11 +19,11 @@
 //! [`LocalStageStats::galerkin_orthogonality`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use morestress_fem::{assemble_system, MaterialSet};
-use morestress_linalg::{DenseMatrix, DirectCholesky, MemoryFootprint, SolverBackend};
+use morestress_linalg::{DenseMatrix, DirectCholesky, MemoryFootprint, SolverBackend, WorkPool};
 use morestress_mesh::{unit_block_mesh, BlockKind, BlockResolution, TsvGeometry};
 
 use crate::{InterpolationGrid, ReducedOrderModel, RomError};
@@ -31,14 +31,24 @@ use crate::{InterpolationGrid, ReducedOrderModel, RomError};
 /// Options controlling the local-stage build.
 #[derive(Debug, Clone, Copy)]
 pub struct LocalStageOptions {
-    /// Worker threads for the n+1 local solves (the paper uses 16).
+    /// Worker-slot cap for the n+1 local solves (the paper uses 16).
+    ///
+    /// This is a *cap override* on the current [`WorkPool`], not a spawn
+    /// count: the build runs on the shared pool's resident workers and is
+    /// clamped to the pool's own cap, so nested stages can never multiply
+    /// thread counts.
     pub threads: usize,
 }
 
 impl Default for LocalStageOptions {
     fn default() -> Self {
-        let threads = std::thread::available_parallelism().map_or(4, |p| p.get().min(16));
-        Self { threads }
+        // Derived from the shared pool (not an independent
+        // `available_parallelism` read) so that this default and
+        // `default_solve_threads()` can never disagree and compound into
+        // cap² threads when stages nest.
+        Self {
+            threads: WorkPool::current().cap(),
+        }
     }
 }
 
@@ -146,7 +156,8 @@ impl LocalStage {
         // --- Factor once (the paper's key reuse) --------------------------
         let chol = DirectCholesky::default().prepare(Arc::clone(&a_ff))?;
 
-        // --- n+1 local solves, task-parallel -------------------------------
+        // --- n+1 local solves, task-parallel on the shared pool ------------
+        let pool = WorkPool::current();
         let n = self.interp.num_dofs();
         let num_tasks = n + 1; // basis functions + thermal bubble
         let threads = opts.threads.max(1).min(num_tasks);
@@ -155,9 +166,8 @@ impl LocalStage {
         let mut solutions: Vec<Vec<f64>> = vec![Vec::new(); num_tasks];
         {
             let next = AtomicUsize::new(0);
-            let slots: Vec<std::sync::Mutex<&mut Vec<f64>>> =
-                solutions.iter_mut().map(std::sync::Mutex::new).collect();
-            let worker = |_: usize| -> Result<(), RomError> {
+            let slots: Vec<Mutex<&mut Vec<f64>>> = solutions.iter_mut().map(Mutex::new).collect();
+            let worker = || -> Result<(), RomError> {
                 let mut u_bc = vec![0.0; boundary_dofs.len()];
                 loop {
                     let task = next.fetch_add(1, Ordering::Relaxed);
@@ -196,17 +206,18 @@ impl LocalStage {
                     **slots[task].lock().expect("solution slot poisoned") = full;
                 }
             };
-            std::thread::scope(|scope| -> Result<(), RomError> {
-                let mut handles = Vec::new();
-                for t in 0..threads {
-                    let worker = &worker;
-                    handles.push(scope.spawn(move || worker(t)));
+            let first_error: Mutex<Option<RomError>> = Mutex::new(None);
+            pool.scope_workers(threads, |_| {
+                if let Err(e) = worker() {
+                    first_error
+                        .lock()
+                        .expect("error slot poisoned")
+                        .get_or_insert(e);
                 }
-                for h in handles {
-                    h.join().expect("local-stage worker panicked")?;
-                }
-                Ok(())
-            })?;
+            });
+            if let Some(e) = first_error.into_inner().expect("error slot poisoned") {
+                return Err(e);
+            }
         }
         let basis_thermal = solutions.pop().expect("thermal slot exists");
         let basis = solutions;
@@ -217,28 +228,23 @@ impl LocalStage {
         let mut worst_tfi = 0.0f64;
         {
             let next = AtomicUsize::new(0);
-            let columns: Vec<std::sync::Mutex<(Vec<f64>, f64, f64)>> = (0..n)
-                .map(|_| std::sync::Mutex::new((Vec::new(), 0.0, 0.0)))
-                .collect();
-            std::thread::scope(|scope| {
-                for _ in 0..threads {
-                    scope.spawn(|| {
-                        let mut af = vec![0.0; ndof];
-                        loop {
-                            let j = next.fetch_add(1, Ordering::Relaxed);
-                            if j >= n {
-                                return;
-                            }
-                            stiffness.spmv_into(&basis[j], &mut af);
-                            let col: Vec<f64> = basis
-                                .iter()
-                                .map(|fi| morestress_linalg::dot(fi, &af))
-                                .collect();
-                            let tfi = morestress_linalg::dot(&basis_thermal, &af);
-                            let bj = morestress_linalg::dot(&basis[j], &system.thermal_load);
-                            *columns[j].lock().expect("column slot poisoned") = (col, tfi, bj);
-                        }
-                    });
+            let columns: Vec<Mutex<(Vec<f64>, f64, f64)>> =
+                (0..n).map(|_| Mutex::new((Vec::new(), 0.0, 0.0))).collect();
+            pool.scope_workers(threads, |_| {
+                let mut af = vec![0.0; ndof];
+                loop {
+                    let j = next.fetch_add(1, Ordering::Relaxed);
+                    if j >= n {
+                        return;
+                    }
+                    stiffness.spmv_into(&basis[j], &mut af);
+                    let col: Vec<f64> = basis
+                        .iter()
+                        .map(|fi| morestress_linalg::dot(fi, &af))
+                        .collect();
+                    let tfi = morestress_linalg::dot(&basis_thermal, &af);
+                    let bj = morestress_linalg::dot(&basis[j], &system.thermal_load);
+                    *columns[j].lock().expect("column slot poisoned") = (col, tfi, bj);
                 }
             });
             for (j, slot) in columns.into_iter().enumerate() {

@@ -5,16 +5,24 @@
 //! as in the full-FEM reference. The paper evaluates every method on the
 //! gridded von Mises stress of the z = h/2 cut plane — this module samples
 //! that field for a whole array, reconstructing only the mesh slab that the
-//! cut plane touches.
+//! cut plane touches. Blocks are reconstructed in parallel on the shared
+//! [`WorkPool`]; each block writes its own disjoint tile, so the sampled
+//! field is identical for every pool size.
+
+use std::sync::Mutex;
 
 use morestress_fem::{stress_at, PlaneGrid, ScalarField2d};
+use morestress_linalg::WorkPool;
 use morestress_mesh::{BlockKind, BlockLayout};
 
 use crate::{GlobalSolution, ReducedOrderModel, RomError};
 
+/// One block's sampled tile, parked in its slot until stitching.
+type TileSlot = Mutex<Option<Result<Vec<f64>, RomError>>>;
+
 /// Samples the von Mises stress of a solved array on the mid-height cut
 /// plane, with `samples_per_block × samples_per_block` points per unit block
-/// (the paper uses 100×100).
+/// (the paper uses 100×100), block-parallel on the current [`WorkPool`].
 ///
 /// # Errors
 ///
@@ -61,17 +69,27 @@ pub fn sample_array_von_mises(
         nodes
     };
 
+    // One task per block: reconstruct the block's slab displacement and
+    // sample its g×g tile into a private buffer. Tiles are stitched into
+    // the field afterwards, so the result is bitwise independent of how the
+    // pool schedules blocks.
     let g = samples_per_block;
-    for bj in 0..layout.ny() {
-        for bi in 0..layout.nx() {
-            let rom = match layout.kind(bi, bj) {
-                BlockKind::Tsv => rom_tsv,
-                BlockKind::Dummy => rom_dummy.expect("checked above"),
-            };
+    let pool = WorkPool::current();
+    let num_blocks = layout.nx() * layout.ny();
+    let tiles: Vec<TileSlot> = (0..num_blocks).map(|_| Mutex::new(None)).collect();
+    pool.scope_chunks(pool.cap(), num_blocks, |block| {
+        let bi = block % layout.nx();
+        let bj = block / layout.nx();
+        let rom = match layout.kind(bi, bj) {
+            BlockKind::Tsv => rom_tsv,
+            BlockKind::Dummy => rom_dummy.expect("checked above"),
+        };
+        let sample_tile = || -> Result<Vec<f64>, RomError> {
             let dofs = solution.element_dofs(bi, bj);
             let u = rom.reconstruct_displacement_at_nodes(&dofs, delta_t, &slab_nodes);
             let mesh = rom.mesh();
             let mats = rom.materials();
+            let mut tile = vec![f64::NAN; g * g];
             for jj in 0..g {
                 for ii in 0..g {
                     let gi = bi * g + ii;
@@ -79,9 +97,25 @@ pub fn sample_array_von_mises(
                     let pt = grid.point(gi, gj);
                     let local = [pt[0] - bi as f64 * p, pt[1] - bj as f64 * p, pt[2]];
                     let sample = stress_at(mesh, mats, &u, delta_t, local)?;
-                    values[gj * grid.samples[0] + gi] = sample.map_or(f64::NAN, |s| s.von_mises);
+                    tile[jj * g + ii] = sample.map_or(f64::NAN, |s| s.von_mises);
                 }
             }
+            Ok(tile)
+        };
+        *tiles[block].lock().expect("tile slot poisoned") = Some(sample_tile());
+    });
+    for (block, slot) in tiles.into_iter().enumerate() {
+        let bi = block % layout.nx();
+        let bj = block / layout.nx();
+        let tile = slot
+            .into_inner()
+            .expect("tile slot poisoned")
+            .expect("every block sampled")?;
+        for jj in 0..g {
+            let gj = bj * g + jj;
+            let row = &tile[jj * g..(jj + 1) * g];
+            values[gj * grid.samples[0] + bi * g..gj * grid.samples[0] + bi * g + g]
+                .copy_from_slice(row);
         }
     }
     Ok(ScalarField2d { grid, values })

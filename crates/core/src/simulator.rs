@@ -19,6 +19,11 @@ pub struct SimulatorOptions {
     pub local: LocalStageOptions,
     /// Global solver (paper: GMRES).
     pub solver: RomSolver,
+    /// Worker-slot cap for batched global solves; `None` uses the current
+    /// [`WorkPool`](morestress_linalg::WorkPool) cap. Like every `threads`
+    /// knob, this narrows the shared pool for these solves — it never
+    /// spawns threads of its own.
+    pub threads: Option<usize>,
     /// Also build the dummy-block ROM (needed for sub-modeling layouts).
     pub build_dummy: bool,
     /// If set, ROMs are cached here (`<stem>-tsv.rom`, `<stem>-dummy.rom`)
@@ -35,6 +40,7 @@ pub struct MoreStressSimulator {
     rom_tsv: ReducedOrderModel,
     rom_dummy: Option<ReducedOrderModel>,
     solver: RomSolver,
+    threads: Option<usize>,
     /// Memo of prepared global-stage factorizations: solving the same
     /// lattice again (any thermal load) reuses the factor instead of
     /// re-preparing it.
@@ -91,6 +97,7 @@ impl MoreStressSimulator {
             rom_tsv,
             rom_dummy,
             solver: opts.solver,
+            threads: opts.threads,
             factor_cache: FactorCache::new(),
         })
     }
@@ -112,6 +119,7 @@ impl MoreStressSimulator {
             rom_tsv,
             rom_dummy,
             solver,
+            threads: None,
             factor_cache: FactorCache::new(),
         })
     }
@@ -136,6 +144,9 @@ impl MoreStressSimulator {
         let mut stage = GlobalStage::new(&self.rom_tsv)
             .with_solver(self.solver)
             .with_cache(&self.factor_cache);
+        if let Some(threads) = self.threads {
+            stage = stage.with_threads(threads);
+        }
         if let Some(dummy) = &self.rom_dummy {
             stage = stage.with_dummy(dummy)?;
         }

@@ -121,7 +121,9 @@ pub fn solve_thermal_stress(
 /// Solves the thermoelastic problem for several thermal loads at once:
 /// one assembly, one constraint reduction, one solver preparation
 /// (factorization or preconditioner build), then a task-parallel batched
-/// solve over all loads via the backend's multi-RHS path.
+/// solve over all loads via the backend's multi-RHS path, running on the
+/// shared [`WorkPool`](morestress_linalg::WorkPool) (cap it globally with
+/// `MORESTRESS_THREADS` or locally with `WorkPool::install`).
 ///
 /// Returns one [`FemSolution`] per entry of `delta_ts`, in order. The
 /// reported [`SolveStats`] are the *batch* aggregate (shared wall time and
@@ -158,6 +160,9 @@ pub fn solve_thermal_stress_many(
 
     let n_free = reduced.num_free();
     let prepared = solver.backend().prepare(Arc::clone(&reduced.a_ff))?;
+    // `default_solve_threads` is the current pool's cap; the batch runs on
+    // the shared pool's resident workers, so this composes safely with any
+    // parallel caller (no thread multiplication).
     let batch = prepared.solve_many(&rhs_set, morestress_linalg::default_solve_threads())?;
     peak += batch.report.solver_bytes;
 

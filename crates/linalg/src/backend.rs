@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 use crate::{
     solve_cg, solve_gmres, CgOptions, CsrMatrix, DenseMatrix, GmresOptions, IdentityPreconditioner,
     JacobiPreconditioner, LinalgError, MemoryFootprint, Preconditioner, SparseCholesky,
-    SsorPreconditioner,
+    SsorPreconditioner, WorkPool,
 };
 
 // ---------------------------------------------------------------------------
@@ -192,6 +192,11 @@ pub struct SolveReport {
     pub solver_bytes: usize,
     /// Number of right-hand sides this report covers.
     pub rhs_count: usize,
+    /// [`WorkPool`] worker slots that solved at least one right-hand side
+    /// (1 for single-RHS and serial solves). Honest telemetry of what ran,
+    /// bounded by the `threads` request and the pool cap — but the exact
+    /// value is scheduling-dependent, so don't gate regressions on it.
+    pub workers: usize,
 }
 
 /// One solved right-hand side with its report.
@@ -371,12 +376,15 @@ impl PreparedSolver {
                 residual,
                 solver_bytes: self.solver_bytes(),
                 rhs_count: 1,
+                workers: 1,
             },
         })
     }
 
     /// Solves `A X = B` for many right-hand sides, task-parallel across up
-    /// to `threads` workers sharing this one prepared factor.
+    /// to `threads` worker slots of the current [`WorkPool`] (the cap
+    /// override clamps to the pool's own cap), all sharing this one
+    /// prepared factor.
     ///
     /// This is the batched path the paper's Table 1/2 workloads want: one
     /// factorization (or preconditioner build) serving every thermal load.
@@ -400,26 +408,19 @@ impl PreparedSolver {
             }
         }
         let t0 = Instant::now();
-        let concurrency = threads.max(1).min(rhs.len().max(1));
+        let pool = WorkPool::current();
+        let concurrency = threads.max(1).min(rhs.len().max(1)).min(pool.cap());
+        let mut workers = 1;
         let results: Vec<EngineResult> = if concurrency == 1 {
-            // No point paying thread spawn + per-slot locks for a serial
+            // No point paying queue traffic + per-slot locks for a serial
             // batch (the common single-RHS case routed through here).
             rhs.iter().map(|b| self.solve_one(b)).collect()
         } else {
             let slots: Vec<Mutex<Option<EngineResult>>> =
                 rhs.iter().map(|_| Mutex::new(None)).collect();
-            let next = AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                for _ in 0..concurrency {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= rhs.len() {
-                            return;
-                        }
-                        let result = self.solve_one(&rhs[i]);
-                        *slots[i].lock().expect("solve slot poisoned") = Some(result);
-                    });
-                }
+            workers = pool.scope_chunks(concurrency, rhs.len(), |i| {
+                let result = self.solve_one(&rhs[i]);
+                *slots[i].lock().expect("solve slot poisoned") = Some(result);
             });
             slots
                 .into_iter()
@@ -453,17 +454,28 @@ impl PreparedSolver {
                 iterations,
                 residual,
                 // Each concurrent worker holds its own iteration workspace.
-                solver_bytes: self.shared_bytes + concurrency * self.workspace_bytes,
+                solver_bytes: self.shared_bytes + workers * self.workspace_bytes,
                 rhs_count: rhs.len(),
+                workers,
             },
         })
     }
 }
 
-/// Default worker cap for batched solves: the machine's parallelism,
-/// clamped to 16 (the paper's thread count).
+/// Default worker cap for batched solves: the cap of the current
+/// [`WorkPool`].
+///
+/// Before the pool existed this read `available_parallelism` on its own,
+/// independently of [`LocalStageOptions::default`]-style call sites doing
+/// the same — so nested stages could each spawn a full complement of
+/// threads (cap² in the worst case). Deriving every default from the one
+/// shared pool (and executing on it) removes that failure mode: requests
+/// are clamped to the pool cap, and the pool never runs more than `cap`
+/// threads total, however deeply stages nest.
+///
+/// [`LocalStageOptions::default`]: https://docs.rs/morestress-core
 pub fn default_solve_threads() -> usize {
-    std::thread::available_parallelism().map_or(4, |p| p.get().min(16))
+    WorkPool::current().cap()
 }
 
 // ---------------------------------------------------------------------------

@@ -421,19 +421,32 @@ mod tests {
 
     #[test]
     fn parallel_solves_share_one_factor() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
         let a = laplacian_2d(10, 10);
         let chol = SparseCholesky::factor(&a).unwrap();
         let n = a.nrows();
-        std::thread::scope(|scope| {
-            let chol = &chol;
-            let a = &a;
-            for t in 0..4 {
-                scope.spawn(move || {
-                    let b: Vec<f64> = (0..n).map(|i| ((i + t) % 9) as f64).collect();
-                    let x = chol.solve(&b);
-                    assert!(a.residual(&x, &b) < 1e-10);
-                });
+        // Rendezvous (bounded, so never a deadlock) before solving: without
+        // it a fast caller could drain the whole task set before the pool's
+        // resident workers wake, and the solves would never overlap — the
+        // very thing this regression test exists to exercise.
+        let arrived = AtomicUsize::new(0);
+        let next = AtomicUsize::new(0);
+        crate::WorkPool::new(4).scope_workers(4, |_| {
+            arrived.fetch_add(1, Ordering::SeqCst);
+            let t0 = std::time::Instant::now();
+            while arrived.load(Ordering::SeqCst) < 2 && t0.elapsed().as_millis() < 200 {
+                std::thread::yield_now();
+            }
+            loop {
+                let t = next.fetch_add(1, Ordering::Relaxed);
+                if t >= 16 {
+                    return;
+                }
+                let b: Vec<f64> = (0..n).map(|i| ((i + t) % 9) as f64).collect();
+                let x = chol.solve(&b);
+                assert!(a.residual(&x, &b) < 1e-10);
             }
         });
+        assert!(next.load(Ordering::Relaxed) >= 16, "all tasks claimed");
     }
 }

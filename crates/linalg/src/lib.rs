@@ -22,6 +22,27 @@
 //! * [`FactorCache`] — content-addressed memo of prepared solvers, so
 //!   repeated solves over the same operator (many thermal loads on one
 //!   lattice) pay for one factorization.
+//! * [`WorkPool`] — the shared worker-pool runtime behind every parallel
+//!   stage in the workspace (the n+1 local solves, batched multi-RHS global
+//!   solves, block-wise stress reconstruction). One lazily-started set of
+//!   resident workers replaces the per-call scoped thread spawns the
+//!   stages used to pay for individually.
+//!
+//! # Threading model
+//!
+//! All parallelism routes through [`WorkPool::current`]: the process-wide
+//! [`WorkPool::global`] pool by default (capped by the `MORESTRESS_THREADS`
+//! environment variable, else `available_parallelism` clamped to 16), or an
+//! explicitly-capped pool within a [`WorkPool::install`] scope. The
+//! `threads` knobs across the workspace (`solve_many`'s `threads`
+//! parameter, `LocalStageOptions::threads`, `GlobalStage::with_threads`)
+//! are *cap overrides*: they can narrow a call below the pool cap but never
+//! widen it, and they no longer spawn anything themselves. Nested stages
+//! share the one pool, so within one call tree live threads never exceed
+//! the cap however stages compose (independent application threads calling
+//! in concurrently each add their own caller slot on top of the resident
+//! workers — see the [`WorkPool`] module docs); [`SolveReport::workers`]
+//! records the worker count a solve actually used.
 //!
 //! # Example
 //!
@@ -53,6 +74,7 @@ mod error;
 mod iterative;
 mod memory;
 mod ordering;
+mod pool;
 mod sparse;
 mod vecops;
 
@@ -69,5 +91,6 @@ pub use iterative::{
 };
 pub use memory::MemoryFootprint;
 pub use ordering::{bandwidth, reverse_cuthill_mckee, Permutation};
+pub use pool::WorkPool;
 pub use sparse::{CooMatrix, CsrMatrix};
 pub use vecops::{axpy, dot, norm2, norm_inf, scale, sub};

@@ -1,13 +1,16 @@
-//! Property-based tests of the linear algebra kernels.
+//! Property-based tests of the linear algebra kernels and the shared
+//! worker-pool runtime.
 
 #![allow(clippy::needless_range_loop)] // indexed loops over parallel arrays
 
-use std::sync::Arc;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use morestress_linalg::{
     reverse_cuthill_mckee, solve_cg, solve_gmres, Auto, CgOptions, CooMatrix, CsrMatrix,
-    DenseMatrix, DirectCholesky, GmresOptions, JacobiPreconditioner, Permutation, SolverBackend,
-    SparseCholesky,
+    DenseMatrix, DirectCholesky, FactorCache, GmresOptions, JacobiPreconditioner, Permutation,
+    SolverBackend, SparseCholesky, WorkPool,
 };
 use proptest::prelude::*;
 
@@ -203,8 +206,126 @@ proptest! {
             .expect("SPD by construction");
         let batch = prepared.solve_many(&bs, 3).expect("direct solve");
         prop_assert_eq!(batch.xs.len(), bs.len());
+        prop_assert!(batch.report.workers >= 1);
         for (b, x) in bs.iter().zip(&batch.xs) {
             prop_assert_eq!(&prepared.solve(b).expect("direct solve").x, x);
         }
+    }
+
+    /// Pool scheduling: whatever the cap / worker-request / task-count mix,
+    /// `scope_chunks` runs every task exactly once and never uses more
+    /// worker slots than the cap allows.
+    #[test]
+    fn pool_runs_every_task_exactly_once(cap in 1usize..12,
+                                         workers in 1usize..40,
+                                         num_tasks in 0usize..120) {
+        let pool = WorkPool::new(cap);
+        let counts: Vec<AtomicUsize> = (0..num_tasks).map(|_| AtomicUsize::new(0)).collect();
+        let used = pool.scope_chunks(workers, num_tasks, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        prop_assert!(used <= cap, "{used} slots exceed cap {cap}");
+        prop_assert!(num_tasks == 0 || used >= 1);
+        for (i, c) in counts.iter().enumerate() {
+            prop_assert_eq!(c.load(Ordering::Relaxed), 1, "task {} ran a wrong number of times", i);
+        }
+    }
+
+    /// Nested scopes share the one pool: however deep the nesting, the set
+    /// of distinct threads that ever execute work stays within the cap —
+    /// the cap² oversubscription bug can't come back.
+    #[test]
+    fn nested_scopes_never_exceed_the_cap(cap in 1usize..6,
+                                          outer in 1usize..6,
+                                          inner in 1usize..6) {
+        let pool = WorkPool::new(cap);
+        let ids = Mutex::new(std::collections::HashSet::new());
+        let total = AtomicUsize::new(0);
+        pool.install(|| {
+            WorkPool::current().scope_chunks(64, outer, |_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                WorkPool::current().scope_chunks(64, inner, |_| {
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                    total.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        prop_assert_eq!(total.load(Ordering::Relaxed), outer * inner);
+        let distinct = ids.lock().unwrap().len();
+        prop_assert!(distinct <= cap, "{distinct} threads exceed shared cap {cap}");
+    }
+
+    /// A `FactorCache` is usable from many pool workers concurrently: all
+    /// callers end up sharing one prepared solver for the same system, the
+    /// hit/miss counters stay consistent, and concurrent duplicate
+    /// preparations are deduplicated to a single cache entry.
+    #[test]
+    fn factor_cache_is_safe_across_pool_workers(cap in 2usize..8, n in 4usize..12) {
+        let pool = WorkPool::new(cap);
+        let cache = FactorCache::new();
+        let backend = DirectCholesky::default();
+        let a = {
+            let mut coo = CooMatrix::new(n, n);
+            for i in 0..n {
+                coo.push(i, i, 4.0);
+                if i > 0 { coo.push(i, i - 1, -1.0); }
+                if i + 1 < n { coo.push(i, i + 1, -1.0); }
+            }
+            Arc::new(coo.to_csr())
+        };
+        let calls = 16;
+        let solvers = Mutex::new(Vec::new());
+        // Bounded rendezvous so several workers usually reach the cache
+        // together and the concurrent-preparation dedup path really races.
+        let arrived = AtomicUsize::new(0);
+        pool.scope_chunks(cap, calls, |_| {
+            arrived.fetch_add(1, Ordering::SeqCst);
+            let t0 = std::time::Instant::now();
+            while arrived.load(Ordering::SeqCst) < 2 && t0.elapsed().as_millis() < 50 {
+                std::thread::yield_now();
+            }
+            let prepared = cache.prepare(&backend, &a).expect("SPD by construction");
+            let b: Vec<f64> = (0..n).map(|i| i as f64 - 1.5).collect();
+            let sol = prepared.solve(&b).expect("direct solve");
+            assert!(a.residual(&sol.x, &b) < 1e-10);
+            solvers.lock().unwrap().push(prepared);
+        });
+        let solvers = solvers.into_inner().unwrap();
+        prop_assert_eq!(solvers.len(), calls);
+        for s in &solvers[1..] {
+            prop_assert!(Arc::ptr_eq(&solvers[0], s), "all workers must share one factor");
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), calls);
+        prop_assert!(cache.misses() >= 1);
+        prop_assert_eq!(cache.len(), 1, "racing preparations must deduplicate");
+    }
+}
+
+// A panicking task must neither deadlock the scope nor poison the pool.
+// Few cases: each one unavoidably prints the caught panic to stderr.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn pool_survives_a_panicking_task(cap in 1usize..6, num_tasks in 1usize..30,
+                                      bad_seed in 0usize..1000) {
+        let pool = WorkPool::new(cap);
+        let bad = bad_seed % num_tasks;
+        let survivors = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope_chunks(cap, num_tasks, |i| {
+                if i == bad {
+                    panic!("injected task failure");
+                }
+                survivors.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        prop_assert!(result.is_err(), "the panic must propagate to the scope caller");
+        prop_assert!(survivors.load(Ordering::Relaxed) < num_tasks,
+                     "the failed task must not count as run");
+        // The pool keeps scheduling afterwards.
+        let after = AtomicUsize::new(0);
+        pool.scope_chunks(cap, 8, |_| { after.fetch_add(1, Ordering::Relaxed); });
+        prop_assert_eq!(after.load(Ordering::Relaxed), 8);
     }
 }

@@ -10,7 +10,7 @@
 //! | [`rom`] | `morestress-core` | the MORE-Stress algorithm: one-shot local stage, global stage with batched multi-load solves (`solve_array_many`), sub-modeling, reconstruction |
 //! | [`fem`] | `morestress-fem` | the full-FEM reference solver ("ANSYS substitute"), materials, stress recovery, batched `solve_thermal_stress_many` |
 //! | [`mesh`] | `morestress-mesh` | graded structured hex meshes of unit blocks, arrays and chiplet stacks |
-//! | [`linalg`] | `morestress-linalg` | CSR, sparse Cholesky, CG, GMRES, RCM ordering, and the unified `SolverBackend` layer with `FactorCache` and multi-RHS `solve_many` |
+//! | [`linalg`] | `morestress-linalg` | CSR, sparse Cholesky, CG, GMRES, RCM ordering, the unified `SolverBackend` layer with `FactorCache` and multi-RHS `solve_many`, and the shared `WorkPool` runtime every parallel stage runs on |
 //! | [`superpos`] | `morestress-superpos` | the linear-superposition baseline |
 //! | [`chiplet`] | `morestress-chiplet` | the coarse package model driving sub-modeling |
 //!
@@ -21,6 +21,16 @@
 //! task-parallel for batches. A `FactorCache` memoizes prepared backends by
 //! operator fingerprint, so re-solving the same lattice under new thermal
 //! loads costs two triangular sweeps, not a new factorization.
+//!
+//! All task parallelism — the n+1 local solves, batched multi-RHS solves,
+//! block-wise stress reconstruction — runs on one shared
+//! [`WorkPool`](linalg::WorkPool): cap it with the `MORESTRESS_THREADS`
+//! environment variable, or locally with `WorkPool::new(cap).install(||
+//! ...)`. The cap bounds the pool's resident workers plus one calling
+//! thread — it is a hard bound within any one call tree (nested stages
+//! share the pool), while each *concurrent* application thread calling in
+//! donates its own thread on top. Results are independent of the cap; the
+//! `threads` knobs on the options structs only narrow a call below it.
 //!
 //! # Quickstart
 //!
@@ -82,7 +92,9 @@ pub mod prelude {
         stress_at, write_field_csv, write_vtk, DirichletBcs, LinearSolver, Material, MaterialSet,
         PlaneGrid, ScalarField2d, StressSample,
     };
-    pub use morestress_linalg::{FactorCache, PreparedSolver, SolveReport, SolverBackend};
+    pub use morestress_linalg::{
+        FactorCache, PreparedSolver, SolveReport, SolverBackend, WorkPool,
+    };
     pub use morestress_mesh::{
         array_mesh, unit_block_mesh, BlockKind, BlockLayout, BlockResolution, TsvGeometry,
     };
