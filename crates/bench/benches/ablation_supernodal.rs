@@ -1,0 +1,183 @@
+//! Ablation: the supernodal blocked Cholesky vs the scalar up-looking
+//! oracle on a ≥50k-DoF structured lattice — factor time, per-RHS solve
+//! time, supernode shape, and fill, across orderings (RCM vs nested
+//! dissection) and solve modes (looped vs panel).
+//!
+//! Besides the Criterion-style console lines, this bench records its
+//! medians into `BENCH_PR3.json` (section `ablation_supernodal`) so CI and
+//! the ROADMAP can quote machine-readable numbers.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use morestress_bench::record_bench_json;
+use morestress_linalg::{
+    CooMatrix, CsrMatrix, FillOrdering, SparseCholesky, SupernodalCholesky, SupernodalOptions,
+};
+
+/// A 2-D 5-point lattice with mildly jittered diagonal: `nx · ny` DoFs.
+fn lattice(nx: usize, ny: usize) -> CsrMatrix {
+    let n = nx * ny;
+    let id = |i: usize, j: usize| j * nx + i;
+    let mut coo = CooMatrix::new(n, n);
+    for j in 0..ny {
+        for i in 0..nx {
+            let me = id(i, j);
+            coo.push(me, me, 4.0 + 0.1 + 0.05 * ((me * 7) % 5) as f64);
+            let mut link = |other: usize| coo.push(me, other, -1.0);
+            if i > 0 {
+                link(id(i - 1, j));
+            }
+            if i + 1 < nx {
+                link(id(i + 1, j));
+            }
+            if j > 0 {
+                link(id(i, j - 1));
+            }
+            if j + 1 < ny {
+                link(id(i, j + 1));
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+fn median_ms(samples: &mut [Duration]) -> f64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2].as_secs_f64() * 1e3
+}
+
+/// Times `f` three times and returns the median in milliseconds.
+fn time3<R>(mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut out = None;
+    let mut samples = Vec::with_capacity(3);
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        out = Some(f());
+        samples.push(t0.elapsed());
+    }
+    (median_ms(&mut samples), out.expect("ran at least once"))
+}
+
+fn bench_supernodal(c: &mut Criterion) {
+    // 224 × 224 = 50_176 DoFs — the ≥50k-DoF lattice the acceptance
+    // criterion names.
+    let a = lattice(224, 224);
+    let n = a.nrows();
+    let nrhs = 16usize;
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).sin()).collect();
+    let panel: Vec<f64> = (0..nrhs).flat_map(|_| b.iter().copied()).collect();
+
+    // --- One-off measured comparison for the JSON record ----------------
+    let (scalar_factor_ms, scalar) = time3(|| SparseCholesky::factor(&a).expect("SPD"));
+    let (super_rcm_factor_ms, super_rcm) = time3(|| SupernodalCholesky::factor(&a).expect("SPD"));
+    let (nd_ordering_ms, nd_perm) = time3(|| FillOrdering::NestedDissection.permutation(&a));
+    let (super_nd_factor_ms, super_nd) = time3(|| {
+        SupernodalCholesky::factor_with_permutation(
+            &a,
+            nd_perm.clone(),
+            &SupernodalOptions::default(),
+        )
+        .expect("SPD")
+    });
+
+    let (scalar_solve_ms, _) = time3(|| {
+        for _ in 0..nrhs {
+            std::hint::black_box(scalar.solve(&b));
+        }
+    });
+    let (super_rcm_panel_ms, _) = time3(|| {
+        let mut p = panel.clone();
+        super_rcm.solve_panel(&mut p, nrhs);
+        std::hint::black_box(p);
+    });
+    let (super_nd_panel_ms, _) = time3(|| {
+        let mut p = panel.clone();
+        super_nd.solve_panel(&mut p, nrhs);
+        std::hint::black_box(p);
+    });
+
+    let rcm_stats = super_rcm.stats();
+    let nd_stats = super_nd.stats();
+    println!(
+        "supernodal ablation ({n} DoFs, {nrhs} RHS):\n\
+         \x20 factor  scalar+RCM {scalar_factor_ms:.1} ms | supernodal+RCM \
+         {super_rcm_factor_ms:.1} ms | supernodal+ND {super_nd_factor_ms:.1} ms \
+         (+{nd_ordering_ms:.1} ms ordering)\n\
+         \x20 solve   scalar looped {:.3} ms/RHS | panel+RCM {:.3} ms/RHS | \
+         panel+ND {:.3} ms/RHS\n\
+         \x20 shape   RCM: {} supernodes, fill {} (true {}) | ND: {} supernodes, \
+         fill {} (true {})",
+        scalar_solve_ms / nrhs as f64,
+        super_rcm_panel_ms / nrhs as f64,
+        super_nd_panel_ms / nrhs as f64,
+        rcm_stats.supernodes,
+        rcm_stats.stored_nnz,
+        rcm_stats.true_nnz,
+        nd_stats.supernodes,
+        nd_stats.stored_nnz,
+        nd_stats.true_nnz,
+    );
+    record_bench_json(
+        "ablation_supernodal",
+        &[
+            ("dofs", n as f64),
+            ("rhs", nrhs as f64),
+            ("factor_ms_scalar_rcm", scalar_factor_ms),
+            ("factor_ms_supernodal_rcm", super_rcm_factor_ms),
+            ("factor_ms_supernodal_nd", super_nd_factor_ms),
+            ("ordering_ms_nd", nd_ordering_ms),
+            ("solve_per_rhs_ms_scalar", scalar_solve_ms / nrhs as f64),
+            (
+                "solve_per_rhs_ms_panel_rcm",
+                super_rcm_panel_ms / nrhs as f64,
+            ),
+            ("solve_per_rhs_ms_panel_nd", super_nd_panel_ms / nrhs as f64),
+            ("supernodes_rcm", rcm_stats.supernodes as f64),
+            ("supernodes_nd", nd_stats.supernodes as f64),
+            ("fill_stored_rcm", rcm_stats.stored_nnz as f64),
+            ("fill_true_rcm", rcm_stats.true_nnz as f64),
+            ("fill_stored_nd", nd_stats.stored_nnz as f64),
+            ("fill_true_nd", nd_stats.true_nnz as f64),
+            ("fill_scalar", scalar.factor_nnz() as f64),
+        ],
+    );
+
+    // --- Criterion points on a smaller lattice (kept quick) -------------
+    let small = lattice(96, 96);
+    let bs: Vec<f64> = (0..small.nrows())
+        .map(|i| (i as f64 * 0.29).cos())
+        .collect();
+    let mut group = c.benchmark_group("ablation_supernodal");
+    group.sample_size(10);
+    group.bench_function("factor_scalar", |bch| {
+        bch.iter(|| SparseCholesky::factor(&small).expect("SPD"))
+    });
+    group.bench_function("factor_supernodal", |bch| {
+        bch.iter(|| SupernodalCholesky::factor(&small).expect("SPD"))
+    });
+    let scalar_small = SparseCholesky::factor(&small).expect("SPD");
+    let super_small = SupernodalCholesky::factor(&small).expect("SPD");
+    group.bench_function("solve_scalar_16rhs", |bch| {
+        bch.iter(|| {
+            for _ in 0..16 {
+                std::hint::black_box(scalar_small.solve(&bs));
+            }
+        })
+    });
+    group.bench_function("solve_panel_16rhs", |bch| {
+        let fresh: Vec<f64> = (0..16).flat_map(|_| bs.iter().copied()).collect();
+        let mut p = fresh.clone();
+        bch.iter(|| {
+            // solve_panel works in place — restore the RHS every iteration
+            // so the bench always solves the same (finite) system.
+            p.copy_from_slice(&fresh);
+            super_small.solve_panel(&mut p, 16);
+            std::hint::black_box(&mut p);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_supernodal);
+criterion_main!(benches);

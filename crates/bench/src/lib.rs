@@ -445,3 +445,84 @@ pub fn peak_rss_bytes() -> Option<usize> {
     }
     None
 }
+
+/// Path of the machine-readable benchmark record the PR-3 acceptance
+/// criteria read (`BENCH_PR3.json` at the workspace root).
+pub fn bench_json_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_PR3.json")
+}
+
+/// One `BENCH_PR3.json` section: a name plus its key → number entries.
+pub type BenchSection = (String, Vec<(String, f64)>);
+
+/// Merges one section of benchmark numbers into `BENCH_PR3.json`.
+///
+/// The file is a flat two-level JSON object `{section: {key: number}}`;
+/// each bench overwrites its own section and leaves the others in place,
+/// so `ablation_global_solver` and `ablation_supernodal` can both
+/// contribute to one record. The stored format is exactly what
+/// [`parse_bench_json`] reads back — no external JSON dependency.
+pub fn record_bench_json(section: &str, entries: &[(&str, f64)]) {
+    let path = bench_json_path();
+    let mut sections: Vec<BenchSection> = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| parse_bench_json(&text))
+        .unwrap_or_default();
+    sections.retain(|(name, _)| name != section);
+    sections.push((
+        section.to_string(),
+        entries
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), *v))
+            .collect(),
+    ));
+    sections.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::from("{\n");
+    for (si, (name, kvs)) in sections.iter().enumerate() {
+        out.push_str(&format!("  \"{name}\": {{\n"));
+        for (ki, (k, v)) in kvs.iter().enumerate() {
+            let comma = if ki + 1 < kvs.len() { "," } else { "" };
+            out.push_str(&format!("    \"{k}\": {v}{comma}\n"));
+        }
+        let comma = if si + 1 < sections.len() { "," } else { "" };
+        out.push_str(&format!("  }}{comma}\n"));
+    }
+    out.push_str("}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+/// Parses the two-level `{section: {key: number}}` format written by
+/// [`record_bench_json`]. Returns `None` on any shape surprise (the writer
+/// then starts a fresh file).
+pub fn parse_bench_json(text: &str) -> Option<Vec<BenchSection>> {
+    let mut sections = Vec::new();
+    let mut current: Option<BenchSection> = None;
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if line == "{" || line.is_empty() {
+            continue;
+        }
+        if line == "}" {
+            // Closes the current section, or (with none open) the file.
+            if let Some(done) = current.take() {
+                sections.push(done);
+            }
+        } else if let Some(name) = line.strip_suffix(": {") {
+            if current.is_some() {
+                return None; // nested deeper than sections — not our format
+            }
+            current = Some((name.trim().trim_matches('"').to_string(), Vec::new()));
+        } else if let Some((k, v)) = line.split_once(':') {
+            let key = k.trim().trim_matches('"').to_string();
+            let value: f64 = v.trim().parse().ok()?;
+            current.as_mut()?.1.push((key, value));
+        } else {
+            return None;
+        }
+    }
+    Some(sections)
+}

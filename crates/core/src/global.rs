@@ -9,7 +9,7 @@
 //! or CG.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use morestress_fem::{DirichletBcs, ReducedSystem};
@@ -395,13 +395,20 @@ impl<'a> GlobalStage<'a> {
         let ndof = lattice.num_dofs();
 
         // --- Node adjacency → DoF sparsity pattern ------------------------
-        let mut node_adj: Vec<Vec<usize>> = vec![Vec::new(); lattice.num_nodes()];
+        let num_nodes = lattice.num_nodes();
+        let mut node_adj: Vec<Vec<usize>> = vec![Vec::new(); num_nodes];
+        // Per node: the (block index, node position within the block's
+        // canonical node list) pairs that contribute to it — the transposed
+        // incidence the row-parallel scatter below consumes.
+        let mut node_contrib: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num_nodes];
         let mut block_nodes_cache: Vec<Vec<usize>> = Vec::with_capacity(layout.nx() * layout.ny());
         for bj in 0..layout.ny() {
             for bi in 0..layout.nx() {
+                let b = block_nodes_cache.len();
                 let nodes = lattice.block_nodes(bi, bj);
-                for &a in &nodes {
+                for (ln, &a) in nodes.iter().enumerate() {
                     node_adj[a].extend_from_slice(&nodes);
+                    node_contrib[a].push((b as u32, ln as u32));
                 }
                 block_nodes_cache.push(nodes);
             }
@@ -410,49 +417,107 @@ impl<'a> GlobalStage<'a> {
             list.sort_unstable();
             list.dedup();
         }
-        let mut rows: Vec<Vec<usize>> = Vec::with_capacity(ndof);
+        // The three DoF rows of a node share one column structure, so the
+        // CSR arrays are emitted directly (sorted by construction — no
+        // per-entry validation or intermediate Vec<Vec> needed).
+        let mut row_ptr = Vec::with_capacity(ndof + 1);
+        row_ptr.push(0usize);
+        let nnz_upper: usize = node_adj.iter().map(|l| 9 * l.len()).sum();
+        let mut col_idx = Vec::with_capacity(nnz_upper);
         for neighbors in &node_adj {
             for _ in 0..3 {
-                let mut row = Vec::with_capacity(3 * neighbors.len());
                 for &m in neighbors {
-                    row.extend_from_slice(&[3 * m, 3 * m + 1, 3 * m + 2]);
+                    col_idx.extend_from_slice(&[3 * m, 3 * m + 1, 3 * m + 2]);
                 }
-                rows.push(row);
+                row_ptr.push(col_idx.len());
             }
         }
-        drop(node_adj);
-        let mut a_global = CsrMatrix::from_pattern(ndof, ndof, &rows);
-        drop(rows);
+        let nnz = col_idx.len();
+        let mut a_global =
+            CsrMatrix::from_raw_trusted(ndof, ndof, row_ptr.clone(), col_idx, vec![0.0; nnz]);
         // Unit (ΔT = 1) load: the thermal load is linear in ΔT, so every
         // requested load is a scalar multiple of this vector.
         let mut b_unit = vec![0.0; ndof];
 
         // --- Standard assembly over abstract elements ----------------------
-        for bj in 0..layout.ny() {
-            for bi in 0..layout.nx() {
-                let rom = match layout.kind(bi, bj) {
-                    BlockKind::Tsv => self.rom_tsv,
-                    BlockKind::Dummy => self.rom_dummy.expect("checked above"),
-                };
-                let nodes = &block_nodes_cache[bj * layout.nx() + bi];
-                let n = rom.num_dofs();
-                let a_elem = rom.element_stiffness();
-                let b_elem = rom.element_load();
-                let dofs: Vec<usize> = nodes
+        // Element → global DoF scatter, node-parallel on the shared pool:
+        // every node owns its three (contiguous) matrix rows, so tasks
+        // write disjoint value ranges, and contributions are accumulated
+        // in block order per row — bitwise identical at every pool cap.
+        let block_dofs: Vec<Vec<usize>> = block_nodes_cache
+            .iter()
+            .map(|nodes| {
+                nodes
                     .iter()
                     .flat_map(|&m| [3 * m, 3 * m + 1, 3 * m + 2])
-                    .collect();
-                for (r, &gr) in dofs.iter().enumerate() {
-                    b_unit[gr] += b_elem[r];
-                    let row = a_elem.row(r);
-                    for (c, &gc) in dofs.iter().enumerate() {
-                        let v = row[c];
-                        if v != 0.0 {
-                            a_global.add_at(gr, gc, v);
+                    .collect()
+            })
+            .collect();
+        let block_rom: Vec<&ReducedOrderModel> = (0..layout.ny())
+            .flat_map(|bj| (0..layout.nx()).map(move |bi| (bi, bj)))
+            .map(|(bi, bj)| match layout.kind(bi, bj) {
+                BlockKind::Tsv => self.rom_tsv,
+                BlockKind::Dummy => self.rom_dummy.expect("checked above"),
+            })
+            .collect();
+        {
+            // Split the value array into one contiguous slice per node
+            // (its three rows), so tasks can write lock-free-by-ownership
+            // behind cheap uncontended mutexes.
+            let mut node_rows: Vec<Mutex<&mut [f64]>> = Vec::with_capacity(num_nodes);
+            let mut rest = a_global.values_mut();
+            for m in 0..num_nodes {
+                let len = row_ptr[3 * m + 3] - row_ptr[3 * m];
+                let (head, tail) = rest.split_at_mut(len);
+                node_rows.push(Mutex::new(head));
+                rest = tail;
+            }
+            let pool = morestress_linalg::WorkPool::current();
+            pool.scope_chunks_with(
+                self.threads,
+                num_nodes,
+                || vec![usize::MAX; ndof],
+                |slot_of_col, m| {
+                    let neighbors = &node_adj[m];
+                    // Column offsets within one DoF row of this node.
+                    for (slot, &nb) in neighbors.iter().enumerate() {
+                        slot_of_col[3 * nb] = 3 * slot;
+                        slot_of_col[3 * nb + 1] = 3 * slot + 1;
+                        slot_of_col[3 * nb + 2] = 3 * slot + 2;
+                    }
+                    let row_len = 3 * neighbors.len();
+                    let mut vals = node_rows[m].lock().expect("node row slice poisoned");
+                    for &(b, ln) in &node_contrib[m] {
+                        let rom = block_rom[b as usize];
+                        let a_elem = rom.element_stiffness();
+                        let dofs = &block_dofs[b as usize];
+                        for comp in 0..3 {
+                            let erow = a_elem.row(3 * ln as usize + comp);
+                            let dst = &mut vals[comp * row_len..(comp + 1) * row_len];
+                            for (c, &gc) in dofs.iter().enumerate() {
+                                let v = erow[c];
+                                if v != 0.0 {
+                                    dst[slot_of_col[gc]] += v;
+                                }
+                            }
                         }
                     }
-                }
-                debug_assert_eq!(dofs.len(), n);
+                    drop(vals);
+                    for &nb in neighbors {
+                        slot_of_col[3 * nb] = usize::MAX;
+                        slot_of_col[3 * nb + 1] = usize::MAX;
+                        slot_of_col[3 * nb + 2] = usize::MAX;
+                    }
+                },
+            );
+        }
+        drop(node_adj);
+        drop(node_contrib);
+        // The unit load is a cheap serial scatter-add.
+        for (b, dofs) in block_dofs.iter().enumerate() {
+            let b_elem = block_rom[b].element_load();
+            for (r, &gr) in dofs.iter().enumerate() {
+                b_unit[gr] += b_elem[r];
             }
         }
 

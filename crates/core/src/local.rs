@@ -156,68 +156,78 @@ impl LocalStage {
         // --- Factor once (the paper's key reuse) --------------------------
         let chol = DirectCholesky::default().prepare(Arc::clone(&a_ff))?;
 
-        // --- n+1 local solves, task-parallel on the shared pool ------------
+        // --- n+1 local solves: build all right-hand sides, then one ------
+        // --- panel-batched multi-RHS solve on the shared factor ----------
         let pool = WorkPool::current();
         let n = self.interp.num_dofs();
         let num_tasks = n + 1; // basis functions + thermal bubble
         let threads = opts.threads.max(1).min(num_tasks);
         let b_free: Vec<f64> = free_dofs.iter().map(|&d| system.thermal_load[d]).collect();
 
+        // Boundary data of basis task `t`: component `t % 3` of surface
+        // interpolation node `t / 3` (one column of L). Recomputed where
+        // needed — it is a direct read of the weight matrix.
+        let boundary_data = |task: usize, u_bc: &mut [f64]| {
+            let qnode = task / 3;
+            let comp = task % 3;
+            u_bc.iter_mut().for_each(|v| *v = 0.0);
+            for m in 0..boundary_nodes.len() {
+                u_bc[3 * m + comp] = weights[(m, qnode)];
+            }
+        };
+
+        // Stage 1 (parallel): lifted right-hand sides `−A_fb L e_t`, one
+        // reused boundary buffer per worker.
+        let mut rhs_set: Vec<Vec<f64>> = vec![Vec::new(); num_tasks];
+        {
+            let slots: Vec<Mutex<&mut Vec<f64>>> = rhs_set.iter_mut().map(Mutex::new).collect();
+            pool.scope_chunks_with(
+                threads,
+                num_tasks,
+                || vec![0.0; boundary_dofs.len()],
+                |u_bc, task| {
+                    let rhs = if task < n {
+                        boundary_data(task, u_bc);
+                        let mut rhs = a_fb.spmv(u_bc);
+                        rhs.iter_mut().for_each(|v| *v = -*v);
+                        rhs
+                    } else {
+                        // Thermal task: ΔT = 1, zero boundary displacement.
+                        b_free.clone()
+                    };
+                    **slots[task].lock().expect("rhs slot poisoned") = rhs;
+                },
+            );
+        }
+
+        // Stage 2: the paper's key reuse, now panel-blocked — every worker
+        // sweeps the shared factor once per panel of right-hand sides.
+        let batch = chol.solve_many(&rhs_set, threads)?;
+        drop(rhs_set);
+
+        // Stage 3 (parallel): expand to full-mesh vectors.
         let mut solutions: Vec<Vec<f64>> = vec![Vec::new(); num_tasks];
         {
-            let next = AtomicUsize::new(0);
             let slots: Vec<Mutex<&mut Vec<f64>>> = solutions.iter_mut().map(Mutex::new).collect();
-            let worker = || -> Result<(), RomError> {
-                let mut u_bc = vec![0.0; boundary_dofs.len()];
-                loop {
-                    let task = next.fetch_add(1, Ordering::Relaxed);
-                    if task >= num_tasks {
-                        return Ok(());
+            pool.scope_chunks_with(
+                threads,
+                num_tasks,
+                || vec![0.0; boundary_dofs.len()],
+                |u_bc, task| {
+                    let alpha = &batch.xs[task];
+                    let mut full = vec![0.0; ndof];
+                    for (i, &d) in free_dofs.iter().enumerate() {
+                        full[d] = alpha[i];
                     }
-                    let full = if task < n {
-                        // Basis function task: boundary data = column `task`
-                        // of L (component `c` of interpolation node `qnode`).
-                        let qnode = task / 3;
-                        let comp = task % 3;
-                        u_bc.iter_mut().for_each(|v| *v = 0.0);
-                        for m in 0..boundary_nodes.len() {
-                            u_bc[3 * m + comp] = weights[(m, qnode)];
-                        }
-                        let mut rhs = a_fb.spmv(&u_bc);
-                        rhs.iter_mut().for_each(|v| *v = -*v);
-                        let alpha = chol.solve(&rhs)?.x;
-                        let mut full = vec![0.0; ndof];
-                        for (i, &d) in free_dofs.iter().enumerate() {
-                            full[d] = alpha[i];
-                        }
+                    if task < n {
+                        boundary_data(task, u_bc);
                         for (i, &d) in boundary_dofs.iter().enumerate() {
                             full[d] = u_bc[i];
                         }
-                        full
-                    } else {
-                        // Thermal task: ΔT = 1, zero boundary displacement.
-                        let alpha = chol.solve(&b_free)?.x;
-                        let mut full = vec![0.0; ndof];
-                        for (i, &d) in free_dofs.iter().enumerate() {
-                            full[d] = alpha[i];
-                        }
-                        full
-                    };
+                    }
                     **slots[task].lock().expect("solution slot poisoned") = full;
-                }
-            };
-            let first_error: Mutex<Option<RomError>> = Mutex::new(None);
-            pool.scope_workers(threads, |_| {
-                if let Err(e) = worker() {
-                    first_error
-                        .lock()
-                        .expect("error slot poisoned")
-                        .get_or_insert(e);
-                }
-            });
-            if let Some(e) = first_error.into_inner().expect("error slot poisoned") {
-                return Err(e);
-            }
+                },
+            );
         }
         let basis_thermal = solutions.pop().expect("thermal slot exists");
         let basis = solutions;

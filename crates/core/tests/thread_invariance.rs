@@ -19,7 +19,7 @@ use morestress_core::{
     LocalStageOptions, MoreStressSimulator, ReducedOrderModel, RomSolver, SimulatorOptions,
 };
 use morestress_fem::MaterialSet;
-use morestress_linalg::WorkPool;
+use morestress_linalg::{CholeskyKernel, CooMatrix, DirectCholesky, SolverBackend, WorkPool};
 use morestress_mesh::{BlockKind, BlockLayout, BlockResolution, TsvGeometry};
 
 /// Serial reference first, then the caps that must reproduce it.
@@ -125,6 +125,61 @@ fn batched_global_solve_is_pool_size_invariant() {
                     r.nodal_displacement(),
                     c.nodal_displacement(),
                 );
+            }
+        }
+    }
+}
+
+#[test]
+fn panel_multi_rhs_solves_are_pool_size_invariant() {
+    // The pool-distributed panel path of `PreparedSolver::solve_many`:
+    // panel partitioning depends only on (batch size, panel width), never
+    // on the worker count, and per column the blocked sweeps execute the
+    // single-RHS operation sequence — so the batch must be bitwise
+    // identical at every pool cap, for both direct kernels and for batch
+    // sizes that straddle panel boundaries.
+    let n = 143; // deliberately not a multiple of any panel width
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 4.0 + ((i * 7) % 5) as f64 * 0.25);
+        if i > 0 {
+            coo.push(i, i - 1, -1.0);
+        }
+        if i + 1 < n {
+            coo.push(i, i + 1, -1.0);
+        }
+        if i + 11 < n {
+            coo.push(i, i + 11, -0.5);
+            coo.push(i + 11, i, -0.5);
+        }
+    }
+    let a = std::sync::Arc::new(coo.to_csr());
+    let loads: Vec<Vec<f64>> = (0..19)
+        .map(|k| {
+            (0..n)
+                .map(|i| ((i * (k + 2) + 3 * k) % 13) as f64 - 6.0)
+                .collect()
+        })
+        .collect();
+    for kernel in [CholeskyKernel::Supernodal, CholeskyKernel::Scalar] {
+        for panel_width in [1usize, 4, 8] {
+            let backend = DirectCholesky {
+                kernel,
+                panel_width,
+                ..DirectCholesky::default()
+            };
+            let solve = |cap: usize| {
+                WorkPool::new(cap).install(|| {
+                    let prepared = backend.prepare(std::sync::Arc::clone(&a)).expect("SPD");
+                    prepared.solve_many(&loads, 64).expect("batched solve").xs
+                })
+            };
+            let reference = solve(REFERENCE_CAP);
+            for cap in CAPS {
+                let xs = solve(cap);
+                for (r, c) in reference.iter().zip(&xs) {
+                    assert_bitwise(&format!("{kernel:?} panel_width={panel_width}"), cap, r, c);
+                }
             }
         }
     }

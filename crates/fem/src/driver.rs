@@ -120,10 +120,14 @@ pub fn solve_thermal_stress(
 
 /// Solves the thermoelastic problem for several thermal loads at once:
 /// one assembly, one constraint reduction, one solver preparation
-/// (factorization or preconditioner build), then a task-parallel batched
-/// solve over all loads via the backend's multi-RHS path, running on the
-/// shared [`WorkPool`](morestress_linalg::WorkPool) (cap it globally with
-/// `MORESTRESS_THREADS` or locally with `WorkPool::install`).
+/// (factorization or preconditioner build), then a batched solve over all
+/// loads via the backend's multi-RHS path, running on the shared
+/// [`WorkPool`](morestress_linalg::WorkPool) (cap it globally with
+/// `MORESTRESS_THREADS` or locally with `WorkPool::install`). With the
+/// default direct backend the batch is solved in *panels*: workers claim
+/// whole panels of right-hand sides and sweep the supernodal factor once
+/// per panel, so the marginal cost per load is a fraction of a triangular
+/// solve.
 ///
 /// Returns one [`FemSolution`] per entry of `delta_ts`, in order. The
 /// reported [`SolveStats`] are the *batch* aggregate (shared wall time and

@@ -187,10 +187,101 @@ impl SparseCholesky {
     ///
     /// Panics if `b.len() != self.dim()`.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.n];
+        let mut scratch = vec![0.0; self.n];
+        self.solve_with(b, &mut x, &mut scratch);
+        x
+    }
+
+    /// Allocation-free solve: `x = A⁻¹ b` with a caller-provided scratch
+    /// buffer (holds the solution in the permuted basis). Batched callers
+    /// reuse one scratch per worker instead of paying two `Vec` allocations
+    /// per solve, which is what [`SparseCholesky::solve`] used to do.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b`, `x` or `scratch` are not of length `self.dim()`.
+    pub fn solve_with(&self, b: &[f64], x: &mut [f64], scratch: &mut [f64]) {
         assert_eq!(b.len(), self.n, "cholesky solve: rhs length");
-        let mut x = self.perm.apply(b);
-        self.solve_permuted_in_place(&mut x);
-        self.perm.apply_inverse(&x)
+        self.perm.apply_into(b, scratch);
+        self.solve_permuted_in_place(scratch);
+        self.perm.apply_inverse_into(scratch, x);
+    }
+
+    /// Solves `A X = B` for a whole panel of right-hand sides in place.
+    ///
+    /// `rhs` is an `n × nrhs` column-major matrix (each right-hand side is
+    /// one contiguous column); on return each column holds its solution.
+    /// The triangular sweeps are *blocked over the panel*: one pass over
+    /// the factor's columns serves every right-hand side, so the factor's
+    /// values and indices are read once per sweep instead of once per
+    /// right-hand side. Per column, the floating-point operation sequence
+    /// is identical to [`SparseCholesky::solve`] — panel solutions are
+    /// bitwise equal to looped single solves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs.len() != self.dim() * nrhs`.
+    pub fn solve_panel(&self, rhs: &mut [f64], nrhs: usize) {
+        let mut scratch = vec![0.0; self.n];
+        self.solve_panel_with(rhs, nrhs, &mut scratch);
+    }
+
+    /// Allocation-free variant of [`SparseCholesky::solve_panel`] with a
+    /// caller-provided scratch of length `self.dim()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs.len() != self.dim() * nrhs` or
+    /// `scratch.len() != self.dim()`.
+    pub fn solve_panel_with(&self, rhs: &mut [f64], nrhs: usize, scratch: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(rhs.len(), n * nrhs, "cholesky panel solve: rhs size");
+        // Permute every column into the factor basis.
+        for r in 0..nrhs {
+            let col = &mut rhs[r * n..(r + 1) * n];
+            self.perm.apply_into(col, scratch);
+            col.copy_from_slice(scratch);
+        }
+        // Forward: L Y = B (column-oriented, all right-hand sides per
+        // factor column).
+        for j in 0..n {
+            let lo = self.col_ptr[j];
+            let hi = self.col_ptr[j + 1];
+            let diag = self.values[lo];
+            let idx = &self.row_idx[(lo + 1)..hi];
+            let val = &self.values[(lo + 1)..hi];
+            for r in 0..nrhs {
+                let x = &mut rhs[r * n..(r + 1) * n];
+                let yj = x[j] / diag;
+                x[j] = yj;
+                for (&i, &v) in idx.iter().zip(val) {
+                    x[i] -= v * yj;
+                }
+            }
+        }
+        // Backward: Lᵀ X = Y.
+        for j in (0..n).rev() {
+            let lo = self.col_ptr[j];
+            let hi = self.col_ptr[j + 1];
+            let diag = self.values[lo];
+            let idx = &self.row_idx[(lo + 1)..hi];
+            let val = &self.values[(lo + 1)..hi];
+            for r in 0..nrhs {
+                let x = &mut rhs[r * n..(r + 1) * n];
+                let mut s = x[j];
+                for (&i, &v) in idx.iter().zip(val) {
+                    s -= v * x[i];
+                }
+                x[j] = s / diag;
+            }
+        }
+        // Back to the natural basis.
+        for r in 0..nrhs {
+            let col = &mut rhs[r * n..(r + 1) * n];
+            self.perm.apply_inverse_into(col, scratch);
+            col.copy_from_slice(scratch);
+        }
     }
 
     /// In-place solve in the *permuted* basis (both triangular sweeps).
@@ -227,7 +318,10 @@ impl MemoryFootprint for SparseCholesky {
 
 /// Elimination tree of the pattern of a symmetric matrix (lower triangle of
 /// each row is read). `parent[i] == NONE` marks a root.
-fn etree(a: &CsrMatrix) -> Vec<usize> {
+///
+/// Shared with the supernodal factorization (`crate::supernodal`), whose
+/// symbolic analysis runs the same etree + `ereach` machinery.
+pub(crate) fn etree(a: &CsrMatrix) -> Vec<usize> {
     let n = a.nrows();
     let mut parent = vec![NONE; n];
     let mut ancestor = vec![NONE; n];
@@ -254,7 +348,7 @@ fn etree(a: &CsrMatrix) -> Vec<usize> {
 /// Computes the pattern of row `k` of `L`: the nodes reachable from the
 /// below-diagonal entries of row `k` of `A` through the elimination tree.
 /// On return, `stack[top..n]` holds the pattern in topological order.
-fn ereach(
+pub(crate) fn ereach(
     a: &CsrMatrix,
     k: usize,
     parent: &[usize],

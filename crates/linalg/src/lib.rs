@@ -7,9 +7,15 @@
 //!   Galerkin-projected reduced operators).
 //! * [`CooMatrix`] / [`CsrMatrix`] — sparse matrix assembly and kernels
 //!   (SpMV, sub-matrix extraction, transpose).
-//! * [`SparseCholesky`] — an up-looking sparse Cholesky factorization with
-//!   elimination-tree symbolic analysis and reverse Cuthill–McKee ordering,
-//!   used by the one-shot local stage (factor once, many right-hand sides).
+//! * [`SparseCholesky`] — the scalar up-looking sparse Cholesky
+//!   factorization with elimination-tree symbolic analysis; kept as the
+//!   differential-testing oracle behind the blocked kernel.
+//! * [`SupernodalCholesky`] — the supernodal blocked Cholesky the
+//!   `DirectCholesky` backend runs by default: dense column panels from
+//!   relaxed supernode amalgamation, rank-k panel updates, and blocked
+//!   multi-RHS triangular sweeps (`solve_panel`), so the paper's
+//!   factor-once/solve-many economics (§4.2) run on dense contiguous
+//!   kernels. Orderings: RCM or separator-based nested dissection.
 //! * [`solve_cg`] / [`solve_gmres`] — preconditioned iterative solvers used
 //!   by the global stage (the paper solves the global system with GMRES).
 //! * [`MemoryFootprint`] — analytic heap accounting used to report the memory
@@ -76,11 +82,13 @@ mod memory;
 mod ordering;
 mod pool;
 mod sparse;
+mod supernodal;
 mod vecops;
 
 pub use backend::{
-    default_solve_threads, Auto, BackendSolution, BatchSolution, Cg, DirectCholesky, FactorCache,
-    Gmres, LinearOperator, PrecondSpec, PreparedSolver, SolveReport, SolverBackend,
+    default_solve_threads, Auto, BackendSolution, BatchSolution, Cg, CholeskyKernel,
+    DirectCholesky, FactorCache, Gmres, LinearOperator, PrecondSpec, PreparedSolver, SolveReport,
+    SolverBackend,
 };
 pub use cholesky::SparseCholesky;
 pub use dense::{DenseLu, DenseMatrix};
@@ -90,7 +98,10 @@ pub use iterative::{
     JacobiPreconditioner, Preconditioner, SsorPreconditioner,
 };
 pub use memory::MemoryFootprint;
-pub use ordering::{bandwidth, reverse_cuthill_mckee, Permutation};
+pub use ordering::{
+    bandwidth, nested_dissection, reverse_cuthill_mckee, FillOrdering, Permutation,
+};
 pub use pool::WorkPool;
 pub use sparse::{CooMatrix, CsrMatrix};
+pub use supernodal::{SupernodalCholesky, SupernodalOptions, SupernodeStats};
 pub use vecops::{axpy, dot, norm2, norm_inf, scale, sub};

@@ -388,6 +388,12 @@ impl WorkPool {
     /// telemetry, ≥ 1 and ≤ the clamped request, but scheduling-dependent:
     /// a fast caller can drain a small task set before the residents wake.
     ///
+    /// Indices are claimed in *chunks* of `max(1, num_tasks / (8·workers))`
+    /// from one shared counter, so fine-grained task sets pay one atomic
+    /// RMW per chunk instead of one per task — the contention fix the
+    /// many-core runs wanted — while the `8×` oversplit keeps the tail
+    /// balanced when task costs vary.
+    ///
     /// Blocks until all tasks finished, so `task` may borrow from the
     /// caller's stack; panic semantics are those of
     /// [`scope_workers`](Self::scope_workers).
@@ -397,24 +403,50 @@ impl WorkPool {
         num_tasks: usize,
         task: impl Fn(usize) + Sync,
     ) -> usize {
+        self.scope_chunks_with(workers, num_tasks, || (), |(), i| task(i))
+    }
+
+    /// [`scope_chunks`](Self::scope_chunks) with per-worker state: `init`
+    /// runs once on every worker slot that claims at least one index, and
+    /// the produced state is threaded through all of that slot's `task`
+    /// calls. This is how batched solvers reuse one panel scratch per
+    /// worker instead of allocating per task.
+    ///
+    /// The state is dropped when the slot drains; nothing is returned —
+    /// use it for scratch, not for reductions (accumulating into it in
+    /// claim order would break the workspace's schedule-independence
+    /// contract).
+    pub fn scope_chunks_with<S>(
+        &self,
+        workers: usize,
+        num_tasks: usize,
+        init: impl Fn() -> S + Sync,
+        task: impl Fn(&mut S, usize) + Sync,
+    ) -> usize {
         if num_tasks == 0 {
             return 0;
         }
         let workers = workers.clamp(1, self.inner.cap).min(num_tasks);
+        let chunk = (num_tasks / (8 * workers)).max(1);
         let next = AtomicUsize::new(0);
         let active = AtomicUsize::new(0);
         self.scope_workers(workers, |_slot| {
-            let mut counted = false;
+            let mut state: Option<S> = None;
             loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= num_tasks {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= num_tasks {
                     return;
                 }
-                if !counted {
-                    counted = true;
-                    active.fetch_add(1, Ordering::Relaxed);
+                let state = match &mut state {
+                    Some(state) => state,
+                    None => {
+                        active.fetch_add(1, Ordering::Relaxed);
+                        state.insert(init())
+                    }
+                };
+                for i in start..(start + chunk).min(num_tasks) {
+                    task(state, i);
                 }
-                task(i);
             }
         });
         active.load(Ordering::Relaxed).max(1)
@@ -530,6 +562,47 @@ mod tests {
             after.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(after.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn chunked_claiming_still_runs_every_index_once() {
+        // Task counts chosen to exercise chunk-boundary arithmetic: primes,
+        // exact multiples of the chunk size, and fewer tasks than workers.
+        let pool = WorkPool::new(4);
+        for num_tasks in [1usize, 3, 64, 97, 128, 1000] {
+            let counts: Vec<AtomicUsize> = (0..num_tasks).map(|_| AtomicUsize::new(0)).collect();
+            pool.scope_chunks(4, num_tasks, |i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, c) in counts.iter().enumerate() {
+                assert_eq!(c.load(Ordering::Relaxed), 1, "index {i} of {num_tasks}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_worker_state_is_initialized_once_per_active_slot() {
+        let pool = WorkPool::new(4);
+        let inits = AtomicUsize::new(0);
+        let hits = AtomicUsize::new(0);
+        let used = pool.scope_chunks_with(
+            4,
+            200,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                vec![0u8; 16] // stand-in for a panel scratch
+            },
+            |scratch, _i| {
+                scratch[0] = scratch[0].wrapping_add(1);
+                hits.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(hits.load(Ordering::Relaxed), 200);
+        assert_eq!(
+            inits.load(Ordering::Relaxed),
+            used,
+            "exactly one scratch per slot that claimed work"
+        );
     }
 
     #[test]

@@ -322,14 +322,16 @@ impl CsrMatrix {
     pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "spmv: x length");
         assert_eq!(y.len(), self.nrows, "spmv: y length");
-        for i in 0..self.nrows {
-            let lo = self.row_ptr[i];
-            let hi = self.row_ptr[i + 1];
-            let mut s = 0.0;
-            for k in lo..hi {
-                s += self.values[k] * x[self.col_idx[k]];
-            }
-            y[i] = s;
+        // Zipped slices per row: the index/value loads carry no bounds
+        // checks, so the accumulation vectorizes (the gather on `x` is the
+        // only indirect access left).
+        for (yi, w) in y.iter_mut().zip(self.row_ptr.windows(2)) {
+            let (lo, hi) = (w[0], w[1]);
+            *yi = self.col_idx[lo..hi]
+                .iter()
+                .zip(&self.values[lo..hi])
+                .map(|(&c, &v)| v * x[c])
+                .sum();
         }
     }
 
@@ -406,20 +408,64 @@ impl CsrMatrix {
         new_ncols: usize,
     ) -> CsrMatrix {
         assert_eq!(col_map.len(), self.ncols, "extract: col_map length");
+        // Count pass first: exact per-row offsets let the fill pass write
+        // disjoint output ranges — no reallocation, and row chunks can fill
+        // in parallel on the shared pool (this routine sits on the
+        // constraint-reduction hot path of every batched solve).
         let mut row_ptr = Vec::with_capacity(rows.len() + 1);
         row_ptr.push(0usize);
-        let mut col_idx = Vec::new();
-        let mut values = Vec::new();
+        let mut nnz = 0usize;
         for &r in rows {
-            let (cols, vals) = self.row(r);
-            for (c, v) in cols.iter().zip(vals) {
-                if let Some(nc) = col_map[*c] {
-                    debug_assert!(nc < new_ncols);
-                    col_idx.push(nc);
-                    values.push(*v);
+            let (cols, _) = self.row(r);
+            nnz += cols.iter().filter(|&&c| col_map[c].is_some()).count();
+            row_ptr.push(nnz);
+        }
+        let mut col_idx = vec![0usize; nnz];
+        let mut values = vec![0.0f64; nnz];
+        let fill_rows = |out_rows: &[usize], first_out: usize, ci: &mut [usize], va: &mut [f64]| {
+            let base = row_ptr[first_out];
+            let mut w = 0usize;
+            for &r in out_rows {
+                let (cols, vals) = self.row(r);
+                for (c, v) in cols.iter().zip(vals) {
+                    if let Some(nc) = col_map[*c] {
+                        debug_assert!(nc < new_ncols);
+                        ci[w] = nc;
+                        va[w] = *v;
+                        w += 1;
+                    }
                 }
             }
-            row_ptr.push(col_idx.len());
+            debug_assert_eq!(w, row_ptr[first_out + out_rows.len()] - base);
+        };
+        // Chunk rows so each task streams a contiguous output range; the
+        // writes are disjoint by construction, so results are bitwise
+        // identical at every pool cap.
+        const CHUNK: usize = 512;
+        let pool = crate::WorkPool::current();
+        let num_chunks = rows.len().div_ceil(CHUNK.max(1));
+        if num_chunks > 1 && pool.cap() > 1 {
+            let mut slices: Vec<std::sync::Mutex<(&mut [usize], &mut [f64])>> =
+                Vec::with_capacity(num_chunks);
+            let (mut ci_rest, mut va_rest) = (col_idx.as_mut_slice(), values.as_mut_slice());
+            for ch in 0..num_chunks {
+                let lo = row_ptr[ch * CHUNK];
+                let hi = row_ptr[rows.len().min((ch + 1) * CHUNK)];
+                let (ci_head, ci_tail) = ci_rest.split_at_mut(hi - lo);
+                let (va_head, va_tail) = va_rest.split_at_mut(hi - lo);
+                slices.push(std::sync::Mutex::new((ci_head, va_head)));
+                ci_rest = ci_tail;
+                va_rest = va_tail;
+            }
+            pool.scope_chunks(pool.cap(), num_chunks, |ch| {
+                let first = ch * CHUNK;
+                let last = rows.len().min(first + CHUNK);
+                let mut guard = slices[ch].lock().expect("extract chunk poisoned");
+                let (ci, va) = &mut *guard;
+                fill_rows(&rows[first..last], first, ci, va);
+            });
+        } else {
+            fill_rows(rows, 0, &mut col_idx, &mut values);
         }
         CsrMatrix {
             nrows: rows.len(),
@@ -427,6 +473,44 @@ impl CsrMatrix {
             row_ptr,
             col_idx,
             values,
+        }
+    }
+
+    /// Builds a CSR matrix from raw parts **without** the per-entry
+    /// validation of [`CsrMatrix::from_raw`] (only cheap shape checks plus
+    /// full validation in debug builds). For callers that construct the
+    /// arrays programmatically on a hot path — e.g. the global-stage
+    /// assembler, whose pattern is sorted by construction — the O(nnz)
+    /// validation sweep is pure overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array lengths are inconsistent; in debug builds,
+    /// additionally panics on any violation [`CsrMatrix::from_raw`] would
+    /// reject.
+    pub fn from_raw_trusted(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(row_ptr.len(), nrows + 1, "row_ptr length");
+        assert_eq!(col_idx.len(), values.len(), "col/val length mismatch");
+        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr tail");
+        #[cfg(debug_assertions)]
+        {
+            return Self::from_raw(nrows, ncols, row_ptr, col_idx, values);
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            Self {
+                nrows,
+                ncols,
+                row_ptr,
+                col_idx,
+                values,
+            }
         }
     }
 

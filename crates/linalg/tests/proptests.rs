@@ -8,9 +8,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use morestress_linalg::{
-    reverse_cuthill_mckee, solve_cg, solve_gmres, Auto, CgOptions, CooMatrix, CsrMatrix,
-    DenseMatrix, DirectCholesky, FactorCache, GmresOptions, JacobiPreconditioner, Permutation,
-    SolverBackend, SparseCholesky, WorkPool,
+    nested_dissection, reverse_cuthill_mckee, solve_cg, solve_gmres, Auto, CgOptions,
+    CholeskyKernel, CooMatrix, CsrMatrix, DenseMatrix, DirectCholesky, FactorCache, FillOrdering,
+    GmresOptions, JacobiPreconditioner, Permutation, SolverBackend, SparseCholesky,
+    SupernodalCholesky, SupernodalOptions, WorkPool,
 };
 use proptest::prelude::*;
 
@@ -210,6 +211,123 @@ proptest! {
         for (b, x) in bs.iter().zip(&batch.xs) {
             prop_assert_eq!(&prepared.solve(b).expect("direct solve").x, x);
         }
+    }
+
+    /// The supernodal blocked kernel agrees with the scalar oracle to
+    /// ≤1e-12 (relative) on random SPD operators, across orderings and
+    /// relaxation settings.
+    #[test]
+    fn supernodal_matches_scalar_oracle(a in spd_strategy(12),
+                                        b in prop::collection::vec(-5.0f64..5.0, 12),
+                                        max_width in 1usize..6,
+                                        relax in 0.0f64..0.8) {
+        let reference = SparseCholesky::factor(&a).expect("SPD").solve(&b);
+        let scale = reference.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for ordering in [FillOrdering::Rcm, FillOrdering::NestedDissection, FillOrdering::Natural] {
+            let chol = SupernodalCholesky::factor_with_permutation(
+                &a,
+                ordering.permutation(&a),
+                &SupernodalOptions { max_width, relax, small_width: 4 },
+            )
+            .expect("SPD");
+            let x = chol.solve(&b);
+            for (p, q) in reference.iter().zip(&x) {
+                prop_assert!(
+                    (p - q).abs() <= 1e-12 * scale,
+                    "{:?}: {} vs {}", ordering, p, q
+                );
+            }
+        }
+    }
+
+    /// Same differential on structured lattice operators (the shape the
+    /// MORE-Stress stages actually factor), with jittered diagonals.
+    #[test]
+    fn supernodal_matches_scalar_on_lattices(nx in 2usize..9,
+                                             ny in 2usize..7,
+                                             jitter in prop::collection::vec(0.0f64..1.0, 63)) {
+        let n = nx * ny;
+        let id = |i: usize, j: usize| j * nx + i;
+        let mut coo = CooMatrix::new(n, n);
+        for j in 0..ny {
+            for i in 0..nx {
+                let me = id(i, j);
+                coo.push(me, me, 4.1 + jitter[me % jitter.len()]);
+                if i > 0 { coo.push(me, id(i - 1, j), -1.0); }
+                if i + 1 < nx { coo.push(me, id(i + 1, j), -1.0); }
+                if j > 0 { coo.push(me, id(i, j - 1), -1.0); }
+                if j + 1 < ny { coo.push(me, id(i, j + 1), -1.0); }
+            }
+        }
+        let a = coo.to_csr();
+        let b: Vec<f64> = (0..n).map(|k| ((k * 5) % 11) as f64 - 5.0).collect();
+        let x_scalar = SparseCholesky::factor(&a).expect("SPD").solve(&b);
+        let x_super = SupernodalCholesky::factor(&a).expect("SPD").solve(&b);
+        let scale = x_scalar.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for (p, q) in x_scalar.iter().zip(&x_super) {
+            prop_assert!((p - q).abs() <= 1e-12 * scale, "{} vs {}", p, q);
+        }
+    }
+
+    /// Panel sweeps are bitwise equal to looped single solves, for both
+    /// kernels and any panel shape.
+    #[test]
+    fn panel_solves_are_bitwise_equal_to_looped(a in spd_strategy(10),
+                                                bs in prop::collection::vec(
+                                                    prop::collection::vec(-3.0f64..3.0, 10), 1..7)) {
+        let n = 10;
+        let nrhs = bs.len();
+        let flat = |bs: &[Vec<f64>]| -> Vec<f64> {
+            bs.iter().flat_map(|b| b.iter().copied()).collect()
+        };
+        let scalar = SparseCholesky::factor(&a).expect("SPD");
+        let mut panel = flat(&bs);
+        scalar.solve_panel(&mut panel, nrhs);
+        for (r, b) in bs.iter().enumerate() {
+            let single = scalar.solve(b);
+            for i in 0..n {
+                prop_assert_eq!(panel[r * n + i].to_bits(), single[i].to_bits());
+            }
+        }
+        let blocked = SupernodalCholesky::factor(&a).expect("SPD");
+        let mut panel = flat(&bs);
+        blocked.solve_panel(&mut panel, nrhs);
+        for (r, b) in bs.iter().enumerate() {
+            let single = blocked.solve(b);
+            for i in 0..n {
+                prop_assert_eq!(panel[r * n + i].to_bits(), single[i].to_bits());
+            }
+        }
+    }
+
+    /// The pool-distributed panel path of `solve_many` is bitwise equal to
+    /// per-RHS solves for every kernel × panel-width × thread mix.
+    #[test]
+    fn panel_batched_backend_matches_individual(a in spd_strategy(9),
+                                                bs in prop::collection::vec(
+                                                    prop::collection::vec(-2.0f64..2.0, 9), 1..9),
+                                                panel_width in 1usize..5,
+                                                threads in 1usize..6) {
+        let a = Arc::new(a);
+        for kernel in [CholeskyKernel::Supernodal, CholeskyKernel::Scalar] {
+            let backend = DirectCholesky { kernel, panel_width, ..DirectCholesky::default() };
+            let prepared = backend.prepare(Arc::clone(&a)).expect("SPD");
+            let batch = prepared.solve_many(&bs, threads).expect("direct solve");
+            prop_assert_eq!(batch.report.rhs_count, bs.len());
+            for (b, x) in bs.iter().zip(&batch.xs) {
+                prop_assert_eq!(&prepared.solve(b).expect("direct solve").x, x);
+            }
+        }
+    }
+
+    /// Nested dissection always emits a valid permutation, also on
+    /// disconnected and near-dense graphs.
+    #[test]
+    fn nested_dissection_permutation_is_valid(a in spd_strategy(14)) {
+        let p = nested_dissection(&a);
+        prop_assert_eq!(p.len(), 14);
+        let q = Permutation::new(p.as_slice().to_vec());
+        prop_assert!(q.is_some(), "perm vector must be a permutation");
     }
 
     /// Pool scheduling: whatever the cap / worker-request / task-count mix,
