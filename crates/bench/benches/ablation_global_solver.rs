@@ -11,7 +11,7 @@
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use morestress_bench::{one_shot, record_bench_json, Scale, DELTA_T};
+use morestress_bench::{one_shot, record_bench_json, record_bench_json_in, Scale, DELTA_T};
 use morestress_core::{GlobalBc, GlobalStage, RomSolver};
 use morestress_linalg::FactorCache;
 use morestress_mesh::{BlockKind, BlockLayout, TsvGeometry};
@@ -95,6 +95,20 @@ fn bench_batched_loads(c: &mut Criterion) {
                 ("warm_solve_many_ms", warm_ms),
                 ("pr1_warm_baseline_ms", 131.0),
                 ("speedup_vs_pr1_warm", 131.0 / warm_ms),
+            ],
+        );
+        // The PR-4 record tracks the same workload: the cold point now
+        // includes the elimination-tree-parallel factorization (and the
+        // `FillOrdering::Auto` probe, which picks RCM on this dense-row
+        // reduced operator), the warm point is unchanged by PR 4.
+        record_bench_json_in(
+            "BENCH_PR4.json",
+            "ablation_global_solver",
+            &[
+                ("loads", loads.len() as f64),
+                ("array", 6.0),
+                ("cold_solve_many_ms", cold_ms),
+                ("warm_solve_many_ms", warm_ms),
             ],
         );
     }

@@ -1,0 +1,145 @@
+//! Ablation: the elimination-tree-parallel supernodal numeric
+//! factorization vs the serial left-looking sweep on a ≥50k-DoF structured
+//! lattice — factor wall time across worker counts {1, 2, 4, 8} × orderings
+//! {RCM, nested dissection, Auto}, plus the etree shape metrics (height,
+//! weighted critical path, subtree balance) that bound the achievable
+//! speedup independently of the machine.
+//!
+//! Besides the Criterion-style console lines, this bench records its
+//! medians into `BENCH_PR4.json` (section `ablation_parallel_factor`) so CI
+//! and the ROADMAP can quote machine-readable numbers. The 1-worker column
+//! runs the serial sweep (a cap-1 pool short-circuits to it), so every
+//! speedup is against the true serial baseline; the factors are bitwise
+//! identical across the whole matrix, pinned by the proptests and
+//! `thread_invariance.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use morestress_bench::{jittered_lattice as lattice, record_bench_json_in, time3};
+use morestress_linalg::{FillOrdering, SupernodalCholesky, SupernodalOptions, WorkPool};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_parallel_factor(c: &mut Criterion) {
+    // 224 × 224 = 50_176 DoFs — the ≥50k-DoF lattice the acceptance
+    // criterion names.
+    let a = lattice(224, 224);
+    let n = a.nrows();
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "parallel-factor ablation ({n} DoFs, {cores} hardware threads — \
+         worker counts beyond that measure scheduling overhead, not speedup)"
+    );
+
+    let auto_resolved = FillOrdering::Auto.resolve(&a);
+    let mut entries: Vec<(String, f64)> = vec![
+        ("dofs".into(), n as f64),
+        ("hardware_threads".into(), cores as f64),
+        (
+            "auto_resolves_to_nd".into(),
+            f64::from(auto_resolved == FillOrdering::NestedDissection),
+        ),
+    ];
+
+    for (tag, ordering) in [
+        ("rcm", FillOrdering::Rcm),
+        ("nd", FillOrdering::NestedDissection),
+        ("auto", FillOrdering::Auto),
+    ] {
+        let (ordering_ms, perm) = time3(|| ordering.permutation(&a));
+        let mut ms_at: Vec<f64> = Vec::new();
+        let mut last = None;
+        for &workers in &WORKER_COUNTS {
+            let pool = WorkPool::new(workers);
+            let (ms, chol) = time3(|| {
+                pool.install(|| {
+                    SupernodalCholesky::factor_with_permutation(
+                        &a,
+                        perm.clone(),
+                        &SupernodalOptions::default(),
+                    )
+                    .expect("SPD")
+                })
+            });
+            ms_at.push(ms);
+            entries.push((format!("factor_ms_{tag}_{workers}w"), ms));
+            last = Some(chol);
+        }
+        let chol = last.expect("factored at least once");
+        let stats = chol.stats();
+        let bound = stats.total_work as f64 / stats.critical_path.max(1) as f64;
+        let speedup8 = ms_at[0] / ms_at[ms_at.len() - 1];
+        println!(
+            "  {tag:>4}: ordering {ordering_ms:.1} ms | factor \
+             {:.1} / {:.1} / {:.1} / {:.1} ms at 1/2/4/8 workers \
+             (8w speedup {speedup8:.2}×)\n\
+             \x20       etree: {} supernodes, height {}, critical path \
+             {:.1}% of work (schedule bound {bound:.1}×), max/mean \
+             parallel subtree {:.1}% / {:.1}% of work",
+            ms_at[0],
+            ms_at[1],
+            ms_at[2],
+            ms_at[3],
+            stats.supernodes,
+            stats.etree_height,
+            100.0 * stats.critical_path as f64 / stats.total_work.max(1) as f64,
+            100.0 * stats.max_subtree_weight as f64 / stats.total_work.max(1) as f64,
+            100.0 * stats.mean_subtree_weight / stats.total_work.max(1) as f64,
+        );
+        entries.push((format!("ordering_ms_{tag}"), ordering_ms));
+        entries.push((format!("speedup_8w_{tag}"), speedup8));
+        entries.push((format!("supernodes_{tag}"), stats.supernodes as f64));
+        entries.push((format!("etree_height_{tag}"), stats.etree_height as f64));
+        entries.push((format!("critical_path_{tag}"), stats.critical_path as f64));
+        entries.push((format!("total_work_{tag}"), stats.total_work as f64));
+        entries.push((
+            format!("schedule_bound_{tag}"),
+            stats.total_work as f64 / stats.critical_path.max(1) as f64,
+        ));
+        entries.push((
+            format!("max_subtree_weight_{tag}"),
+            stats.max_subtree_weight as f64,
+        ));
+        entries.push((
+            format!("mean_subtree_weight_{tag}"),
+            stats.mean_subtree_weight,
+        ));
+    }
+    let borrowed: Vec<(&str, f64)> = entries.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    record_bench_json_in("BENCH_PR4.json", "ablation_parallel_factor", &borrowed);
+
+    // --- Criterion points on a smaller lattice (kept quick) -------------
+    let small = lattice(96, 96);
+    let perm = FillOrdering::NestedDissection.permutation(&small);
+    let mut group = c.benchmark_group("ablation_parallel_factor");
+    group.sample_size(10);
+    group.bench_function("factor_serial", |bch| {
+        bch.iter(|| {
+            SupernodalCholesky::factor_with_permutation(
+                &small,
+                perm.clone(),
+                &SupernodalOptions {
+                    parallel: false,
+                    ..SupernodalOptions::default()
+                },
+            )
+            .expect("SPD")
+        })
+    });
+    let pool = WorkPool::new(4);
+    group.bench_function("factor_dag_4w", |bch| {
+        bch.iter(|| {
+            pool.install(|| {
+                SupernodalCholesky::factor_with_permutation(
+                    &small,
+                    perm.clone(),
+                    &SupernodalOptions::default(),
+                )
+                .expect("SPD")
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_factor);
+criterion_main!(benches);

@@ -7,57 +7,9 @@
 //! medians into `BENCH_PR3.json` (section `ablation_supernodal`) so CI and
 //! the ROADMAP can quote machine-readable numbers.
 
-use std::time::{Duration, Instant};
-
 use criterion::{criterion_group, criterion_main, Criterion};
-use morestress_bench::record_bench_json;
-use morestress_linalg::{
-    CooMatrix, CsrMatrix, FillOrdering, SparseCholesky, SupernodalCholesky, SupernodalOptions,
-};
-
-/// A 2-D 5-point lattice with mildly jittered diagonal: `nx · ny` DoFs.
-fn lattice(nx: usize, ny: usize) -> CsrMatrix {
-    let n = nx * ny;
-    let id = |i: usize, j: usize| j * nx + i;
-    let mut coo = CooMatrix::new(n, n);
-    for j in 0..ny {
-        for i in 0..nx {
-            let me = id(i, j);
-            coo.push(me, me, 4.0 + 0.1 + 0.05 * ((me * 7) % 5) as f64);
-            let mut link = |other: usize| coo.push(me, other, -1.0);
-            if i > 0 {
-                link(id(i - 1, j));
-            }
-            if i + 1 < nx {
-                link(id(i + 1, j));
-            }
-            if j > 0 {
-                link(id(i, j - 1));
-            }
-            if j + 1 < ny {
-                link(id(i, j + 1));
-            }
-        }
-    }
-    coo.to_csr()
-}
-
-fn median_ms(samples: &mut [Duration]) -> f64 {
-    samples.sort_unstable();
-    samples[samples.len() / 2].as_secs_f64() * 1e3
-}
-
-/// Times `f` three times and returns the median in milliseconds.
-fn time3<R>(mut f: impl FnMut() -> R) -> (f64, R) {
-    let mut out = None;
-    let mut samples = Vec::with_capacity(3);
-    for _ in 0..3 {
-        let t0 = Instant::now();
-        out = Some(f());
-        samples.push(t0.elapsed());
-    }
-    (median_ms(&mut samples), out.expect("ran at least once"))
-}
+use morestress_bench::{jittered_lattice as lattice, record_bench_json, time3};
+use morestress_linalg::{FillOrdering, SparseCholesky, SupernodalCholesky, SupernodalOptions};
 
 fn bench_supernodal(c: &mut Criterion) {
     // 224 × 224 = 50_176 DoFs — the ≥50k-DoF lattice the acceptance

@@ -428,6 +428,55 @@ pub fn fmt_bytes(bytes: usize) -> String {
     }
 }
 
+/// A 2-D 5-point lattice with mildly jittered diagonal (`nx · ny` DoFs) —
+/// the shared ≥50k-DoF test operator of the solver ablation benches
+/// (`ablation_supernodal`, `ablation_parallel_factor`).
+pub fn jittered_lattice(nx: usize, ny: usize) -> morestress_linalg::CsrMatrix {
+    let n = nx * ny;
+    let id = |i: usize, j: usize| j * nx + i;
+    let mut coo = morestress_linalg::CooMatrix::new(n, n);
+    for j in 0..ny {
+        for i in 0..nx {
+            let me = id(i, j);
+            coo.push(me, me, 4.0 + 0.1 + 0.05 * ((me * 7) % 5) as f64);
+            let mut link = |other: usize| coo.push(me, other, -1.0);
+            if i > 0 {
+                link(id(i - 1, j));
+            }
+            if i + 1 < nx {
+                link(id(i + 1, j));
+            }
+            if j > 0 {
+                link(id(i, j - 1));
+            }
+            if j + 1 < ny {
+                link(id(i, j + 1));
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Median of a set of timing samples, in milliseconds (sorts in place).
+pub fn median_ms(samples: &mut [Duration]) -> f64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2].as_secs_f64() * 1e3
+}
+
+/// Times `f` three times and returns the median in milliseconds together
+/// with the last result — the quick measured-comparison harness the
+/// solver ablation benches share.
+pub fn time3<R>(mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut out = None;
+    let mut samples = Vec::with_capacity(3);
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        out = Some(f());
+        samples.push(t0.elapsed());
+    }
+    (median_ms(&mut samples), out.expect("ran at least once"))
+}
+
 /// Formats an optional error as a percentage.
 pub fn fmt_err(e: Option<f64>) -> String {
     e.map_or_else(|| "-".to_string(), |v| format!("{:.2}%", v * 100.0))
@@ -446,26 +495,39 @@ pub fn peak_rss_bytes() -> Option<usize> {
     None
 }
 
+/// Path of a machine-readable benchmark record at the workspace root
+/// (`BENCH_PR3.json`, `BENCH_PR4.json`, …).
+pub fn bench_json_path_for(file: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(file)
+}
+
 /// Path of the machine-readable benchmark record the PR-3 acceptance
 /// criteria read (`BENCH_PR3.json` at the workspace root).
 pub fn bench_json_path() -> std::path::PathBuf {
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_PR3.json")
+    bench_json_path_for("BENCH_PR3.json")
 }
 
-/// One `BENCH_PR3.json` section: a name plus its key → number entries.
+/// One bench-record section: a name plus its key → number entries.
 pub type BenchSection = (String, Vec<(String, f64)>);
 
-/// Merges one section of benchmark numbers into `BENCH_PR3.json`.
+/// Merges one section of benchmark numbers into `BENCH_PR3.json` — see
+/// [`record_bench_json_in`].
+pub fn record_bench_json(section: &str, entries: &[(&str, f64)]) {
+    record_bench_json_in("BENCH_PR3.json", section, entries);
+}
+
+/// Merges one section of benchmark numbers into the named record file at
+/// the workspace root.
 ///
 /// The file is a flat two-level JSON object `{section: {key: number}}`;
 /// each bench overwrites its own section and leaves the others in place,
-/// so `ablation_global_solver` and `ablation_supernodal` can both
+/// so `ablation_parallel_factor` and `ablation_global_solver` can both
 /// contribute to one record. The stored format is exactly what
 /// [`parse_bench_json`] reads back — no external JSON dependency.
-pub fn record_bench_json(section: &str, entries: &[(&str, f64)]) {
-    let path = bench_json_path();
+pub fn record_bench_json_in(file: &str, section: &str, entries: &[(&str, f64)]) {
+    let path = bench_json_path_for(file);
     let mut sections: Vec<BenchSection> = std::fs::read_to_string(&path)
         .ok()
         .and_then(|text| parse_bench_json(&text))

@@ -248,6 +248,10 @@ pub struct GlobalStats {
     /// Effective [`WorkPool`](morestress_linalg::WorkPool) worker slots the
     /// batched solve ran on (1 for serial and fully-constrained solves).
     pub workers: usize,
+    /// Worker slots the one-time numeric factorization behind this solve
+    /// used (1 for iterative backends, serial factorization, warm-cache
+    /// hits prepared serially, and fully-constrained solves).
+    pub factor_workers: usize,
 }
 
 /// The solved global problem of one array.
@@ -556,6 +560,7 @@ impl<'a> GlobalStage<'a> {
                 iterations: 0,
                 backend: "none",
                 workers: 1,
+                factor_workers: 1,
             };
             return Ok(delta_ts
                 .iter()
@@ -602,6 +607,7 @@ impl<'a> GlobalStage<'a> {
             iterations: batch.report.iterations.unwrap_or(0),
             backend: batch.report.backend,
             workers: batch.report.workers,
+            factor_workers: batch.report.factor_workers,
         };
         Ok(batch
             .xs

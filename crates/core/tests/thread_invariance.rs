@@ -19,7 +19,9 @@ use morestress_core::{
     LocalStageOptions, MoreStressSimulator, ReducedOrderModel, RomSolver, SimulatorOptions,
 };
 use morestress_fem::MaterialSet;
-use morestress_linalg::{CholeskyKernel, CooMatrix, DirectCholesky, SolverBackend, WorkPool};
+use morestress_linalg::{
+    CholeskyKernel, CooMatrix, DirectCholesky, FactorCache, SolverBackend, WorkPool,
+};
 use morestress_mesh::{BlockKind, BlockLayout, BlockResolution, TsvGeometry};
 
 /// Serial reference first, then the caps that must reproduce it.
@@ -181,6 +183,53 @@ fn panel_multi_rhs_solves_are_pool_size_invariant() {
                     assert_bitwise(&format!("{kernel:?} panel_width={panel_width}"), cap, r, c);
                 }
             }
+        }
+    }
+}
+
+#[test]
+fn cold_factorization_pipeline_is_pool_size_invariant() {
+    // The PR-4 cold path: a fresh `FactorCache` per run forces the
+    // elimination-tree-parallel numeric factorization (not just the
+    // triangular sweeps) to run inside every install scope, end to end
+    // through assembly → parallel factor → batched panel solve. The factor
+    // is bitwise identical to the serial sweep at every cap, so the nodal
+    // solutions must be too.
+    let rom = WorkPool::new(REFERENCE_CAP).install(|| build_rom(BlockKind::Tsv));
+    let layout = BlockLayout::uniform(3, 3, BlockKind::Tsv);
+    let loads = [-250.0, -120.0, 75.0, 10.0, 300.0];
+    let solve = |cap: usize| {
+        WorkPool::new(cap).install(|| {
+            let cache = FactorCache::new();
+            let batch = GlobalStage::new(&rom)
+                .with_solver(RomSolver::DirectCholesky)
+                .with_cache(&cache)
+                .with_threads(64)
+                .solve_many(&layout, &loads, &GlobalBc::ClampedTopBottom)
+                .expect("cold batched solve");
+            assert_eq!(cache.misses(), 1, "cold run must factor exactly once");
+            batch
+        })
+    };
+    let reference = solve(REFERENCE_CAP);
+    assert_eq!(
+        reference[0].stats.factor_workers, 1,
+        "cap-1 pool must factor serially"
+    );
+    for cap in CAPS {
+        let batch = solve(cap);
+        assert!(
+            batch[0].stats.factor_workers <= cap,
+            "{} factor workers exceed pool cap {cap}",
+            batch[0].stats.factor_workers
+        );
+        for (r, c) in reference.iter().zip(&batch) {
+            assert_bitwise(
+                "cold-path nodal displacement",
+                cap,
+                r.nodal_displacement(),
+                c.nodal_displacement(),
+            );
         }
     }
 }

@@ -198,9 +198,16 @@ pub struct SolveReport {
     /// bounded by the `threads` request and the pool cap — but the exact
     /// value is scheduling-dependent, so don't gate regressions on it.
     pub workers: usize,
-    /// Supernode panels of the direct factor behind this solve; `None` for
-    /// iterative engines and for the scalar reference kernel.
-    pub supernodes: Option<usize>,
+    /// [`WorkPool`] worker slots the numeric *factorization* behind this
+    /// solve used (1 for serial factorization, the scalar kernel and the
+    /// iterative engines). Same scheduling-dependent-telemetry caveat as
+    /// [`workers`](SolveReport::workers).
+    pub factor_workers: usize,
+    /// Shape statistics of the supernodal factor behind this solve —
+    /// supernode count, etree height, weighted critical path, subtree
+    /// balance; `None` for iterative engines and for the scalar reference
+    /// kernel.
+    pub supernode_stats: Option<SupernodeStats>,
 }
 
 /// One solved right-hand side with its report.
@@ -292,6 +299,15 @@ impl DirectFactor {
         match self {
             DirectFactor::Scalar(_) => None,
             DirectFactor::Supernodal(chol) => Some(chol.stats()),
+        }
+    }
+
+    /// Worker slots the numeric factorization used (1 for the scalar
+    /// kernel's serial up-looking sweep).
+    fn factor_workers(&self) -> usize {
+        match self {
+            DirectFactor::Scalar(_) => 1,
+            DirectFactor::Supernodal(chol) => chol.factor_workers(),
         }
     }
 
@@ -408,6 +424,15 @@ impl PreparedSolver {
         }
     }
 
+    /// Worker slots the one-time numeric factorization used (1 for the
+    /// scalar kernel, serial factorization and the iterative engines).
+    pub fn factor_workers(&self) -> usize {
+        match &self.engine {
+            Engine::Direct(factor) => factor.factor_workers(),
+            _ => 1,
+        }
+    }
+
     fn solve_one(&self, b: &[f64]) -> EngineResult {
         match &self.engine {
             Engine::Direct(factor) => Ok((factor.solve(b), None, None)),
@@ -449,7 +474,8 @@ impl PreparedSolver {
                 solver_bytes: self.solver_bytes(),
                 rhs_count: 1,
                 workers: 1,
-                supernodes: self.supernode_stats().map(|s| s.supernodes),
+                factor_workers: self.factor_workers(),
+                supernode_stats: self.supernode_stats(),
             },
         })
     }
@@ -543,7 +569,8 @@ impl PreparedSolver {
                 solver_bytes: self.shared_bytes + workers * self.workspace_bytes,
                 rhs_count: rhs.len(),
                 workers,
-                supernodes: None,
+                factor_workers: self.factor_workers(),
+                supernode_stats: None,
             },
         })
     }
@@ -604,7 +631,8 @@ impl PreparedSolver {
                 solver_bytes: self.shared_bytes + workers * self.workspace_bytes,
                 rhs_count: k,
                 workers,
-                supernodes: stats.map(|s| s.supernodes),
+                factor_workers: factor.factor_workers(),
+                supernode_stats: stats,
             },
         }
     }
@@ -643,19 +671,31 @@ pub enum CholeskyKernel {
     Scalar,
 }
 
-/// Direct sparse Cholesky backend: supernodal blocked kernel with RCM
-/// ordering by default, scalar kernel and other orderings selectable.
+/// Direct sparse Cholesky backend: supernodal blocked kernel with
+/// structure-probed ([`FillOrdering::Auto`]) ordering and
+/// elimination-tree-parallel factorization by default; the scalar kernel,
+/// concrete orderings and the serial sweep stay selectable.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DirectCholesky {
     /// Factorization kernel (default: supernodal).
     pub kernel: CholeskyKernel,
-    /// Fill-reducing ordering (default: RCM; nested dissection wins on
-    /// large structured lattices, see the supernodal ablation bench).
+    /// Fill-reducing ordering (default: [`FillOrdering::Auto`], which
+    /// probes the operator and picks RCM for dense-row reduced operators
+    /// and nested dissection for large sparse lattices).
     pub ordering: FillOrdering,
     /// Right-hand sides per panel of the batched
     /// [`PreparedSolver::solve_many`] path. Each worker solves whole
     /// panels with one blocked sweep; 1 degenerates to task-per-RHS.
     pub panel_width: usize,
+    /// Runs the supernodal numeric factorization as an elimination-tree
+    /// task DAG on the current [`WorkPool`] (default: `true`). The factor
+    /// is bitwise identical to the serial sweep at every pool cap, so this
+    /// is purely a wall-clock knob — which is also why it is *not* part of
+    /// the [`FactorCache`] fingerprint. Ignored by the scalar kernel. The
+    /// parallel path runs only when both this and
+    /// [`SupernodalOptions::parallel`] are `true` (either switch selects
+    /// the serial sweep).
+    pub parallel_factor: bool,
     /// Supernode detection tuning (width cap, relaxed-amalgamation
     /// budget). Ignored by the scalar kernel.
     pub supernodal: SupernodalOptions,
@@ -667,6 +707,7 @@ impl Default for DirectCholesky {
             kernel: CholeskyKernel::default(),
             ordering: FillOrdering::default(),
             panel_width: 8,
+            parallel_factor: true,
             supernodal: SupernodalOptions::default(),
         }
     }
@@ -678,6 +719,7 @@ impl DirectCholesky {
     pub fn scalar() -> Self {
         Self {
             kernel: CholeskyKernel::Scalar,
+            ordering: FillOrdering::Rcm,
             ..Self::default()
         }
     }
@@ -687,6 +729,16 @@ impl DirectCholesky {
     pub fn nested_dissection() -> Self {
         Self {
             ordering: FillOrdering::NestedDissection,
+            ..Self::default()
+        }
+    }
+
+    /// The supernodal kernel with the serial left-looking numeric sweep —
+    /// the parallel path's differential baseline (bitwise identical, just
+    /// slower).
+    pub fn serial_factor() -> Self {
+        Self {
+            parallel_factor: false,
             ..Self::default()
         }
     }
@@ -701,9 +753,18 @@ impl SolverBackend for DirectCholesky {
         let t0 = Instant::now();
         let perm = self.ordering.permutation(&a);
         let factor = match self.kernel {
-            CholeskyKernel::Supernodal => DirectFactor::Supernodal(
-                SupernodalCholesky::factor_with_permutation(&a, perm, &self.supernodal)?,
-            ),
+            CholeskyKernel::Supernodal => {
+                // Honor both switches: the backend-level `parallel_factor`
+                // and a caller-narrowed `supernodal.parallel` each disable
+                // the DAG path.
+                let opts = SupernodalOptions {
+                    parallel: self.parallel_factor && self.supernodal.parallel,
+                    ..self.supernodal
+                };
+                DirectFactor::Supernodal(SupernodalCholesky::factor_with_permutation(
+                    &a, perm, &opts,
+                )?)
+            }
             CholeskyKernel::Scalar => {
                 DirectFactor::Scalar(SparseCholesky::factor_with_permutation(&a, perm)?)
             }
@@ -729,13 +790,17 @@ impl SolverBackend for DirectCholesky {
         };
         // The panel width and supernode tuning only shape *how* a solve
         // runs, not its factor-basis semantics — but they change the
-        // prepared object, so they stay in the cache key.
+        // prepared object, so they stay in the cache key. `parallel_factor`
+        // is deliberately absent: serial and parallel factorization produce
+        // bitwise-identical factors, so the two configs can share one cache
+        // entry.
         0x10 ^ kernel.rotate_left(8)
             ^ self.ordering.fingerprint().rotate_left(12)
             ^ (self.panel_width as u64).rotate_left(24)
             ^ (self.supernodal.max_width as u64).rotate_left(40)
             ^ self.supernodal.relax.to_bits().rotate_left(48)
             ^ (self.supernodal.small_width as u64).rotate_left(56)
+            ^ self.supernodal.chunk_work.rotate_left(16)
     }
 }
 

@@ -396,35 +396,8 @@ pub(crate) fn ereach(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::test_operators::laplacian_2d;
     use crate::CooMatrix;
-
-    fn laplacian_2d(nx: usize, ny: usize) -> CsrMatrix {
-        let n = nx * ny;
-        let id = |i: usize, j: usize| j * nx + i;
-        let mut coo = CooMatrix::new(n, n);
-        for j in 0..ny {
-            for i in 0..nx {
-                let me = id(i, j);
-                coo.push(me, me, 4.0 + 0.1); // shifted to be SPD with Neumann-ish edges
-                let mut link = |other: usize| {
-                    coo.push(me, other, -1.0);
-                };
-                if i > 0 {
-                    link(id(i - 1, j));
-                }
-                if i + 1 < nx {
-                    link(id(i + 1, j));
-                }
-                if j > 0 {
-                    link(id(i, j - 1));
-                }
-                if j + 1 < ny {
-                    link(id(i, j + 1));
-                }
-            }
-        }
-        coo.to_csr()
-    }
 
     #[test]
     fn factor_and_solve_laplacian() {

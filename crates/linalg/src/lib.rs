@@ -15,7 +15,11 @@
 //!   relaxed supernode amalgamation, rank-k panel updates, and blocked
 //!   multi-RHS triangular sweeps (`solve_panel`), so the paper's
 //!   factor-once/solve-many economics (§4.2) run on dense contiguous
-//!   kernels. Orderings: RCM or separator-based nested dissection.
+//!   kernels. The numeric factorization runs as an elimination-tree task
+//!   DAG on the [`WorkPool`] ([`WorkPool::scope_dag`]), bitwise identical
+//!   to the serial sweep at every pool cap. Orderings: RCM, separator
+//!   based nested dissection, or [`FillOrdering::Auto`] (structure-probed
+//!   per operator, the default).
 //! * [`solve_cg`] / [`solve_gmres`] — preconditioned iterative solvers used
 //!   by the global stage (the paper solves the global system with GMRES).
 //! * [`MemoryFootprint`] — analytic heap accounting used to report the memory
@@ -99,9 +103,44 @@ pub use iterative::{
 };
 pub use memory::MemoryFootprint;
 pub use ordering::{
-    bandwidth, nested_dissection, reverse_cuthill_mckee, FillOrdering, Permutation,
+    bandwidth, nested_dissection, reverse_cuthill_mckee, FillOrdering, Permutation, StructureProbe,
 };
-pub use pool::WorkPool;
+pub use pool::{TaskDag, WorkPool};
 pub use sparse::{CooMatrix, CsrMatrix};
 pub use supernodal::{SupernodalCholesky, SupernodalOptions, SupernodeStats};
 pub use vecops::{axpy, dot, norm2, norm_inf, scale, sub};
+
+/// Shared unit-test operators (the direct-solver modules all exercise the
+/// same 5-point lattice).
+#[cfg(test)]
+pub(crate) mod test_operators {
+    use crate::{CooMatrix, CsrMatrix};
+
+    /// A 2-D 5-point Laplacian with a +0.1-shifted diagonal (SPD also with
+    /// Neumann-ish edges): `nx · ny` DoFs.
+    pub(crate) fn laplacian_2d(nx: usize, ny: usize) -> CsrMatrix {
+        let n = nx * ny;
+        let id = |i: usize, j: usize| j * nx + i;
+        let mut coo = CooMatrix::new(n, n);
+        for j in 0..ny {
+            for i in 0..nx {
+                let me = id(i, j);
+                coo.push(me, me, 4.1);
+                let mut link = |other: usize| coo.push(me, other, -1.0);
+                if i > 0 {
+                    link(id(i - 1, j));
+                }
+                if i + 1 < nx {
+                    link(id(i + 1, j));
+                }
+                if j > 0 {
+                    link(id(i, j - 1));
+                }
+                if j + 1 < ny {
+                    link(id(i, j + 1));
+                }
+            }
+        }
+        coo.to_csr()
+    }
+}

@@ -122,27 +122,52 @@ impl Permutation {
 /// Declarative fill-reducing ordering choice for the direct solvers.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum FillOrdering {
-    /// Reverse Cuthill–McKee: minimizes bandwidth, the right default for
-    /// the band-structured operators the unit-block local stage produces.
+    /// Picks [`Rcm`](FillOrdering::Rcm) or
+    /// [`NestedDissection`](FillOrdering::NestedDissection) per operator
+    /// from a cheap [`StructureProbe`] (mean row density + sampled
+    /// bandwidth), so dense-row reduced operators (the global stage) and
+    /// large sparse lattices both get the right ordering without the
+    /// caller choosing. The default since PR 4.
     #[default]
+    Auto,
+    /// Reverse Cuthill–McKee: minimizes bandwidth, the right choice for
+    /// band-structured operators and for the global stage's reduced
+    /// operators, whose ~300-entry rows make nested dissection's
+    /// separators enormous.
     Rcm,
     /// Separator-based nested dissection: recursively orders two halves of
     /// the graph before a small separator, which asymptotically beats
-    /// banded orderings on large structured lattices (the global-stage
-    /// operators) and produces big trailing supernodes for the blocked
-    /// factorization.
+    /// banded orderings on large structured lattices (50k-DoF lattice:
+    /// 4.6× less factor fill than RCM, see `BENCH_PR3.json`) and produces
+    /// big trailing supernodes for the blocked factorization.
     NestedDissection,
     /// The natural (identity) ordering; exposed for ablations.
     Natural,
 }
 
 impl FillOrdering {
+    /// Resolves [`Auto`](FillOrdering::Auto) to a concrete ordering for
+    /// `a` via [`StructureProbe`]; concrete orderings return themselves.
+    pub fn resolve(&self, a: &CsrMatrix) -> FillOrdering {
+        match self {
+            FillOrdering::Auto => {
+                if StructureProbe::of(a).prefers_nested_dissection() {
+                    FillOrdering::NestedDissection
+                } else {
+                    FillOrdering::Rcm
+                }
+            }
+            concrete => *concrete,
+        }
+    }
+
     /// Computes the permutation of this ordering for `a`.
     pub fn permutation(&self, a: &CsrMatrix) -> Permutation {
-        match self {
+        match self.resolve(a) {
             FillOrdering::Rcm => reverse_cuthill_mckee(a),
             FillOrdering::NestedDissection => nested_dissection(a),
             FillOrdering::Natural => Permutation::identity(a.nrows()),
+            FillOrdering::Auto => unreachable!("resolve() returns a concrete ordering"),
         }
     }
 
@@ -152,7 +177,76 @@ impl FillOrdering {
             FillOrdering::Rcm => 0,
             FillOrdering::NestedDissection => 1,
             FillOrdering::Natural => 2,
+            FillOrdering::Auto => 3,
         }
+    }
+}
+
+/// Smallest operator [`FillOrdering::Auto`] hands to nested dissection:
+/// below this, RCM's lower ordering cost wins even when ND would reduce
+/// fill (the factorization is cheap either way).
+const ND_MIN_DOFS: usize = 4096;
+
+/// Densest rows (mean stored entries per row) [`FillOrdering::Auto`] still
+/// hands to nested dissection. The global stage's reduced operators carry
+/// ~300-entry rows: every BFS level is huge, so ND's "small separator"
+/// premise collapses and RCM's banded fill is far cheaper.
+const ND_MAX_MEAN_ROW_NNZ: f64 = 16.0;
+
+/// How many rows [`StructureProbe::of`] samples for the bandwidth
+/// estimate.
+const PROBE_ROWS: usize = 64;
+
+/// Cheap structural fingerprint of a sparse operator, driving
+/// [`FillOrdering::Auto`]. Cost: O(nnz of ~64 sampled rows) — vanishing
+/// next to either ordering, let alone the factorization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StructureProbe {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Exact mean stored entries per row (`nnz / n`).
+    pub mean_row_nnz: f64,
+    /// Max `|i − j|` over the sampled rows — a lower bound on the true
+    /// bandwidth, which is all the decision rule needs.
+    pub bandwidth_estimate: usize,
+}
+
+impl StructureProbe {
+    /// Probes `a` (square, as used by the orderings).
+    pub fn of(a: &CsrMatrix) -> Self {
+        let n = a.nrows();
+        let mean_row_nnz = if n == 0 {
+            0.0
+        } else {
+            a.nnz() as f64 / n as f64
+        };
+        let stride = (n / PROBE_ROWS).max(1);
+        let mut bandwidth_estimate = 0usize;
+        let mut i = 0;
+        while i < n {
+            for &j in a.row(i).0 {
+                bandwidth_estimate = bandwidth_estimate.max(i.abs_diff(j));
+            }
+            i += stride;
+        }
+        Self {
+            n,
+            mean_row_nnz,
+            bandwidth_estimate,
+        }
+    }
+
+    /// The [`FillOrdering::Auto`] decision: nested dissection for large
+    /// sparse operators with genuinely multi-dimensional coupling
+    /// (bandwidth ≳ √n — a 2-D/3-D lattice signature; a naturally narrow
+    /// band is already optimal for RCM), RCM otherwise.
+    pub fn prefers_nested_dissection(&self) -> bool {
+        self.n >= ND_MIN_DOFS
+            && self.mean_row_nnz <= ND_MAX_MEAN_ROW_NNZ
+            && self
+                .bandwidth_estimate
+                .saturating_mul(self.bandwidth_estimate)
+                >= self.n
     }
 }
 
@@ -538,6 +632,72 @@ fn pseudo_peripheral(
     start
 }
 
+/// Shape metrics of a weighted forest, used by the supernodal task
+/// schedule (subtree weights become [`TaskDag`](crate::TaskDag) claim
+/// priorities) and by `SupernodeStats`.
+#[derive(Debug, Clone)]
+pub(crate) struct TreeMetrics {
+    /// Total weight of each node's subtree (itself included).
+    pub subtree_weight: Vec<u64>,
+    /// Nodes on the longest root-to-leaf path (0 for an empty forest).
+    pub height: usize,
+    /// Max/mean subtree weight over the forest's *parallel units*: the
+    /// subtrees rooted at children of branch nodes (nodes with ≥ 2
+    /// children), which are exactly the pieces a tree schedule can run
+    /// concurrently. A pure chain has no branch nodes; its units are the
+    /// roots themselves (max = total ⇒ no tree parallelism).
+    pub max_parallel_subtree: u64,
+    /// See [`TreeMetrics::max_parallel_subtree`].
+    pub mean_parallel_subtree: f64,
+}
+
+/// Computes [`TreeMetrics`] over a parent-indexed forest in one ascending
+/// pass. Requires the heap property `parent[i] > i` (roots marked by
+/// `parent[i] >= len`), which elimination trees satisfy by construction.
+pub(crate) fn tree_metrics(parent: &[usize], weight: &[u64]) -> TreeMetrics {
+    let n = parent.len();
+    debug_assert_eq!(weight.len(), n);
+    let mut subtree_weight = weight.to_vec();
+    let mut children = vec![0usize; n];
+    // Tallest child subtree (nodes) per node.
+    let mut child_height = vec![0usize; n];
+    let mut height = 0usize;
+    for i in 0..n {
+        let p = parent[i];
+        debug_assert!(p >= n || p > i, "tree_metrics needs parent[i] > i");
+        let h = child_height[i] + 1;
+        if p < n {
+            subtree_weight[p] += subtree_weight[i];
+            children[p] += 1;
+            child_height[p] = child_height[p].max(h);
+        } else {
+            height = height.max(h);
+        }
+    }
+    let mut units: Vec<u64> = (0..n)
+        .filter(|&i| parent[i] < n && children[parent[i]] >= 2)
+        .map(|i| subtree_weight[i])
+        .collect();
+    if units.is_empty() {
+        units = (0..n)
+            .filter(|&i| parent[i] >= n)
+            .map(|i| subtree_weight[i])
+            .collect();
+    }
+    let max_parallel_subtree = units.iter().copied().max().unwrap_or(0);
+    let mean_parallel_subtree = if units.is_empty() {
+        0.0
+    } else {
+        units.iter().sum::<u64>() as f64 / units.len() as f64
+    };
+    TreeMetrics {
+        subtree_weight,
+        height,
+        max_parallel_subtree,
+        mean_parallel_subtree,
+    }
+}
+
 /// Half-bandwidth of a square sparse matrix: `max |i - j|` over stored
 /// entries. Used to quantify what RCM buys us (see the ordering ablation
 /// benchmark).
@@ -599,6 +759,85 @@ mod tests {
         let p = reverse_cuthill_mckee(&a);
         let b = a.permuted_symmetric(&p);
         assert_eq!(bandwidth(&b), 1);
+    }
+
+    use crate::test_operators::laplacian_2d as lattice;
+
+    /// A banded operator with dense rows, the shape of the global stage's
+    /// Galerkin-reduced operators (every row couples to every interpolation
+    /// DoF of the neighboring blocks — hundreds of entries).
+    fn dense_row_band(n: usize, halfwidth: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            let lo = i.saturating_sub(halfwidth);
+            let hi = (i + halfwidth + 1).min(n);
+            for j in lo..hi {
+                let v = if i == j {
+                    2.0 * halfwidth as f64 + 1.0
+                } else {
+                    -0.5
+                };
+                coo.push(i, j, v);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn auto_probe_picks_nd_for_large_sparse_lattices() {
+        let a = lattice(80, 80); // 6400 DoFs, ~5 entries/row, bandwidth 80
+        let probe = StructureProbe::of(&a);
+        assert!(probe.mean_row_nnz < 6.0, "5-point stencil: {probe:?}");
+        assert!(probe.bandwidth_estimate >= 80, "{probe:?}");
+        assert!(probe.prefers_nested_dissection(), "{probe:?}");
+        assert_eq!(
+            FillOrdering::Auto.resolve(&a),
+            FillOrdering::NestedDissection
+        );
+    }
+
+    #[test]
+    fn auto_probe_picks_rcm_for_dense_row_operators() {
+        // Well above the size floor, but rows are far too dense for useful
+        // separators — the global-stage reduced-operator shape.
+        let a = dense_row_band(4500, 12);
+        let probe = StructureProbe::of(&a);
+        assert!(probe.mean_row_nnz > ND_MAX_MEAN_ROW_NNZ, "{probe:?}");
+        assert!(!probe.prefers_nested_dissection(), "{probe:?}");
+        assert_eq!(FillOrdering::Auto.resolve(&a), FillOrdering::Rcm);
+    }
+
+    #[test]
+    fn auto_probe_picks_rcm_for_small_operators() {
+        let a = lattice(20, 20); // sparse, but ordering cost dominates
+        assert!(!StructureProbe::of(&a).prefers_nested_dissection());
+        assert_eq!(FillOrdering::Auto.resolve(&a), FillOrdering::Rcm);
+    }
+
+    #[test]
+    fn auto_permutation_is_valid_and_matches_resolution() {
+        for a in [lattice(80, 80), lattice(6, 6)] {
+            let resolved = FillOrdering::Auto.resolve(&a);
+            assert_ne!(resolved, FillOrdering::Auto);
+            let p = FillOrdering::Auto.permutation(&a);
+            assert_eq!(p.as_slice(), resolved.permutation(&a).as_slice());
+        }
+    }
+
+    #[test]
+    fn tree_metrics_on_a_chain_and_a_fork() {
+        const NONE: usize = usize::MAX;
+        // Chain 0 → 1 → 2: no branch nodes, the unit is the whole tree.
+        let chain = tree_metrics(&[1, 2, NONE], &[5, 7, 11]);
+        assert_eq!(chain.subtree_weight, vec![5, 12, 23]);
+        assert_eq!(chain.height, 3);
+        assert_eq!(chain.max_parallel_subtree, 23);
+        // Fork: 0 and 1 are children of 2 (a branch node), 3 chains above.
+        let fork = tree_metrics(&[2, 2, 3, NONE], &[10, 4, 2, 1]);
+        assert_eq!(fork.subtree_weight, vec![10, 4, 16, 17]);
+        assert_eq!(fork.height, 3);
+        assert_eq!(fork.max_parallel_subtree, 10);
+        assert!((fork.mean_parallel_subtree - 7.0).abs() < 1e-12);
     }
 
     #[test]

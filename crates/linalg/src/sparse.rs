@@ -500,7 +500,7 @@ impl CsrMatrix {
         assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr tail");
         #[cfg(debug_assertions)]
         {
-            return Self::from_raw(nrows, ncols, row_ptr, col_idx, values);
+            Self::from_raw(nrows, ncols, row_ptr, col_idx, values)
         }
         #[cfg(not(debug_assertions))]
         {

@@ -1,4 +1,5 @@
-//! Supernodal blocked sparse Cholesky factorization `A = L Lᵀ`.
+//! Supernodal blocked sparse Cholesky factorization `A = L Lᵀ`, with an
+//! elimination-tree-parallel numeric phase.
 //!
 //! The scalar kernel in [`crate::cholesky`] touches one nonzero at a time:
 //! every floating-point operation pays an index load, and every right-hand
@@ -18,7 +19,8 @@
 //! batched global stage re-solves one cached factor for every thermal load.
 //! Both stages are therefore bounded by exactly the two things supernodes
 //! accelerate: the one-time factorization (dense rank-k updates instead of
-//! scalar scatter) and the per-right-hand-side triangular sweeps
+//! scalar scatter, and since PR 4 scheduled task-parallel over the
+//! elimination tree) and the per-right-hand-side triangular sweeps
 //! ([`SupernodalCholesky::solve_panel`] streams each panel once for a whole
 //! block of right-hand sides). The scalar kernel stays available as the
 //! reference oracle — `CholeskyKernel::Scalar` in the backend layer — and
@@ -26,31 +28,86 @@
 //!
 //! # Algorithm
 //!
-//! 1. **Symbolic**: elimination tree + row-pattern sweep (`ereach`, shared
-//!    with the scalar kernel) give per-column factor counts. Columns are
-//!    grouped greedily left-to-right: column `j` joins the supernode ending
-//!    at `j-1` when `parent[j-1] == j` and either the patterns match
-//!    exactly (a *fundamental* supernode) or the padding introduced by
-//!    storing the union pattern stays under the relaxation budget.
-//! 2. **Numeric**: left-looking over supernodes. Each panel is assembled
-//!    from `A`, then every descendant supernode that intersects it
-//!    contributes one dense update `C = G·G₁ᵀ` (contiguous axpy loops)
-//!    scattered through precomputed relative indices, and finally the
-//!    panel is factored in place by a dense blocked column Cholesky.
+//! 1. **Symbolic** ([`Symbolic::analyze`], shared by both numeric paths):
+//!    the elimination tree is computed **once** and reused everywhere — the
+//!    `ereach` column-count sweep, the amalgamation test, the supernodal
+//!    etree, and the task schedule. Columns are grouped greedily
+//!    left-to-right: column `j` joins the supernode ending at `j-1` when
+//!    `parent[j-1] == j` and either the patterns match exactly (a
+//!    *fundamental* supernode) or the padding introduced by storing the
+//!    union pattern stays under the relaxation budget. The phase also
+//!    precomputes the **update schedule**: for every supernode, the exact
+//!    ordered list of descendant contributions the serial left-looking
+//!    sweep would apply (see *Determinism* below), plus subtree weights of
+//!    the supernodal etree for schedule balance.
+//! 2. **Numeric**: two task kinds cover the work.
+//!
+//!    * A **panel task** per supernode: assemble the panel from `A`;
+//!      if the panel's whole descendant-update load fits the work budget,
+//!      stream the updates `C = G·G₁ᵀ` (contiguous axpy loops scattered
+//!      through precomputed relative indices) directly into the panel,
+//!      otherwise subtract the finished update chunks (below)
+//!      element-wise in fixed chunk order; then factor the panel in place
+//!      by a dense blocked column Cholesky.
+//!    * An **update-chunk task** per work-bounded slice of the remaining
+//!      descendant updates of a heavy panel, accumulating its slice into a
+//!      private panel-shaped buffer. Without these, a left-looking
+//!      schedule serializes *all* update flops into a separator on the
+//!      separator's own task — on a 2-D nested-dissection lattice that
+//!      chains ~70% of total work onto the root path, capping tree
+//!      parallelism at ~1.4×; with them the bulk of the update work rides
+//!      independent tasks and the critical path collapses to the dense
+//!      panel chain.
+//!
+//!    The serial path runs the tasks left-to-right (each panel's chunks,
+//!    then the panel); the parallel path runs the *same task bodies* as a
+//!    dependency DAG on the shared [`WorkPool`]
+//!    ([`WorkPool::scope_dag`]): a chunk is ready when the descendants it
+//!    reads are factored, a panel when its chunks and streamed-prefix
+//!    descendants finished. Ready tasks are claimed heaviest-subtree
+//!    first, and every worker reuses one dense scratch across its tasks.
 //! 3. **Solve**: forward/backward substitution walks supernodes; per
 //!    supernode the diagonal block is a dense triangular solve and the
 //!    below-diagonal block a dense mat-vec into a contiguous gather/scatter
 //!    buffer. [`SupernodalCholesky::solve_panel`] keeps the per-column
 //!    operation order identical to the single-RHS path, so panel solves are
 //!    bitwise equal to looped solves.
+//!
+//! # Determinism contract
+//!
+//! The parallel factorization is **bitwise identical** to the serial sweep
+//! at every pool cap — the same invariance the rest of the pipeline honors
+//! (`crates/core/tests/thread_invariance.rs`). Floating-point addition is
+//! not associative, so this only holds because nothing about the numeric
+//! phase depends on scheduling:
+//!
+//! * every task writes disjoint, index-addressed memory (a panel task its
+//!   panel, a chunk task its private accumulator);
+//! * the update partition — which descendants are streamed, how the rest
+//!   are sliced into chunks — and every application order are *structural*:
+//!   the symbolic phase simulates the serial pending queues, freezes the
+//!   resulting descendant order per supernode, and cuts chunks by a fixed
+//!   work budget, all independent of worker count or scheduling;
+//! * a task reads only panels the DAG ordered before it (the scope's
+//!   ready-queue mutex provides the happens-before edge), and chunk
+//!   accumulators are combined by the panel task in fixed chunk order.
+//!
+//! Which supernodes *fail* first on a non-SPD operator is
+//! scheduling-dependent, so only the success path is bitwise-pinned; the
+//! error path still deterministically reports the smallest failing pivot
+//! row among the tasks that ran.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 use crate::cholesky::{ereach, etree};
-use crate::ordering::{FillOrdering, Permutation};
-use crate::{CsrMatrix, LinalgError, MemoryFootprint};
+use crate::ordering::{tree_metrics, FillOrdering, Permutation, TreeMetrics};
+use crate::pool::TaskDag;
+use crate::{CsrMatrix, LinalgError, MemoryFootprint, WorkPool};
 
 const NONE: usize = usize::MAX;
 
-/// Tuning knobs of the supernode detection.
+/// Tuning knobs of the supernode detection and factorization.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SupernodalOptions {
     /// Hard cap on supernode width (columns per panel). Wider panels give
@@ -65,6 +122,20 @@ pub struct SupernodalOptions {
     /// padding budget is doubled (panel overhead dominates true flops
     /// there).
     pub small_width: usize,
+    /// Runs the numeric phase as an elimination-tree task DAG on the
+    /// current [`WorkPool`] (serial when the pool cap is 1). Results are
+    /// bitwise identical either way — see the module docs — so this is
+    /// purely a wall-clock knob.
+    pub parallel: bool,
+    /// Minimum estimated-flop budget per update-chunk task of the parallel
+    /// schedule (see the module docs; the effective budget also scales
+    /// with the factorization size so chunk-accumulator overhead stays
+    /// bounded). Changing it changes how descendant updates are grouped —
+    /// and therefore the factor's low-order bits — so like `max_width` it
+    /// is part of the structural configuration, *not* a per-run knob: the
+    /// serial and parallel paths always share one partition. Mostly for
+    /// tests, which shrink it to force chunking on small operators.
+    pub chunk_work: u64,
 }
 
 impl Default for SupernodalOptions {
@@ -73,13 +144,15 @@ impl Default for SupernodalOptions {
             max_width: 32,
             relax: 0.2,
             small_width: 8,
+            parallel: true,
+            chunk_work: CHUNK_WORK_BUDGET,
         }
     }
 }
 
 /// Shape statistics of a supernodal factor (reported through
 /// [`SolveReport`](crate::SolveReport) and the ablation benches).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SupernodeStats {
     /// Number of supernodes (column panels).
     pub supernodes: usize,
@@ -89,110 +162,106 @@ pub struct SupernodeStats {
     pub stored_nnz: usize,
     /// True factor nonzeros (what the scalar kernel would store).
     pub true_nnz: usize,
+    /// Height of the supernodal elimination tree: panels on the longest
+    /// root-to-leaf chain, i.e. the unweighted depth of the task DAG.
+    pub etree_height: usize,
+    /// Weighted critical path of the numeric task DAG (panel + update-chunk
+    /// tasks, estimated work units along the heaviest dependency chain):
+    /// the work no schedule can overlap. `total_work / critical_path`
+    /// bounds the parallel speedup of the numeric phase.
+    pub critical_path: usize,
+    /// Estimated work of the whole factorization, same units as
+    /// [`critical_path`](SupernodeStats::critical_path).
+    pub total_work: usize,
+    /// Heaviest *parallel unit* of the etree (subtree rooted at a child of
+    /// a branch node — the pieces the schedule can overlap). Close to
+    /// [`total_work`](SupernodeStats::total_work) means one branch
+    /// dominates and tree parallelism is poor.
+    pub max_subtree_weight: usize,
+    /// Mean weight of the parallel units (see
+    /// [`max_subtree_weight`](SupernodeStats::max_subtree_weight)).
+    pub mean_subtree_weight: f64,
 }
 
-/// A supernodal Cholesky factorization of a symmetric positive definite
-/// matrix, stored as dense column panels.
-///
-/// # Example
-///
-/// ```
-/// use morestress_linalg::{CooMatrix, SupernodalCholesky};
-///
-/// # fn main() -> Result<(), morestress_linalg::LinalgError> {
-/// let mut coo = CooMatrix::new(2, 2);
-/// coo.push(0, 0, 4.0); coo.push(0, 1, 1.0);
-/// coo.push(1, 0, 1.0); coo.push(1, 1, 3.0);
-/// let a = coo.to_csr();
-/// let chol = SupernodalCholesky::factor(&a)?;
-/// let x = chol.solve(&[1.0, 2.0]);
-/// assert!(a.residual(&x, &[1.0, 2.0]) < 1e-14);
-/// # Ok(())
-/// # }
-/// ```
-#[derive(Debug, Clone)]
-pub struct SupernodalCholesky {
+/// The symbolic analysis of one factorization: supernode partition, row
+/// structure, panel layout, and the deterministic update schedule shared by
+/// the serial and parallel numeric paths.
+struct Symbolic {
     n: usize,
-    perm: Permutation,
     /// Supernode `s` covers permuted columns `sn_ptr[s]..sn_ptr[s+1]`.
     sn_ptr: Vec<usize>,
-    /// Permuted column → owning supernode.
-    col_to_sn: Vec<usize>,
     /// Row lists: supernode `s` owns `rows[row_ptr[s]..row_ptr[s+1]]`,
     /// sorted ascending; the first `width(s)` entries are the diagonal
     /// block columns themselves.
     row_ptr: Vec<usize>,
     rows: Vec<usize>,
-    /// Dense panels, column-major with leading dimension = panel rows;
-    /// supernode `s` owns `values[val_ptr[s]..val_ptr[s+1]]`.
+    /// Dense panel layout: supernode `s` owns
+    /// `values[val_ptr[s]..val_ptr[s+1]]`.
     val_ptr: Vec<usize>,
-    values: Vec<f64>,
     true_nnz: usize,
     max_width: usize,
+    /// Update schedule in CSR form: factoring supernode `s` applies the
+    /// descendant contributions `upd[upd_ptr[s]..upd_ptr[s+1]]` — pairs of
+    /// (descendant, row cursor) — in exactly this order, which is the order
+    /// the serial left-looking sweep's pending queues would produce.
+    upd_ptr: Vec<usize>,
+    upd: Vec<(usize, usize)>,
+    /// The prefix `upd[upd_ptr[s]..stream_hi[s]]` is streamed directly into
+    /// the panel by panel task `s`; the rest is sliced into update-chunk
+    /// tasks.
+    stream_hi: Vec<usize>,
+    /// Update-chunk tasks, grouped per panel: panel `s` owns chunks
+    /// `chk_ptr[s]..chk_ptr[s+1]`; chunk `t` covers updates
+    /// `upd[chunk_lo[t]..chunk_hi[t]]` of panel `chunk_panel[t]` and
+    /// accumulates into `acc[acc_ptr[t]..acc_ptr[t] + w·m]`.
+    chk_ptr: Vec<usize>,
+    chunk_lo: Vec<usize>,
+    chunk_hi: Vec<usize>,
+    chunk_panel: Vec<usize>,
+    acc_ptr: Vec<usize>,
+    /// Total accumulator storage (f64 entries) the chunk tasks need.
+    acc_len: usize,
+    /// Longest weighted path through the task DAG — the schedule's span.
+    critical_path: u64,
+    /// Summed task weights.
+    total_work: u64,
+    /// Etree shape metrics over whole-supernode work (panel + chunks);
+    /// subtree weights double as DAG claim priorities.
+    metrics: TreeMetrics,
 }
 
-impl SupernodalCholesky {
-    /// Factors a symmetric positive definite matrix with RCM ordering and
-    /// default supernode relaxation.
-    ///
-    /// Only the lower triangle of `a` is read (the upper triangle is
-    /// assumed to mirror it), exactly like the scalar kernel.
-    ///
-    /// # Errors
-    ///
-    /// [`LinalgError::NotPositiveDefinite`] if a non-positive pivot
-    /// appears; [`LinalgError::DimensionMismatch`] if `a` is not square.
-    pub fn factor(a: &CsrMatrix) -> Result<Self, LinalgError> {
-        Self::factor_with_permutation(
-            a,
-            FillOrdering::Rcm.permutation(a),
-            &SupernodalOptions::default(),
-        )
+/// Minimum estimated-flop budget per update-chunk task: big enough that
+/// task overhead (one DAG pop, one accumulator zero/apply pass) vanishes,
+/// small enough that a root separator's update load splits into dozens of
+/// parallel chunks. The effective budget grows with the factorization
+/// (see [`Symbolic::analyze`]) so the chunk count — and with it the
+/// accumulator traffic the serial path pays — stays bounded on huge
+/// operators.
+const CHUNK_WORK_BUDGET: u64 = 1 << 18;
+
+/// Cap on the number of update chunks the adaptive budget aims for.
+const CHUNK_COUNT_TARGET: u64 = 256;
+
+impl Symbolic {
+    fn num_sn(&self) -> usize {
+        self.sn_ptr.len() - 1
     }
 
-    /// Factors with a caller-supplied fill-reducing permutation and
-    /// supernode options.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`SupernodalCholesky::factor`].
-    pub fn factor_with_permutation(
-        a: &CsrMatrix,
-        perm: Permutation,
-        opts: &SupernodalOptions,
-    ) -> Result<Self, LinalgError> {
-        if a.nrows() != a.ncols() {
-            return Err(LinalgError::DimensionMismatch {
-                context: "supernodal Cholesky (matrix must be square)",
-                expected: a.nrows(),
-                found: a.ncols(),
-            });
-        }
-        let n = a.nrows();
-        if n == 0 {
-            return Ok(Self {
-                n,
-                perm,
-                sn_ptr: vec![0],
-                col_to_sn: Vec::new(),
-                row_ptr: vec![0],
-                rows: Vec::new(),
-                val_ptr: vec![0],
-                values: Vec::new(),
-                true_nnz: 0,
-                max_width: 0,
-            });
-        }
-        let ap = a.permuted_symmetric(&perm);
+    /// Runs the full symbolic phase on the permuted operator. The
+    /// elimination tree is computed once, up front, and reused by the
+    /// column-count sweep, the amalgamation test, the row-structure sweep,
+    /// and the supernodal task schedule.
+    fn analyze(ap: &CsrMatrix, opts: &SupernodalOptions) -> Self {
+        let n = ap.nrows();
 
-        // --- Symbolic: column counts of L via the etree row sweep ---------
-        let parent = etree(&ap);
+        // --- Column counts of L via the etree row sweep -------------------
+        let parent = etree(ap);
         let mut counts = vec![1usize; n]; // diagonal entries
         {
             let mut w = vec![NONE; n];
             let mut stack = vec![0usize; n];
             for k in 0..n {
-                let top = ereach(&ap, k, &parent, &mut w, &mut stack);
+                let top = ereach(ap, k, &parent, &mut w, &mut stack);
                 for &i in &stack[top..n] {
                     counts[i] += 1;
                 }
@@ -207,15 +276,15 @@ impl SupernodalCholesky {
         // stays within budget. For a supernode [c0..c) the row structure
         // is {c0..c-1} ∪ (pattern(c-1) \ {c-1}), so the panel height is
         // (c - c0) + counts[c-1] - 1 in closed form.
-        let max_width = opts.max_width.max(1);
+        let max_width_cap = opts.max_width.max(1);
         let mut sn_ptr: Vec<usize> = vec![0];
-        {
+        if n > 0 {
             let mut c0 = 0usize;
             let mut true_in_sn = counts[0];
             for j in 1..n {
                 let w = j - c0;
                 let mut accept = false;
-                if parent[j - 1] == j && w < max_width {
+                if parent[j - 1] == j && w < max_width_cap {
                     if counts[j - 1] == counts[j] + 1 {
                         // Fundamental: identical below-diagonal patterns,
                         // zero padding added.
@@ -250,17 +319,20 @@ impl SupernodalCholesky {
                 col_to_sn[c] = s;
             }
         }
+        let max_width = (0..num_sn)
+            .map(|s| sn_ptr[s + 1] - sn_ptr[s])
+            .max()
+            .unwrap_or(0);
 
         // --- Row lists: diagonal block plus pattern of the last column ----
         // pattern(last col) \ {last col} is collected with a second ereach
-        // sweep: row k of L has an entry in column i iff i ∈ ereach(k).
+        // sweep over the same etree: row k of L has an entry in column i
+        // iff i ∈ ereach(k).
         let mut row_ptr = vec![0usize; num_sn + 1];
-        let mut below_counts = vec![0usize; num_sn];
         for s in 0..num_sn {
             let last = sn_ptr[s + 1] - 1;
-            below_counts[s] = counts[last] - 1;
             let w = sn_ptr[s + 1] - sn_ptr[s];
-            row_ptr[s + 1] = row_ptr[s] + w + below_counts[s];
+            row_ptr[s + 1] = row_ptr[s] + w + counts[last] - 1;
         }
         let mut rows = vec![0usize; row_ptr[num_sn]];
         {
@@ -277,7 +349,7 @@ impl SupernodalCholesky {
             let mut w = vec![NONE; n];
             let mut stack = vec![0usize; n];
             for k in 0..n {
-                let top = ereach(&ap, k, &parent, &mut w, &mut stack);
+                let top = ereach(ap, k, &parent, &mut w, &mut stack);
                 for &i in &stack[top..n] {
                     let s = col_to_sn[i];
                     if i == sn_ptr[s + 1] - 1 {
@@ -296,144 +368,649 @@ impl SupernodalCholesky {
             let m = row_ptr[s + 1] - row_ptr[s];
             val_ptr[s + 1] = val_ptr[s] + w * m;
         }
-        let mut values = vec![0.0f64; val_ptr[num_sn]];
 
-        // --- Numeric: left-looking over supernodes ------------------------
-        // `pending[s]` holds descendants whose next unconsumed below-row
-        // lands in supernode s; `cursor[d]` is the index of that row in
-        // d's row list.
-        let mut pending: Vec<Vec<usize>> = vec![Vec::new(); num_sn];
-        let mut cursor = vec![0usize; num_sn];
-        let mut relmap = vec![0usize; n];
-        let mut relrows: Vec<usize> = Vec::new();
-        let mut update: Vec<f64> = Vec::new();
-        let mut widest = 0usize;
-
+        // --- Supernodal etree + deterministic update schedule -------------
+        // The supernodal etree contracts the column etree: the parent of s
+        // is the supernode owning s's first below-diagonal row (= the etree
+        // parent of s's last column). The update schedule replays the
+        // serial left-looking sweep's pending queues symbolically, freezing
+        // per supernode the exact descendant order the serial numeric loop
+        // would consume — the parallel path then applies updates in this
+        // order, which is what makes it bitwise identical to serial.
+        let mut sn_parent = vec![NONE; num_sn];
         for s in 0..num_sn {
-            let c0 = sn_ptr[s];
-            let c1 = sn_ptr[s + 1];
-            let w = c1 - c0;
-            widest = widest.max(w);
-            let rows_s = &rows[row_ptr[s]..row_ptr[s + 1]];
-            let m = rows_s.len();
-            let (done, active) = values.split_at_mut(val_ptr[s]);
-            let panel = &mut active[..w * m];
-
-            for (i, &r) in rows_s.iter().enumerate() {
-                relmap[r] = i;
-            }
-
-            // Scatter A's columns (read row c of the permuted matrix: by
-            // symmetry its tail ≥ c is column c of the lower triangle).
-            for (lc, c) in (c0..c1).enumerate() {
-                let (cols, vals) = ap.row(c);
-                let start = cols.partition_point(|&j| j < c);
-                for (&j, &v) in cols[start..].iter().zip(&vals[start..]) {
-                    panel[lc * m + relmap[j]] = v;
-                }
-            }
-
-            // Descendant updates.
-            for d in std::mem::take(&mut pending[s]) {
-                let rows_d = &rows[row_ptr[d]..row_ptr[d + 1]];
-                let wd = sn_ptr[d + 1] - sn_ptr[d];
-                let md = rows_d.len();
-                let p = cursor[d];
-                let p2 = p + rows_d[p..].partition_point(|&r| r < c1);
-                let wj = p2 - p;
-                let mu = md - p;
-                debug_assert!(wj >= 1);
-                let panel_d = &done[val_ptr[d]..val_ptr[d] + wd * md];
-
-                // C = G·G₁ᵀ where G = L_d rows p.., G₁ = its first wj rows:
-                // accumulated as wd rank-1 updates over contiguous columns.
-                update.clear();
-                update.resize(mu * wj, 0.0);
-                for k in 0..wd {
-                    let gcol = &panel_d[k * md + p..k * md + md];
-                    for jj in 0..wj {
-                        let coef = gcol[jj];
-                        if coef == 0.0 {
-                            continue;
-                        }
-                        let dst = &mut update[jj * mu..(jj + 1) * mu];
-                        for (di, &gi) in dst.iter_mut().zip(gcol) {
-                            *di += coef * gi;
-                        }
-                    }
-                }
-
-                // Scatter-subtract through relative indices (the rows of a
-                // descendant's tail are a subset of this panel's rows).
-                relrows.clear();
-                relrows.extend(rows_d[p..].iter().map(|&r| relmap[r]));
-                for jj in 0..wj {
-                    let lc = rows_d[p + jj] - c0;
-                    let dst = &mut panel[lc * m..(lc + 1) * m];
-                    let src = &update[jj * mu..(jj + 1) * mu];
-                    // Skip rows above the target column (upper triangle of
-                    // the symmetric update block).
-                    for i in jj..mu {
-                        dst[relrows[i]] -= src[i];
-                    }
-                }
-
-                // Re-queue the descendant at its next target supernode.
-                if p2 < md {
-                    cursor[d] = p2;
-                    pending[col_to_sn[rows_d[p2]]].push(d);
-                }
-            }
-
-            // Dense in-panel column Cholesky (left-looking within the
-            // panel; contiguous tails autovectorize).
-            for j in 0..w {
-                let (head, tail) = panel.split_at_mut(j * m);
-                let colj = &mut tail[..m];
-                for colk in head.chunks_exact(m) {
-                    let coef = colk[j]; // L[j, k] in the diagonal block
-                    if coef == 0.0 {
-                        continue;
-                    }
-                    for (x, &lk) in colj[j..].iter_mut().zip(&colk[j..]) {
-                        *x -= coef * lk;
-                    }
-                }
-                let d = colj[j];
-                if d <= 0.0 || !d.is_finite() {
-                    return Err(LinalgError::NotPositiveDefinite {
-                        row: c0 + j,
-                        pivot: d,
-                    });
-                }
-                let piv = d.sqrt();
-                colj[j] = piv;
-                let inv = 1.0 / piv;
-                for x in &mut colj[j + 1..] {
-                    *x *= inv;
-                }
-            }
-
-            // Queue this supernode as a descendant of the supernode owning
-            // its first below-diagonal row.
+            let w = sn_ptr[s + 1] - sn_ptr[s];
+            let m = row_ptr[s + 1] - row_ptr[s];
             if m > w {
-                cursor[s] = w;
-                pending[col_to_sn[rows_s[w]]].push(s);
+                sn_parent[s] = col_to_sn[rows[row_ptr[s] + w]];
             }
         }
+        let mut upd_ptr = vec![0usize; num_sn + 1];
+        let mut upd: Vec<(usize, usize)> = Vec::new();
+        let mut upd_work: Vec<u64> = Vec::new();
+        {
+            let mut pending: Vec<Vec<usize>> = vec![Vec::new(); num_sn];
+            let mut cursor = vec![0usize; num_sn];
+            for s in 0..num_sn {
+                let c1 = sn_ptr[s + 1];
+                for d in std::mem::take(&mut pending[s]) {
+                    let rows_d = &rows[row_ptr[d]..row_ptr[d + 1]];
+                    let wd = sn_ptr[d + 1] - sn_ptr[d];
+                    let md = rows_d.len();
+                    let p = cursor[d];
+                    let p2 = p + rows_d[p..].partition_point(|&r| r < c1);
+                    upd.push((d, p));
+                    upd_work.push((wd * (md - p) * (p2 - p)) as u64);
+                    if p2 < md {
+                        cursor[d] = p2;
+                        pending[col_to_sn[rows_d[p2]]].push(d);
+                    }
+                }
+                upd_ptr[s + 1] = upd.len();
+                let w = sn_ptr[s + 1] - sn_ptr[s];
+                let m = row_ptr[s + 1] - row_ptr[s];
+                if m > w {
+                    cursor[s] = w;
+                    pending[col_to_sn[rows[row_ptr[s] + w]]].push(s);
+                }
+            }
+        }
+
+        // --- Update partition: streamed or work-bounded chunks ------------
+        // Structural (worker-count-independent) by construction: a panel
+        // whose whole update load fits the budget streams it directly
+        // (keeping the PR-3 single-stream behavior exactly — no
+        // accumulator overhead where panels are small); a heavier panel
+        // streams *nothing* and slices everything into accumulator chunks,
+        // so no serial update prefix rides the critical path.
+        let mut stream_hi = vec![0usize; num_sn];
+        let mut chk_ptr = vec![0usize; num_sn + 1];
+        let mut chunk_lo: Vec<usize> = Vec::new();
+        let mut chunk_hi: Vec<usize> = Vec::new();
+        let mut chunk_panel: Vec<usize> = Vec::new();
+        let mut acc_ptr: Vec<usize> = Vec::new();
+        let mut chunk_weight: Vec<u64> = Vec::new();
+        let mut panel_weight = vec![0u64; num_sn];
+        let mut acc_len = 0usize;
+        // Structure-only adaptive budget: at least the configured floor,
+        // and at most ~CHUNK_COUNT_TARGET chunks across the whole
+        // factorization.
+        let budget = opts
+            .chunk_work
+            .max(1)
+            .max(upd_work.iter().sum::<u64>() / CHUNK_COUNT_TARGET);
+        for s in 0..num_sn {
+            let w = sn_ptr[s + 1] - sn_ptr[s];
+            let m = row_ptr[s + 1] - row_ptr[s];
+            let hi = upd_ptr[s + 1];
+            let mut i = upd_ptr[s];
+            let total: u64 = upd_work[i..hi].iter().sum();
+            let mut streamed = 0u64;
+            if total < budget {
+                streamed = total;
+                i = hi;
+            }
+            stream_hi[s] = i;
+            while i < hi {
+                let lo = i;
+                let mut work = 0u64;
+                while i < hi && work < budget {
+                    work += upd_work[i];
+                    i += 1;
+                }
+                chunk_lo.push(lo);
+                chunk_hi.push(i);
+                chunk_panel.push(s);
+                acc_ptr.push(acc_len);
+                acc_len += w * m;
+                chunk_weight.push(work.max(1));
+            }
+            chk_ptr[s + 1] = chunk_lo.len();
+            let nchunks = (chk_ptr[s + 1] - chk_ptr[s]) as u64;
+            // Assembly + streamed updates + element-wise chunk application
+            // + dense in-panel Cholesky.
+            panel_weight[s] =
+                ((w * m) as u64 + streamed + nchunks * (w * m) as u64 + (w * w * m) as u64).max(1);
+        }
+
+        // --- Schedule span: longest weighted path through the task DAG ----
+        // Panels are visited in serial (topological) order, so a single
+        // pass suffices: a chunk's predecessors are the panels it reads, a
+        // panel's predecessors its streamed descendants and its chunks.
+        let mut critical_path = 0u64;
+        let mut total_work = 0u64;
+        {
+            let mut lp = vec![0u64; num_sn]; // longest path ending at panel s
+            for s in 0..num_sn {
+                let mut best = 0u64;
+                for i in upd_ptr[s]..stream_hi[s] {
+                    best = best.max(lp[upd[i].0]);
+                }
+                for t in chk_ptr[s]..chk_ptr[s + 1] {
+                    let mut chunk_best = 0u64;
+                    for i in chunk_lo[t]..chunk_hi[t] {
+                        chunk_best = chunk_best.max(lp[upd[i].0]);
+                    }
+                    best = best.max(chunk_best + chunk_weight[t]);
+                    total_work += chunk_weight[t];
+                }
+                lp[s] = best + panel_weight[s];
+                total_work += panel_weight[s];
+                critical_path = critical_path.max(lp[s]);
+            }
+        }
+
+        // Whole-supernode work (panel + its chunks) drives the tree-shape
+        // metrics and the claim priorities.
+        let sn_weight: Vec<u64> = (0..num_sn)
+            .map(|s| panel_weight[s] + chunk_weight[chk_ptr[s]..chk_ptr[s + 1]].iter().sum::<u64>())
+            .collect();
+        let metrics = tree_metrics(&sn_parent, &sn_weight);
+
+        Self {
+            n,
+            sn_ptr,
+            row_ptr,
+            rows,
+            val_ptr,
+            true_nnz,
+            max_width,
+            upd_ptr,
+            upd,
+            stream_hi,
+            chk_ptr,
+            chunk_lo,
+            chunk_hi,
+            chunk_panel,
+            acc_ptr,
+            acc_len,
+            critical_path,
+            total_work,
+            metrics,
+        }
+    }
+}
+
+/// Per-worker dense scratch of the numeric phase, reused across supernode
+/// tasks.
+struct PanelScratch {
+    relmap: Vec<usize>,
+    relrows: Vec<usize>,
+    update: Vec<f64>,
+}
+
+impl PanelScratch {
+    fn new(n: usize) -> Self {
+        Self {
+            relmap: vec![0usize; n],
+            relrows: Vec::new(),
+            update: Vec::new(),
+        }
+    }
+}
+
+/// Panel and accumulator storage shared across factorization tasks. Tasks
+/// write disjoint ranges (a panel task its `val_ptr` slice, a chunk task
+/// its `acc_ptr` slice) and read only ranges of completed predecessors, so
+/// the aliasing is benign; see [`run_panel_task`] / [`run_chunk_task`].
+struct SharedStorage {
+    values: *mut f64,
+    acc: *mut f64,
+}
+
+// SAFETY: the raw pointers are only dereferenced inside the task bodies
+// under the scope_dag discipline documented there.
+unsafe impl Send for SharedStorage {}
+unsafe impl Sync for SharedStorage {}
+
+/// Computes one descendant contribution `C = G·G₁ᵀ` and scatters it into
+/// `dst` — the panel itself (subtracting, the streamed path) or a chunk
+/// accumulator (adding; the panel task later subtracts the whole
+/// accumulator). `scratch.relmap` must already map this panel's rows to
+/// local indices.
+///
+/// # Safety
+///
+/// `values` must point at the full panel storage laid out by
+/// `sym.val_ptr`, and descendant `d` must be fully factored with its
+/// writes visible to this thread.
+#[allow(clippy::too_many_arguments)] // internal kernel, call sites are two
+unsafe fn apply_update(
+    sym: &Symbolic,
+    values: *const f64,
+    d: usize,
+    p: usize,
+    c0: usize,
+    c1: usize,
+    m: usize,
+    dst: &mut [f64],
+    scratch: &mut PanelScratch,
+    subtract: bool,
+) {
+    let PanelScratch {
+        relmap,
+        relrows,
+        update,
+    } = scratch;
+    let rows_d = &sym.rows[sym.row_ptr[d]..sym.row_ptr[d + 1]];
+    let wd = sym.sn_ptr[d + 1] - sym.sn_ptr[d];
+    let md = rows_d.len();
+    let p2 = p + rows_d[p..].partition_point(|&r| r < c1);
+    let wj = p2 - p;
+    let mu = md - p;
+    debug_assert!(wj >= 1);
+    // SAFETY: `d` is fully factored (function contract) and read-only here.
+    let panel_d = unsafe { std::slice::from_raw_parts(values.add(sym.val_ptr[d]), wd * md) };
+
+    // Accumulated as wd rank-1 updates over contiguous columns.
+    update.clear();
+    update.resize(mu * wj, 0.0);
+    for k in 0..wd {
+        let gcol = &panel_d[k * md + p..k * md + md];
+        for jj in 0..wj {
+            let coef = gcol[jj];
+            if coef == 0.0 {
+                continue;
+            }
+            let dstcol = &mut update[jj * mu..(jj + 1) * mu];
+            for (di, &gi) in dstcol.iter_mut().zip(gcol) {
+                *di += coef * gi;
+            }
+        }
+    }
+
+    // Scatter through relative indices (the rows of a descendant's tail
+    // are a subset of this panel's rows).
+    relrows.clear();
+    relrows.extend(rows_d[p..].iter().map(|&r| relmap[r]));
+    for jj in 0..wj {
+        let lc = rows_d[p + jj] - c0;
+        let dstcol = &mut dst[lc * m..(lc + 1) * m];
+        let src = &update[jj * mu..(jj + 1) * mu];
+        // Skip rows above the target column (upper triangle of the
+        // symmetric update block).
+        if subtract {
+            for i in jj..mu {
+                dstcol[relrows[i]] -= src[i];
+            }
+        } else {
+            for i in jj..mu {
+                dstcol[relrows[i]] += src[i];
+            }
+        }
+    }
+}
+
+/// Accumulates update-chunk `t` into its private panel-shaped buffer — the
+/// task body shared verbatim by the serial sweep and the DAG.
+///
+/// # Safety
+///
+/// `values`/`acc` must point at the full panel/accumulator storage; the
+/// caller must guarantee exclusive access to accumulator slice `t` and
+/// that every descendant read by the chunk is fully factored with its
+/// writes visible (serial: ascending task order; parallel:
+/// [`WorkPool::scope_dag`]'s dependency edges).
+unsafe fn run_chunk_task(
+    sym: &Symbolic,
+    values: *const f64,
+    acc: *mut f64,
+    t: usize,
+    scratch: &mut PanelScratch,
+) {
+    let s = sym.chunk_panel[t];
+    let c0 = sym.sn_ptr[s];
+    let c1 = sym.sn_ptr[s + 1];
+    let w = c1 - c0;
+    let rows_s = &sym.rows[sym.row_ptr[s]..sym.row_ptr[s + 1]];
+    let m = rows_s.len();
+    for (i, &r) in rows_s.iter().enumerate() {
+        scratch.relmap[r] = i;
+    }
+    // SAFETY: exclusive access to accumulator `t` per the contract; it was
+    // zero-initialized at allocation and is written by exactly this task.
+    let accbuf = unsafe { std::slice::from_raw_parts_mut(acc.add(sym.acc_ptr[t]), w * m) };
+    for &(d, p) in &sym.upd[sym.chunk_lo[t]..sym.chunk_hi[t]] {
+        // SAFETY: propagated contract.
+        unsafe { apply_update(sym, values, d, p, c0, c1, m, accbuf, scratch, false) };
+    }
+}
+
+/// Assembles, updates and factors panel `s` in place — the task body
+/// shared verbatim by the serial sweep and the DAG, which is what makes
+/// the two paths bitwise identical.
+///
+/// On a non-positive pivot, returns `Err((row, pivot))` in permuted
+/// coordinates.
+///
+/// # Safety
+///
+/// `values`/`acc` must point at the full panel/accumulator storage laid
+/// out by `sym`, and the caller must guarantee (a) exclusive access to
+/// panel `s` for the duration of the call, (b) that every streamed
+/// descendant in `sym.upd[upd_ptr[s]..stream_hi[s]]` is fully factored and
+/// (c) that every chunk of `s` has run, all with their writes visible to
+/// this thread. The serial sweep satisfies this by running tasks one at a
+/// time in schedule order; the parallel path by [`WorkPool::scope_dag`]'s
+/// dependency edges and its mutex-backed happens-before edge.
+unsafe fn run_panel_task(
+    sym: &Symbolic,
+    ap: &CsrMatrix,
+    values: *mut f64,
+    acc: *const f64,
+    s: usize,
+    scratch: &mut PanelScratch,
+) -> Result<(), (usize, f64)> {
+    let c0 = sym.sn_ptr[s];
+    let c1 = sym.sn_ptr[s + 1];
+    let w = c1 - c0;
+    let rows_s = &sym.rows[sym.row_ptr[s]..sym.row_ptr[s + 1]];
+    let m = rows_s.len();
+    // SAFETY: exclusive access to panel `s` per the function contract.
+    let panel = unsafe { std::slice::from_raw_parts_mut(values.add(sym.val_ptr[s]), w * m) };
+
+    for (i, &r) in rows_s.iter().enumerate() {
+        scratch.relmap[r] = i;
+    }
+
+    // Scatter A's columns (read row c of the permuted matrix: by symmetry
+    // its tail ≥ c is column c of the lower triangle).
+    for (lc, c) in (c0..c1).enumerate() {
+        let (cols, vals) = ap.row(c);
+        let start = cols.partition_point(|&j| j < c);
+        for (&j, &v) in cols[start..].iter().zip(&vals[start..]) {
+            panel[lc * m + scratch.relmap[j]] = v;
+        }
+    }
+
+    // Streamed descendant updates, in the precomputed serial-sweep order.
+    for &(d, p) in &sym.upd[sym.upd_ptr[s]..sym.stream_hi[s]] {
+        // SAFETY: propagated contract (streamed descendants are factored).
+        unsafe { apply_update(sym, values, d, p, c0, c1, m, panel, scratch, true) };
+    }
+
+    // Finished update chunks, subtracted element-wise in fixed chunk order.
+    for t in sym.chk_ptr[s]..sym.chk_ptr[s + 1] {
+        // SAFETY: chunk `t` has run (function contract) and is read-only
+        // here; its slice is disjoint from every panel.
+        let accbuf = unsafe { std::slice::from_raw_parts(acc.add(sym.acc_ptr[t]), w * m) };
+        for (x, &u) in panel.iter_mut().zip(accbuf) {
+            *x -= u;
+        }
+    }
+
+    // Dense in-panel column Cholesky (left-looking within the panel;
+    // contiguous tails autovectorize).
+    for j in 0..w {
+        let (head, tail) = panel.split_at_mut(j * m);
+        let colj = &mut tail[..m];
+        for colk in head.chunks_exact(m) {
+            let coef = colk[j]; // L[j, k] in the diagonal block
+            if coef == 0.0 {
+                continue;
+            }
+            for (x, &lk) in colj[j..].iter_mut().zip(&colk[j..]) {
+                *x -= coef * lk;
+            }
+        }
+        let d = colj[j];
+        if d <= 0.0 || !d.is_finite() {
+            return Err((c0 + j, d));
+        }
+        let piv = d.sqrt();
+        colj[j] = piv;
+        let inv = 1.0 / piv;
+        for x in &mut colj[j + 1..] {
+            *x *= inv;
+        }
+    }
+    Ok(())
+}
+
+/// A supernodal Cholesky factorization of a symmetric positive definite
+/// matrix, stored as dense column panels.
+///
+/// # Example
+///
+/// ```
+/// use morestress_linalg::{CooMatrix, SupernodalCholesky};
+///
+/// # fn main() -> Result<(), morestress_linalg::LinalgError> {
+/// let mut coo = CooMatrix::new(2, 2);
+/// coo.push(0, 0, 4.0); coo.push(0, 1, 1.0);
+/// coo.push(1, 0, 1.0); coo.push(1, 1, 3.0);
+/// let a = coo.to_csr();
+/// let chol = SupernodalCholesky::factor(&a)?;
+/// let x = chol.solve(&[1.0, 2.0]);
+/// assert!(a.residual(&x, &[1.0, 2.0]) < 1e-14);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SupernodalCholesky {
+    n: usize,
+    perm: Permutation,
+    /// Supernode `s` covers permuted columns `sn_ptr[s]..sn_ptr[s+1]`.
+    sn_ptr: Vec<usize>,
+    /// Row lists: supernode `s` owns `rows[row_ptr[s]..row_ptr[s+1]]`,
+    /// sorted ascending; the first `width(s)` entries are the diagonal
+    /// block columns themselves.
+    row_ptr: Vec<usize>,
+    rows: Vec<usize>,
+    /// Dense panels, column-major with leading dimension = panel rows;
+    /// supernode `s` owns `values[val_ptr[s]..val_ptr[s+1]]`.
+    val_ptr: Vec<usize>,
+    values: Vec<f64>,
+    true_nnz: usize,
+    max_width: usize,
+    /// Etree shape of the factorization (height, critical path, subtree
+    /// balance), frozen into the stats.
+    etree_height: usize,
+    critical_path: u64,
+    total_work: u64,
+    max_subtree_weight: u64,
+    mean_subtree_weight: f64,
+    /// Worker slots the numeric phase actually used (1 for the serial
+    /// sweep).
+    factor_workers: usize,
+}
+
+impl SupernodalCholesky {
+    /// Factors a symmetric positive definite matrix with RCM ordering and
+    /// default supernode relaxation.
+    ///
+    /// Only the lower triangle of `a` is read (the upper triangle is
+    /// assumed to mirror it), exactly like the scalar kernel.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::NotPositiveDefinite`] if a non-positive pivot
+    /// appears; [`LinalgError::DimensionMismatch`] if `a` is not square.
+    pub fn factor(a: &CsrMatrix) -> Result<Self, LinalgError> {
+        Self::factor_with_permutation(
+            a,
+            FillOrdering::Rcm.permutation(a),
+            &SupernodalOptions::default(),
+        )
+    }
+
+    /// Factors with a caller-supplied fill-reducing permutation and
+    /// supernode options.
+    ///
+    /// With [`SupernodalOptions::parallel`] set (the default) the numeric
+    /// phase runs as an elimination-tree task DAG on the current
+    /// [`WorkPool`]; the factor is bitwise identical to the serial sweep at
+    /// every pool cap (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SupernodalCholesky::factor`].
+    pub fn factor_with_permutation(
+        a: &CsrMatrix,
+        perm: Permutation,
+        opts: &SupernodalOptions,
+    ) -> Result<Self, LinalgError> {
+        if a.nrows() != a.ncols() {
+            return Err(LinalgError::DimensionMismatch {
+                context: "supernodal Cholesky (matrix must be square)",
+                expected: a.nrows(),
+                found: a.ncols(),
+            });
+        }
+        let n = a.nrows();
+        if n == 0 {
+            return Ok(Self {
+                n,
+                perm,
+                sn_ptr: vec![0],
+                row_ptr: vec![0],
+                rows: Vec::new(),
+                val_ptr: vec![0],
+                values: Vec::new(),
+                true_nnz: 0,
+                max_width: 0,
+                etree_height: 0,
+                critical_path: 0,
+                total_work: 0,
+                max_subtree_weight: 0,
+                mean_subtree_weight: 0.0,
+                factor_workers: 1,
+            });
+        }
+        let ap = a.permuted_symmetric(&perm);
+        let sym = Symbolic::analyze(&ap, opts);
+        let mut values = vec![0.0f64; sym.val_ptr[sym.num_sn()]];
+        let factor_workers = Self::factor_numeric(&sym, &ap, &mut values, opts.parallel)?;
 
         Ok(Self {
             n,
             perm,
-            sn_ptr,
-            col_to_sn,
-            row_ptr,
-            rows,
-            val_ptr,
+            sn_ptr: sym.sn_ptr,
+            row_ptr: sym.row_ptr,
+            rows: sym.rows,
+            val_ptr: sym.val_ptr,
             values,
-            true_nnz,
-            max_width: widest,
+            true_nnz: sym.true_nnz,
+            max_width: sym.max_width,
+            etree_height: sym.metrics.height,
+            critical_path: sym.critical_path,
+            total_work: sym.total_work,
+            max_subtree_weight: sym.metrics.max_parallel_subtree,
+            mean_subtree_weight: sym.metrics.mean_parallel_subtree,
+            factor_workers,
         })
+    }
+
+    /// The numeric phase: runs every update-chunk and panel task exactly
+    /// once, serially or as a dependency DAG on the current pool. Returns
+    /// the worker slots used.
+    fn factor_numeric(
+        sym: &Symbolic,
+        ap: &CsrMatrix,
+        values: &mut [f64],
+        parallel: bool,
+    ) -> Result<usize, LinalgError> {
+        let num_sn = sym.num_sn();
+        let num_chunks = sym.chunk_panel.len();
+        // Chunk accumulators: zero-initialized, one panel-shaped slice per
+        // update-chunk task.
+        let mut acc = vec![0.0f64; sym.acc_len];
+        let pool = WorkPool::current();
+        // A schedule with (almost) no work off the critical path cannot
+        // win — RCM/banded orderings produce pure-chain etrees
+        // (`total_work == critical_path`) where the DAG would pay per-task
+        // queue traffic for zero overlap. Fall back to the serial sweep;
+        // results are bitwise identical either way, and the condition is
+        // structural, so it is still pool-cap-invariant.
+        let parallel = parallel && sym.total_work >= sym.critical_path + sym.critical_path / 4;
+        if !parallel || pool.cap() == 1 || num_sn <= 1 {
+            let mut scratch = PanelScratch::new(sym.n);
+            for s in 0..num_sn {
+                // SAFETY: one task at a time in schedule order — every
+                // predecessor of each task already ran and nothing aliases
+                // its output slice.
+                unsafe {
+                    for t in sym.chk_ptr[s]..sym.chk_ptr[s + 1] {
+                        run_chunk_task(sym, values.as_ptr(), acc.as_mut_ptr(), t, &mut scratch);
+                    }
+                    run_panel_task(sym, ap, values.as_mut_ptr(), acc.as_ptr(), s, &mut scratch)
+                        .map_err(|(row, pivot)| LinalgError::NotPositiveDefinite { row, pivot })?;
+                }
+            }
+            return Ok(1);
+        }
+
+        // Task DAG: nodes 0..num_sn are panel tasks, num_sn.. are update
+        // chunks. A chunk waits for the descendants it reads; a panel for
+        // its streamed descendants and its chunks.
+        let mut dag = TaskDag::new(num_sn + num_chunks);
+        for s in 0..num_sn {
+            for i in sym.upd_ptr[s]..sym.stream_hi[s] {
+                dag.add_dependency(sym.upd[i].0, s);
+            }
+            // Heaviest independent subtrees first keeps the tail short.
+            dag.set_priority(s, sym.metrics.subtree_weight[s]);
+        }
+        for t in 0..num_chunks {
+            let s = sym.chunk_panel[t];
+            dag.add_dependency(num_sn + t, s);
+            for i in sym.chunk_lo[t]..sym.chunk_hi[t] {
+                dag.add_dependency(sym.upd[i].0, num_sn + t);
+            }
+            dag.set_priority(num_sn + t, sym.metrics.subtree_weight[s]);
+        }
+        dag.seal();
+
+        let shared = SharedStorage {
+            values: values.as_mut_ptr(),
+            acc: acc.as_mut_ptr(),
+        };
+        // Capture the `Sync` wrapper, not its raw-pointer fields (edition
+        // 2021 closures capture disjoint fields).
+        let shared = &shared;
+        let failed = AtomicBool::new(false);
+        let first_error: Mutex<Option<(usize, f64)>> = Mutex::new(None);
+        let workers = pool.scope_dag_with(
+            pool.cap(),
+            &dag,
+            || PanelScratch::new(sym.n),
+            |scratch, node| {
+                if failed.load(Ordering::Acquire) {
+                    // A pivot already failed: let the DAG drain without
+                    // doing (now meaningless) numeric work.
+                    return;
+                }
+                if node >= num_sn {
+                    // SAFETY: scope_dag ordered every descendant this chunk
+                    // reads before it, with a happens-before edge; the
+                    // accumulator slice is written by exactly this task.
+                    unsafe {
+                        run_chunk_task(sym, shared.values, shared.acc, node - num_sn, scratch);
+                    }
+                    return;
+                }
+                // SAFETY: scope_dag ordered the streamed descendants and
+                // every chunk of `node` before it, with a happens-before
+                // edge; tasks write disjoint panel ranges.
+                if let Err((row, pivot)) =
+                    unsafe { run_panel_task(sym, ap, shared.values, shared.acc, node, scratch) }
+                {
+                    failed.store(true, Ordering::Release);
+                    let mut slot = first_error.lock().expect("factor error slot poisoned");
+                    // Deterministic report: keep the smallest failing row.
+                    if slot.is_none_or(|(r, _)| row < r) {
+                        *slot = Some((row, pivot));
+                    }
+                }
+            },
+        );
+        if let Some((row, pivot)) = first_error
+            .into_inner()
+            .expect("factor error slot poisoned")
+        {
+            return Err(LinalgError::NotPositiveDefinite { row, pivot });
+        }
+        Ok(workers)
     }
 
     /// Dimension of the factored matrix.
@@ -447,6 +1024,19 @@ impl SupernodalCholesky {
         self.values.len()
     }
 
+    /// The raw panel storage, exposed for differential tests (the
+    /// parallel-vs-serial bitwise proptests compare it directly).
+    pub fn factor_values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Worker slots the numeric factorization actually used (1 for the
+    /// serial sweep or a cap-1 pool). Scheduling-dependent telemetry, like
+    /// [`SolveReport::workers`](crate::SolveReport::workers).
+    pub fn factor_workers(&self) -> usize {
+        self.factor_workers
+    }
+
     /// Shape statistics of the factor.
     pub fn stats(&self) -> SupernodeStats {
         SupernodeStats {
@@ -454,6 +1044,11 @@ impl SupernodalCholesky {
             max_width: self.max_width,
             stored_nnz: self.values.len(),
             true_nnz: self.true_nnz,
+            etree_height: self.etree_height,
+            critical_path: self.critical_path as usize,
+            total_work: self.total_work as usize,
+            max_subtree_weight: self.max_subtree_weight as usize,
+            mean_subtree_weight: self.mean_subtree_weight,
         }
     }
 
@@ -606,7 +1201,6 @@ impl SupernodalCholesky {
 impl MemoryFootprint for SupernodalCholesky {
     fn heap_bytes(&self) -> usize {
         self.sn_ptr.heap_bytes()
-            + self.col_to_sn.heap_bytes()
             + self.row_ptr.heap_bytes()
             + self.rows.heap_bytes()
             + self.val_ptr.heap_bytes()
@@ -617,33 +1211,8 @@ impl MemoryFootprint for SupernodalCholesky {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::test_operators::laplacian_2d;
     use crate::{CooMatrix, SparseCholesky};
-
-    fn laplacian_2d(nx: usize, ny: usize) -> CsrMatrix {
-        let n = nx * ny;
-        let id = |i: usize, j: usize| j * nx + i;
-        let mut coo = CooMatrix::new(n, n);
-        for j in 0..ny {
-            for i in 0..nx {
-                let me = id(i, j);
-                coo.push(me, me, 4.1);
-                let mut link = |other: usize| coo.push(me, other, -1.0);
-                if i > 0 {
-                    link(id(i - 1, j));
-                }
-                if i + 1 < nx {
-                    link(id(i + 1, j));
-                }
-                if j > 0 {
-                    link(id(i, j - 1));
-                }
-                if j + 1 < ny {
-                    link(id(i, j + 1));
-                }
-            }
-        }
-        coo.to_csr()
-    }
 
     #[test]
     fn agrees_with_scalar_kernel_on_laplacian() {
@@ -657,6 +1226,98 @@ mod tests {
             assert!((p - q).abs() <= 1e-12 * scale.max(1.0), "{p} vs {q}");
         }
         assert!(a.residual(&x_super, &b) < 1e-12);
+    }
+
+    #[test]
+    fn parallel_factor_is_bitwise_equal_to_serial() {
+        let a = laplacian_2d(17, 11);
+        let perm = FillOrdering::Rcm.permutation(&a);
+        // A tiny chunk budget forces real update-chunk tasks even at this
+        // size, so both task kinds of the DAG are exercised.
+        for chunk_work in [SupernodalOptions::default().chunk_work, 64] {
+            let opts = SupernodalOptions {
+                chunk_work,
+                ..SupernodalOptions::default()
+            };
+            let serial = SupernodalCholesky::factor_with_permutation(
+                &a,
+                perm.clone(),
+                &SupernodalOptions {
+                    parallel: false,
+                    ..opts
+                },
+            )
+            .unwrap();
+            assert_eq!(serial.factor_workers(), 1);
+            for cap in [1usize, 2, 8] {
+                let parallel = WorkPool::new(cap).install(|| {
+                    SupernodalCholesky::factor_with_permutation(&a, perm.clone(), &opts).unwrap()
+                });
+                assert!(parallel.factor_workers() <= cap.max(1));
+                assert_eq!(serial.factor_values().len(), parallel.factor_values().len());
+                for (i, (p, q)) in serial
+                    .factor_values()
+                    .iter()
+                    .zip(parallel.factor_values())
+                    .enumerate()
+                {
+                    assert_eq!(
+                        p.to_bits(),
+                        q.to_bits(),
+                        "panel entry {i} at cap {cap} (chunk_work {chunk_work})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_schedules_fall_back_to_serial() {
+        // A tridiagonal operator in natural order has a pure-chain etree:
+        // the whole schedule is one critical path, so the DAG would add
+        // overhead for zero overlap and the numeric phase must pick the
+        // (bitwise-identical) serial sweep even on a big pool.
+        let n = 200;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0);
+            if i > 0 {
+                coo.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                coo.push(i + 1, i, -1.0);
+            }
+        }
+        let a = coo.to_csr();
+        let chol = WorkPool::new(8).install(|| {
+            SupernodalCholesky::factor_with_permutation(
+                &a,
+                FillOrdering::Natural.permutation(&a),
+                &SupernodalOptions::default(),
+            )
+            .unwrap()
+        });
+        let stats = chol.stats();
+        assert_eq!(stats.critical_path, stats.total_work, "chain schedule");
+        assert_eq!(chol.factor_workers(), 1, "chain must run serially");
+    }
+
+    #[test]
+    fn etree_stats_are_consistent() {
+        let a = laplacian_2d(20, 20);
+        let chol = SupernodalCholesky::factor(&a).unwrap();
+        let stats = chol.stats();
+        assert!(stats.etree_height >= 1);
+        assert!(stats.etree_height <= stats.supernodes);
+        assert!(stats.critical_path >= 1);
+        assert!(
+            stats.critical_path <= stats.total_work,
+            "span {} cannot exceed total work {}",
+            stats.critical_path,
+            stats.total_work
+        );
+        assert!(stats.max_subtree_weight <= stats.total_work);
+        assert!(stats.mean_subtree_weight <= stats.max_subtree_weight as f64);
     }
 
     #[test]
@@ -696,6 +1357,7 @@ mod tests {
             FillOrdering::Rcm,
             FillOrdering::NestedDissection,
             FillOrdering::Natural,
+            FillOrdering::Auto,
         ] {
             let chol = SupernodalCholesky::factor_with_permutation(
                 &a,
@@ -744,10 +1406,20 @@ mod tests {
         coo.push(1, 0, 3.0);
         coo.push(1, 1, 1.0);
         let a = coo.to_csr();
-        assert!(matches!(
-            SupernodalCholesky::factor(&a),
-            Err(LinalgError::NotPositiveDefinite { .. })
-        ));
+        for parallel in [false, true] {
+            let result = SupernodalCholesky::factor_with_permutation(
+                &a,
+                FillOrdering::Natural.permutation(&a),
+                &SupernodalOptions {
+                    parallel,
+                    ..SupernodalOptions::default()
+                },
+            );
+            assert!(matches!(
+                result,
+                Err(LinalgError::NotPositiveDefinite { .. })
+            ));
+        }
     }
 
     #[test]
@@ -773,6 +1445,7 @@ mod tests {
         let a = coo.to_csr();
         let chol = SupernodalCholesky::factor(&a).unwrap();
         assert_eq!(chol.stats().supernodes, 1);
+        assert_eq!(chol.stats().etree_height, 1);
         let b: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
         let x = chol.solve(&b);
         assert!(a.residual(&x, &b) < 1e-12);
