@@ -11,19 +11,30 @@
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use morestress_bench::{one_shot, record_bench_json, record_bench_json_in, Scale, DELTA_T};
+use morestress_bench::{one_shot, quick_or, record_bench_json_in, Scale, DELTA_T};
 use morestress_core::{GlobalBc, GlobalStage, RomSolver};
 use morestress_linalg::FactorCache;
 use morestress_mesh::{BlockKind, BlockLayout, TsvGeometry};
 
+/// Benchmark scale: the standard small scale, shrunk further (lower
+/// interpolation order) under `MORESTRESS_BENCH_QUICK` so the CI smoke job
+/// can run the emitters end to end.
+fn bench_scale() -> Scale {
+    let mut scale = Scale::small();
+    if morestress_bench::quick_mode() {
+        scale.interp = [3, 3, 3];
+    }
+    scale
+}
+
 fn bench_global_solver(c: &mut Criterion) {
-    let scale = Scale::small();
+    let scale = bench_scale();
     let geom = TsvGeometry::paper_defaults(15.0);
     let shot = one_shot(&geom, &scale, false).expect("one-shot stage");
 
     let mut group = c.benchmark_group("ablation_global_solver");
     group.sample_size(10);
-    for size in [4usize, 8] {
+    for size in quick_or(vec![4usize, 8], vec![2]) {
         let layout = BlockLayout::uniform(size, size, BlockKind::Tsv);
         for (name, solver) in [
             ("gmres", RomSolver::Gmres { tol: 1e-9 }),
@@ -47,13 +58,16 @@ fn bench_global_solver(c: &mut Criterion) {
 }
 
 fn bench_batched_loads(c: &mut Criterion) {
-    let scale = Scale::small();
+    let scale = bench_scale();
     let geom = TsvGeometry::paper_defaults(15.0);
     let shot = one_shot(&geom, &scale, false).expect("one-shot stage");
-    let layout = BlockLayout::uniform(6, 6, BlockKind::Tsv);
+    let array = quick_or(6usize, 3);
+    let layout = BlockLayout::uniform(array, array, BlockKind::Tsv);
     let bc = GlobalBc::ClampedTopBottom;
     // A thermal sweep: 8 distinct loads on one lattice.
-    let loads: Vec<f64> = (0..8).map(|k| -250.0 + 40.0 * k as f64).collect();
+    let loads: Vec<f64> = (0..quick_or(8, 3))
+        .map(|k| -250.0 + 40.0 * k as f64)
+        .collect();
 
     // --- Measured medians for the BENCH_PR3.json record ------------------
     // The PR-1 baseline for this exact workload (8-load sweep, 6×6 array,
@@ -71,7 +85,7 @@ fn bench_batched_loads(c: &mut Criterion) {
             .solve_many(&layout, &loads, &bc)
             .expect("cold batched solve");
         let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let mut warm: Vec<f64> = (0..7)
+        let mut warm: Vec<f64> = (0..quick_or(7, 2))
             .map(|_| {
                 let t0 = Instant::now();
                 stage()
@@ -83,34 +97,31 @@ fn bench_batched_loads(c: &mut Criterion) {
         warm.sort_by(f64::total_cmp);
         let warm_ms = warm[warm.len() / 2];
         println!(
-            "batched 8-load sweep (6×6): cold {cold_ms:.1} ms, warm {warm_ms:.1} ms \
-             (PR 1 baseline: warm 131 ms)"
+            "batched {}-load sweep ({array}×{array}): cold {cold_ms:.1} ms, \
+             warm {warm_ms:.1} ms (PR 1 baseline: warm 131 ms)",
+            loads.len()
         );
-        record_bench_json(
-            "ablation_global_solver",
-            &[
-                ("loads", loads.len() as f64),
-                ("array", 6.0),
-                ("cold_solve_many_ms", cold_ms),
-                ("warm_solve_many_ms", warm_ms),
-                ("pr1_warm_baseline_ms", 131.0),
-                ("speedup_vs_pr1_warm", 131.0 / warm_ms),
-            ],
-        );
-        // The PR-4 record tracks the same workload: the cold point now
-        // includes the elimination-tree-parallel factorization (and the
+        // The same workload point goes into both records: BENCH_PR3.json
+        // is the original measurement of this sweep, BENCH_PR4.json tracks
+        // how the elimination-tree-parallel factorization (and the
         // `FillOrdering::Auto` probe, which picks RCM on this dense-row
-        // reduced operator), the warm point is unchanged by PR 4.
-        record_bench_json_in(
-            "BENCH_PR4.json",
-            "ablation_global_solver",
-            &[
-                ("loads", loads.len() as f64),
-                ("array", 6.0),
-                ("cold_solve_many_ms", cold_ms),
-                ("warm_solve_many_ms", warm_ms),
-            ],
-        );
+        // reduced operator) moved the cold point.
+        let shared = [
+            ("loads", loads.len() as f64),
+            ("array", array as f64),
+            ("cold_solve_many_ms", cold_ms),
+            ("warm_solve_many_ms", warm_ms),
+        ];
+        let mut pr3 = shared.to_vec();
+        if !morestress_bench::quick_mode() {
+            // The PR-1 baseline was measured on the full 6×6/8-load
+            // workload — comparing a shrunken quick run against it would
+            // be meaningless.
+            pr3.push(("pr1_warm_baseline_ms", 131.0));
+            pr3.push(("speedup_vs_pr1_warm", 131.0 / warm_ms));
+        }
+        record_bench_json_in("BENCH_PR3.json", "ablation_global_solver", &pr3);
+        record_bench_json_in("BENCH_PR4.json", "ablation_global_solver", &shared);
     }
 
     let mut group = c.benchmark_group("ablation_batched_loads");

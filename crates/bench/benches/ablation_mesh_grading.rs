@@ -31,6 +31,10 @@ fn uniform_block(geom: &TsvGeometry, cells: usize, z_cells: usize) -> HexMesh {
 }
 
 fn bench_grading(c: &mut Criterion) {
+    // No extra MORESTRESS_BENCH_QUICK shrink: the graded-vs-uniform
+    // comparison only means something at matched liner resolution, and
+    // `coarse()` is already the smallest preset — the CI smoke run only
+    // drops to single-iteration timing.
     let geom = TsvGeometry::paper_defaults(15.0);
     let res = BlockResolution::coarse();
     let mats = MaterialSet::tsv_defaults();

@@ -8,6 +8,9 @@ use morestress_linalg::SparseCholesky;
 use morestress_mesh::{unit_block_mesh, BlockResolution, TsvGeometry};
 
 fn bench_ordering(c: &mut Criterion) {
+    // No extra MORESTRESS_BENCH_QUICK shrink: the subject is the *real*
+    // unit-block operator, and `coarse()` is already the smallest preset —
+    // the CI smoke run only drops to single-iteration timing.
     let geom = TsvGeometry::paper_defaults(15.0);
     let mesh = unit_block_mesh(&geom, &BlockResolution::coarse(), true);
     let sys = assemble_system(&mesh, &MaterialSet::tsv_defaults()).expect("assembly");

@@ -14,15 +14,17 @@
 //! `thread_invariance.rs`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use morestress_bench::{jittered_lattice as lattice, record_bench_json_in, time3};
+use morestress_bench::{jittered_lattice as lattice, quick_or, record_bench_entries, time3};
 use morestress_linalg::{FillOrdering, SupernodalCholesky, SupernodalOptions, WorkPool};
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 fn bench_parallel_factor(c: &mut Criterion) {
     // 224 × 224 = 50_176 DoFs — the ≥50k-DoF lattice the acceptance
-    // criterion names.
-    let a = lattice(224, 224);
+    // criterion names (tiny under MORESTRESS_BENCH_QUICK, where the CI
+    // smoke job only proves the emitter runs).
+    let side = quick_or(224usize, 40);
+    let a = lattice(side, side);
     let n = a.nrows();
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
     println!(
@@ -30,10 +32,10 @@ fn bench_parallel_factor(c: &mut Criterion) {
          worker counts beyond that measure scheduling overhead, not speedup)"
     );
 
+    // `hardware_threads` / `git_commit` are stamped by the shared recorder.
     let auto_resolved = FillOrdering::Auto.resolve(&a);
     let mut entries: Vec<(String, f64)> = vec![
         ("dofs".into(), n as f64),
-        ("hardware_threads".into(), cores as f64),
         (
             "auto_resolves_to_nd".into(),
             f64::from(auto_resolved == FillOrdering::NestedDissection),
@@ -104,11 +106,11 @@ fn bench_parallel_factor(c: &mut Criterion) {
             stats.mean_subtree_weight,
         ));
     }
-    let borrowed: Vec<(&str, f64)> = entries.iter().map(|(k, v)| (k.as_str(), *v)).collect();
-    record_bench_json_in("BENCH_PR4.json", "ablation_parallel_factor", &borrowed);
+    record_bench_entries("BENCH_PR4.json", "ablation_parallel_factor", entries);
 
     // --- Criterion points on a smaller lattice (kept quick) -------------
-    let small = lattice(96, 96);
+    let small_side = quick_or(96usize, 32);
+    let small = lattice(small_side, small_side);
     let perm = FillOrdering::NestedDissection.permutation(&small);
     let mut group = c.benchmark_group("ablation_parallel_factor");
     group.sample_size(10);

@@ -19,10 +19,13 @@ use morestress_mesh::{BlockKind, BlockResolution, TsvGeometry};
 
 fn bench_parallel_local(c: &mut Criterion) {
     let geom = TsvGeometry::paper_defaults(15.0);
+    // Tiny interpolation order under MORESTRESS_BENCH_QUICK: the CI smoke
+    // job runs one build per thread count, so size it in seconds.
+    let interp = morestress_bench::quick_or([4usize, 4, 4], [2, 2, 2]);
     let stage = LocalStage::new(
         &geom,
         &BlockResolution::coarse(),
-        InterpolationGrid::new([4, 4, 4]),
+        InterpolationGrid::new(interp),
         &MaterialSet::tsv_defaults(),
         BlockKind::Tsv,
     );

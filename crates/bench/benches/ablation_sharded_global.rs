@@ -1,0 +1,124 @@
+//! Ablation: the sharded (Schur-complement) global stage vs the monolithic
+//! direct solve on the batched multi-load array workload — cold solve
+//! (assembly + shard factorization + sweep), warm solve (assembly + panel
+//! sweeps over cached factors), the factor share of the cold path, and the
+//! peak *per-shard* factor bytes, across shard counts {1, 2, 4}. The
+//! per-shard byte column is the point of sharding: it is what stops
+//! growing with the array once the plan splits.
+//!
+//! Records its medians into `BENCH_PR5.json` (section
+//! `ablation_sharded_global`), uniformly stamped like every record, so the
+//! `check_bench_json` CI gate can validate it. Under
+//! `MORESTRESS_BENCH_QUICK=1` the array, load count and interpolation
+//! order shrink so CI can run the emitter end to end.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morestress_bench::{one_shot, quick_or, record_bench_entries, Scale};
+use morestress_core::{GlobalBc, GlobalStage, RomSolver};
+use morestress_linalg::FactorCache;
+use morestress_mesh::{BlockKind, BlockLayout, TsvGeometry};
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn bench_sharded_global(c: &mut Criterion) {
+    let mut scale = Scale::small();
+    if morestress_bench::quick_mode() {
+        scale.interp = [3, 3, 3];
+    }
+    let geom = TsvGeometry::paper_defaults(15.0);
+    let shot = one_shot(&geom, &scale, false).expect("one-shot stage");
+    let array = quick_or(6usize, 3);
+    let layout = BlockLayout::uniform(array, array, BlockKind::Tsv);
+    let bc = GlobalBc::ClampedTopBottom;
+    let loads: Vec<f64> = (0..quick_or(8, 3))
+        .map(|k| -250.0 + 40.0 * k as f64)
+        .collect();
+    let warm_reps = quick_or(5usize, 2);
+
+    let mut entries: Vec<(String, f64)> = vec![
+        ("loads".into(), loads.len() as f64),
+        ("array".into(), array as f64),
+    ];
+    for shards in SHARD_COUNTS {
+        let cache = FactorCache::new();
+        let stage = || {
+            GlobalStage::new(shot.sim.tsv_model())
+                .with_solver(RomSolver::Sharded { shards })
+                .with_cache(&cache)
+        };
+        let t0 = Instant::now();
+        let batch = stage()
+            .solve_many(&layout, &loads, &bc)
+            .expect("cold sharded solve");
+        let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let stats = batch[0].stats;
+        let mut warm: Vec<f64> = (0..warm_reps)
+            .map(|_| {
+                let t0 = Instant::now();
+                stage()
+                    .solve_many(&layout, &loads, &bc)
+                    .expect("warm sharded solve");
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        warm.sort_by(f64::total_cmp);
+        let warm_ms = warm[warm.len() / 2];
+        println!(
+            "sharded global ({array}×{array}, {} loads, request {shards} shards → \
+             {} shards / {} interface DoFs): cold {cold_ms:.1} ms, warm {warm_ms:.1} ms \
+             (factor share ≈ {:.1} ms), peak shard factor {} bytes",
+            loads.len(),
+            stats.shards,
+            stats.interface_dofs,
+            (cold_ms - warm_ms).max(0.0),
+            stats.shard_factor_bytes,
+        );
+        entries.extend([
+            (format!("cold_solve_many_ms_{shards}s"), cold_ms),
+            (format!("warm_solve_many_ms_{shards}s"), warm_ms),
+            (format!("factor_ms_{shards}s"), (cold_ms - warm_ms).max(0.0)),
+            (format!("shards_{shards}s"), stats.shards as f64),
+            (
+                format!("interface_dofs_{shards}s"),
+                stats.interface_dofs as f64,
+            ),
+            (
+                format!("peak_shard_factor_bytes_{shards}s"),
+                stats.shard_factor_bytes as f64,
+            ),
+            (format!("free_dofs_{shards}s"), stats.free_dofs as f64),
+        ]);
+    }
+    record_bench_entries("BENCH_PR5.json", "ablation_sharded_global", entries);
+
+    // Criterion points: warm batched sweeps, monolithic route vs sharded.
+    let mut group = c.benchmark_group("ablation_sharded_global");
+    group.sample_size(10);
+    for shards in SHARD_COUNTS {
+        let cache = FactorCache::new();
+        GlobalStage::new(shot.sim.tsv_model())
+            .with_solver(RomSolver::Sharded { shards })
+            .with_cache(&cache)
+            .solve_many(&layout, &loads, &bc)
+            .expect("warm-up solve");
+        group.bench_with_input(
+            BenchmarkId::new("warm_solve_many", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    GlobalStage::new(shot.sim.tsv_model())
+                        .with_solver(RomSolver::Sharded { shards })
+                        .with_cache(&cache)
+                        .solve_many(&layout, &loads, &bc)
+                        .expect("warm sharded solve")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_global);
+criterion_main!(benches);

@@ -8,15 +8,17 @@
 //! the ROADMAP can quote machine-readable numbers.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use morestress_bench::{jittered_lattice as lattice, record_bench_json, time3};
+use morestress_bench::{jittered_lattice as lattice, quick_or, record_bench_json, time3};
 use morestress_linalg::{FillOrdering, SparseCholesky, SupernodalCholesky, SupernodalOptions};
 
 fn bench_supernodal(c: &mut Criterion) {
     // 224 × 224 = 50_176 DoFs — the ≥50k-DoF lattice the acceptance
-    // criterion names.
-    let a = lattice(224, 224);
+    // criterion names (tiny under MORESTRESS_BENCH_QUICK, where the CI
+    // smoke job only proves the emitter runs).
+    let side = quick_or(224usize, 40);
+    let a = lattice(side, side);
     let n = a.nrows();
-    let nrhs = 16usize;
+    let nrhs = quick_or(16usize, 4);
     let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).sin()).collect();
     let panel: Vec<f64> = (0..nrhs).flat_map(|_| b.iter().copied()).collect();
 
@@ -96,7 +98,8 @@ fn bench_supernodal(c: &mut Criterion) {
     );
 
     // --- Criterion points on a smaller lattice (kept quick) -------------
-    let small = lattice(96, 96);
+    let small_side = quick_or(96usize, 32);
+    let small = lattice(small_side, small_side);
     let bs: Vec<f64> = (0..small.nrows())
         .map(|i| (i as f64 * 0.29).cos())
         .collect();

@@ -495,6 +495,25 @@ pub fn peak_rss_bytes() -> Option<usize> {
     None
 }
 
+/// True when `MORESTRESS_BENCH_QUICK` is set (non-empty and not `"0"`):
+/// the ablation benches shrink to tiny problem sizes so CI's `bench-smoke`
+/// job can *run* every emitter end to end — exercising the measurement and
+/// JSON-recording logic, not just compiling it — in seconds.
+pub fn quick_mode() -> bool {
+    std::env::var("MORESTRESS_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Picks `full` for a real benchmark run, `quick` under
+/// [`quick_mode`] — the one-liner the ablation benches size their
+/// problems with.
+pub fn quick_or<T>(full: T, quick: T) -> T {
+    if quick_mode() {
+        quick
+    } else {
+        full
+    }
+}
+
 /// Path of a machine-readable benchmark record at the workspace root
 /// (`BENCH_PR3.json`, `BENCH_PR4.json`, …).
 pub fn bench_json_path_for(file: &str) -> std::path::PathBuf {
@@ -519,27 +538,76 @@ pub fn record_bench_json(section: &str, entries: &[(&str, f64)]) {
 }
 
 /// Merges one section of benchmark numbers into the named record file at
-/// the workspace root.
+/// the workspace root. Borrowed-key convenience over
+/// [`record_bench_entries`].
+pub fn record_bench_json_in(file: &str, section: &str, entries: &[(&str, f64)]) {
+    record_bench_entries(
+        file,
+        section,
+        entries
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), *v))
+            .collect(),
+    );
+}
+
+/// `hardware_threads` of this machine, as recorded in every bench section.
+pub fn hardware_threads() -> f64 {
+    std::thread::available_parallelism().map_or(1, |p| p.get()) as f64
+}
+
+/// The current git commit as a number (the first 12 hex digits of `HEAD`,
+/// parsed base-16 — 48 bits, exact in an `f64`), or 0 when git is
+/// unavailable. The bench records are numbers-only JSON, so the hash is
+/// stored numerically; `format!("{:012x}", v as u64)` recovers the short
+/// hash.
+pub fn git_commit_number() -> f64 {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| u64::from_str_radix(String::from_utf8_lossy(&out.stdout).trim(), 16).ok())
+        .map_or(0.0, |v| v as f64)
+}
+
+/// Merges one section of benchmark numbers into the named record file at
+/// the workspace root — the single output path every bench emitter routes
+/// through (the per-bench borrow/format dance used to be duplicated across
+/// `ablation_global_solver` and `ablation_parallel_factor`).
 ///
 /// The file is a flat two-level JSON object `{section: {key: number}}`;
 /// each bench overwrites its own section and leaves the others in place,
 /// so `ablation_parallel_factor` and `ablation_global_solver` can both
-/// contribute to one record. The stored format is exactly what
+/// contribute to one record. Every written section is uniformly stamped
+/// with [`hardware_threads`] and [`git_commit_number`] (caller-provided
+/// values for those keys are replaced), which is what the
+/// `check_bench_json` CI gate verifies. The stored format is exactly what
 /// [`parse_bench_json`] reads back — no external JSON dependency.
-pub fn record_bench_json_in(file: &str, section: &str, entries: &[(&str, f64)]) {
-    let path = bench_json_path_for(file);
+///
+/// Under [`quick_mode`] the record is redirected to `<stem>.quick.json`
+/// (git-ignored): quick runs exist to prove the emitters work, and their
+/// tiny-workload numbers must never clobber the committed measurements.
+/// The CI artifact gate still sees them — its `BENCH_*.json` glob matches
+/// the quick files too.
+pub fn record_bench_entries(file: &str, section: &str, entries: Vec<(String, f64)>) {
+    let file = if quick_mode() {
+        file.replace(".json", ".quick.json")
+    } else {
+        file.to_string()
+    };
+    let path = bench_json_path_for(&file);
     let mut sections: Vec<BenchSection> = std::fs::read_to_string(&path)
         .ok()
         .and_then(|text| parse_bench_json(&text))
         .unwrap_or_default();
     sections.retain(|(name, _)| name != section);
-    sections.push((
-        section.to_string(),
-        entries
-            .iter()
-            .map(|(k, v)| ((*k).to_string(), *v))
-            .collect(),
-    ));
+    let mut entries = entries;
+    entries.retain(|(k, _)| k != "hardware_threads" && k != "git_commit");
+    entries.push(("hardware_threads".to_string(), hardware_threads()));
+    entries.push(("git_commit".to_string(), git_commit_number()));
+    sections.push((section.to_string(), entries));
     sections.sort_by(|a, b| a.0.cmp(&b.0));
     let mut out = String::from("{\n");
     for (si, (name, kvs)) in sections.iter().enumerate() {
@@ -587,4 +655,38 @@ pub fn parse_bench_json(text: &str) -> Option<Vec<BenchSection>> {
         }
     }
     Some(sections)
+}
+
+/// Validates one parsed bench record against the artifact schema the
+/// `check_bench_json` CI gate enforces: at least one section, every
+/// section non-empty, every value finite, and the uniform
+/// [`record_bench_entries`] stamps present (`hardware_threads >= 1` and
+/// `git_commit`). Returns the violations found (empty means valid).
+pub fn check_bench_sections(sections: &[BenchSection]) -> Vec<String> {
+    let mut problems = Vec::new();
+    if sections.is_empty() {
+        problems.push("record has no sections".to_string());
+    }
+    for (name, entries) in sections {
+        if entries.is_empty() {
+            problems.push(format!("section {name:?} is empty"));
+        }
+        for (key, value) in entries {
+            if !value.is_finite() {
+                problems.push(format!("section {name:?}: {key} = {value} is not finite"));
+            }
+        }
+        let get = |key: &str| entries.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
+        match get("hardware_threads") {
+            None => problems.push(format!("section {name:?} is missing hardware_threads")),
+            Some(v) if v < 1.0 => {
+                problems.push(format!("section {name:?}: hardware_threads = {v} < 1"));
+            }
+            Some(_) => {}
+        }
+        if get("git_commit").is_none() {
+            problems.push(format!("section {name:?} is missing git_commit"));
+        }
+    }
+    problems
 }

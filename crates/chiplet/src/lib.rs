@@ -427,7 +427,7 @@ impl Submodel {
     }
 
     /// The boundary-displacement closure for
-    /// [`GlobalBc::SubmodelBoundary`]: maps a point in the array's local
+    /// `GlobalBc::SubmodelBoundary`: maps a point in the array's local
     /// frame to the coarse displacement at the corresponding chiplet point.
     ///
     /// `GlobalBc::SubmodelBoundary` lives in `morestress-core`; the closure

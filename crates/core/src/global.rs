@@ -68,6 +68,19 @@ pub enum RomSolver {
     /// Direct Cholesky for small reduced systems, preconditioned CG above
     /// the threshold.
     Auto,
+    /// Domain-decomposition sharding: the reduced global operator is
+    /// partitioned into `shards` interior blocks coupled by a
+    /// Schur-complement interface system, each block factored
+    /// independently (and concurrently) by the direct Cholesky backend.
+    /// This bounds the peak factor memory by the largest *shard* factor
+    /// instead of the whole array's, which is what lets array size keep
+    /// growing past one factorization's memory. `shards <= 1` degenerates
+    /// to [`RomSolver::DirectCholesky`].
+    Sharded {
+        /// Interior shard count (the plan may produce fewer on operators
+        /// too small to separate).
+        shards: usize,
+    },
 }
 
 impl Default for RomSolver {
@@ -94,6 +107,9 @@ impl RomSolver {
                 direct_limit: 20_000,
                 tol: 1e-9,
             }),
+            RomSolver::Sharded { shards } => {
+                Box::new(morestress_linalg::Sharded::new(shards.max(1)))
+            }
         }
     }
 }
@@ -252,6 +268,14 @@ pub struct GlobalStats {
     /// used (1 for iterative backends, serial factorization, warm-cache
     /// hits prepared serially, and fully-constrained solves).
     pub factor_workers: usize,
+    /// Interior shards of the sharded global solve (1 for monolithic
+    /// backends and fully-constrained solves).
+    pub shards: usize,
+    /// Interface DoFs coupling the shards (0 unless sharded).
+    pub interface_dofs: usize,
+    /// Largest single-shard factor footprint in bytes (0 unless sharded) —
+    /// the peak factor memory sharding bounds.
+    pub shard_factor_bytes: usize,
 }
 
 /// The solved global problem of one array.
@@ -561,6 +585,9 @@ impl<'a> GlobalStage<'a> {
                 backend: "none",
                 workers: 1,
                 factor_workers: 1,
+                shards: 1,
+                interface_dofs: 0,
+                shard_factor_bytes: 0,
             };
             return Ok(delta_ts
                 .iter()
@@ -608,6 +635,9 @@ impl<'a> GlobalStage<'a> {
             backend: batch.report.backend,
             workers: batch.report.workers,
             factor_workers: batch.report.factor_workers,
+            shards: batch.report.shards,
+            interface_dofs: batch.report.interface_dofs,
+            shard_factor_bytes: batch.report.shard_factor_bytes,
         };
         Ok(batch
             .xs

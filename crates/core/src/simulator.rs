@@ -24,6 +24,12 @@ pub struct SimulatorOptions {
     /// knob, this narrows the shared pool for these solves — it never
     /// spawns threads of its own.
     pub threads: Option<usize>,
+    /// When set, global solves run the sharded Schur-complement path
+    /// ([`RomSolver::Sharded`]) with this interior shard count, overriding
+    /// `solver`. `Some(1)` pins the monolithic direct path through the
+    /// same code route — useful for A/B runs; `None` (the default) keeps
+    /// `solver` as configured.
+    pub shards: Option<usize>,
     /// Also build the dummy-block ROM (needed for sub-modeling layouts).
     pub build_dummy: bool,
     /// If set, ROMs are cached here (`<stem>-tsv.rom`, `<stem>-dummy.rom`)
@@ -41,6 +47,7 @@ pub struct MoreStressSimulator {
     rom_dummy: Option<ReducedOrderModel>,
     solver: RomSolver,
     threads: Option<usize>,
+    shards: Option<usize>,
     /// Memo of prepared global-stage factorizations: solving the same
     /// lattice again (any thermal load) reuses the factor instead of
     /// re-preparing it.
@@ -98,6 +105,7 @@ impl MoreStressSimulator {
             rom_dummy,
             solver: opts.solver,
             threads: opts.threads,
+            shards: opts.shards,
             factor_cache: FactorCache::new(),
         })
     }
@@ -120,6 +128,7 @@ impl MoreStressSimulator {
             rom_dummy,
             solver,
             threads: None,
+            shards: None,
             factor_cache: FactorCache::new(),
         })
     }
@@ -141,8 +150,12 @@ impl MoreStressSimulator {
     }
 
     fn stage(&self) -> Result<GlobalStage<'_>, RomError> {
+        let solver = match self.shards {
+            Some(shards) => RomSolver::Sharded { shards },
+            None => self.solver,
+        };
         let mut stage = GlobalStage::new(&self.rom_tsv)
-            .with_solver(self.solver)
+            .with_solver(solver)
             .with_cache(&self.factor_cache);
         if let Some(threads) = self.threads {
             stage = stage.with_threads(threads);

@@ -235,6 +235,73 @@ fn cold_factorization_pipeline_is_pool_size_invariant() {
 }
 
 #[test]
+fn sharded_global_solve_is_pool_size_invariant() {
+    // The sharded (Schur-complement) path at a fixed shard count: plan
+    // construction, concurrent shard factorization, Schur assembly and the
+    // staged interface-then-interiors sweeps are all structural or
+    // serial-ordered, so the result must be bitwise identical at every
+    // pool cap — and, at any cap, within 1e-8 relative of the monolithic
+    // direct solve (sharding changes the elimination order, so exact bit
+    // equality with the monolithic factor is not expected).
+    const SHARDS: usize = 4;
+    let rom = WorkPool::new(REFERENCE_CAP).install(|| build_rom(BlockKind::Tsv));
+    let layout = BlockLayout::uniform(5, 5, BlockKind::Tsv);
+    let loads = [-250.0, -120.0, 75.0, 10.0];
+    let solve = |cap: usize| {
+        WorkPool::new(cap).install(|| {
+            let cache = FactorCache::new();
+            GlobalStage::new(&rom)
+                .with_solver(RomSolver::Sharded { shards: SHARDS })
+                .with_cache(&cache)
+                .with_threads(64)
+                .solve_many(&layout, &loads, &GlobalBc::ClampedTopBottom)
+                .expect("sharded batched solve")
+        })
+    };
+    let reference = solve(REFERENCE_CAP);
+    assert!(
+        reference[0].stats.shards >= 2,
+        "5×5 reduced operator must actually shard"
+    );
+    assert!(reference[0].stats.interface_dofs > 0);
+    for cap in CAPS {
+        let batch = solve(cap);
+        assert_eq!(
+            batch[0].stats.shards, reference[0].stats.shards,
+            "the shard plan must not depend on the pool cap"
+        );
+        for (r, c) in reference.iter().zip(&batch) {
+            assert_bitwise(
+                "sharded nodal displacement",
+                cap,
+                r.nodal_displacement(),
+                c.nodal_displacement(),
+            );
+        }
+    }
+    // Monolithic cross-check on the same full pipeline.
+    let mono = WorkPool::new(REFERENCE_CAP).install(|| {
+        GlobalStage::new(&rom)
+            .with_solver(RomSolver::DirectCholesky)
+            .solve_many(&layout, &loads, &GlobalBc::ClampedTopBottom)
+            .expect("monolithic batched solve")
+    });
+    for (m, s) in mono.iter().zip(&reference) {
+        let scale = m
+            .nodal_displacement()
+            .iter()
+            .fold(0.0f64, |acc, v| acc.max(v.abs()))
+            .max(1e-30);
+        for (a, b) in m.nodal_displacement().iter().zip(s.nodal_displacement()) {
+            assert!(
+                (a - b).abs() <= 1e-8 * scale,
+                "sharded vs monolithic beyond 1e-8 relative: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
 fn reconstruction_is_pool_size_invariant() {
     let rom = WorkPool::new(REFERENCE_CAP).install(|| build_rom(BlockKind::Tsv));
     let layout = BlockLayout::uniform(2, 2, BlockKind::Tsv);

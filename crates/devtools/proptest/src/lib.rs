@@ -8,7 +8,8 @@
 //!   [`Just`], `any::<bool>()`;
 //! * `prop::collection::vec` (exact or ranged length) and
 //!   `prop::array::uniform6`;
-//! * [`Strategy::prop_map`] and [`Strategy::prop_flat_map`];
+//! * [`Strategy::prop_map`](strategy::Strategy::prop_map) and
+//!   [`Strategy::prop_flat_map`](strategy::Strategy::prop_flat_map);
 //! * the [`proptest!`] macro with `#![proptest_config(..)]`,
 //!   [`prop_assert!`] and [`prop_assert_eq!`].
 //!
@@ -68,7 +69,7 @@ pub mod test_runner {
     }
 }
 
-/// The [`Strategy`] trait and combinators.
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
 pub mod strategy {
     use crate::test_runner::TestRng;
 
@@ -236,7 +237,7 @@ pub mod strategy {
         }
     }
 
-    /// The strategy returned by [`any`](crate::any).
+    /// The strategy returned by [`any`].
     #[derive(Debug, Clone, Copy, Default)]
     pub struct Any<T> {
         _marker: core::marker::PhantomData<T>,
@@ -262,7 +263,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length specification for [`vec`]: an exact `usize` or a `Range`.
+    /// Length specification for [`vec()`]: an exact `usize` or a `Range`.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
@@ -285,7 +286,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         elem: S,

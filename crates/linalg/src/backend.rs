@@ -29,6 +29,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::schur::SchurSolver;
 use crate::{
     solve_cg, solve_gmres, CgOptions, CsrMatrix, DenseMatrix, FillOrdering, GmresOptions,
     IdentityPreconditioner, JacobiPreconditioner, LinalgError, MemoryFootprint, Preconditioner,
@@ -208,6 +209,16 @@ pub struct SolveReport {
     /// balance; `None` for iterative engines and for the scalar reference
     /// kernel.
     pub supernode_stats: Option<SupernodeStats>,
+    /// Interior shards of the [`Sharded`](crate::Sharded) backend behind
+    /// this solve (1 for every monolithic backend).
+    pub shards: usize,
+    /// Interface DoFs coupling the shards in the Schur-complement solve
+    /// (0 for monolithic backends).
+    pub interface_dofs: usize,
+    /// Largest single-shard solver footprint in bytes — the peak factor
+    /// memory any one shard needs, which is what sharding bounds (0 for
+    /// monolithic backends, whose whole factor is one block).
+    pub shard_factor_bytes: usize,
 }
 
 /// One solved right-hand side with its report.
@@ -321,6 +332,10 @@ impl DirectFactor {
 
 enum Engine {
     Direct(DirectFactor),
+    /// The domain-decomposition engine of the [`Sharded`](crate::Sharded)
+    /// backend: per-shard interior factors + a factored interface Schur
+    /// complement.
+    Sharded(SchurSolver),
     Cg {
         precond: Box<dyn Preconditioner + Send + Sync>,
         opts: CgOptions,
@@ -335,6 +350,7 @@ impl Engine {
     fn label(&self) -> &'static str {
         match self {
             Engine::Direct(_) => "cholesky",
+            Engine::Sharded(_) => "sharded",
             Engine::Cg { .. } => "cg",
             Engine::Gmres { .. } => "gmres",
         }
@@ -378,6 +394,25 @@ impl fmt::Debug for PreparedSolver {
 type EngineResult = Result<(Vec<f64>, Option<usize>, Option<f64>), LinalgError>;
 
 impl PreparedSolver {
+    /// Wraps an assembled [`SchurSolver`] — the constructor
+    /// `Sharded::prepare` uses.
+    pub(crate) fn from_sharded(
+        matrix: Arc<CsrMatrix>,
+        schur: SchurSolver,
+        setup_time: Duration,
+    ) -> Self {
+        let shared_bytes = schur.shared_bytes();
+        let workspace_bytes = schur.workspace_bytes();
+        Self {
+            matrix,
+            engine: Engine::Sharded(schur),
+            setup_time,
+            shared_bytes,
+            workspace_bytes,
+            panel_width: 1,
+        }
+    }
+
     /// Name of the backend that prepared this solver.
     pub fn backend(&self) -> &'static str {
         self.engine.label()
@@ -407,12 +442,37 @@ impl PreparedSolver {
     }
 
     /// Stored nonzeros of the direct factor (`None` for iterative
-    /// engines) — the fill measure the ordering ablation reports.
+    /// engines; summed over all blocks for the sharded engine) — the fill
+    /// measure the ordering ablation reports.
     pub fn factor_nnz(&self) -> Option<usize> {
         match &self.engine {
             Engine::Direct(factor) => Some(factor.factor_nnz()),
+            Engine::Sharded(schur) => schur.factor_nnz(),
             _ => None,
         }
+    }
+
+    /// `(shards, interface DoFs, peak per-shard factor bytes)` of the
+    /// sharded engine; the monolithic identity `(1, 0, 0)` otherwise.
+    fn shard_info(&self) -> (usize, usize, usize) {
+        match &self.engine {
+            Engine::Sharded(schur) => (
+                schur.num_shards(),
+                schur.interface_dofs(),
+                schur.shard_factor_bytes(),
+            ),
+            _ => (1, 0, 0),
+        }
+    }
+
+    /// Interior shards behind this solver (1 for monolithic backends).
+    pub fn shards(&self) -> usize {
+        self.shard_info().0
+    }
+
+    /// Interface DoFs of the sharded engine (0 for monolithic backends).
+    pub fn interface_dofs(&self) -> usize {
+        self.shard_info().1
     }
 
     /// Supernode shape statistics of the direct factor (`None` for the
@@ -425,10 +485,12 @@ impl PreparedSolver {
     }
 
     /// Worker slots the one-time numeric factorization used (1 for the
-    /// scalar kernel, serial factorization and the iterative engines).
+    /// scalar kernel, serial factorization and the iterative engines; the
+    /// peak over all block factorizations for the sharded engine).
     pub fn factor_workers(&self) -> usize {
         match &self.engine {
             Engine::Direct(factor) => factor.factor_workers(),
+            Engine::Sharded(schur) => schur.factor_workers(),
             _ => 1,
         }
     }
@@ -436,6 +498,15 @@ impl PreparedSolver {
     fn solve_one(&self, b: &[f64]) -> EngineResult {
         match &self.engine {
             Engine::Direct(factor) => Ok((factor.solve(b), None, None)),
+            Engine::Sharded(schur) => {
+                let (mut xs, iterations, residual, _workers) =
+                    schur.solve_many(std::slice::from_ref(&b.to_vec()), 1)?;
+                Ok((
+                    xs.pop().expect("one right-hand side in, one solution out"),
+                    iterations,
+                    residual,
+                ))
+            }
             Engine::Cg { precond, opts } => {
                 let sol = solve_cg(&*self.matrix, b, &**precond, *opts)?;
                 Ok((sol.x, Some(sol.iterations), Some(sol.residual)))
@@ -463,6 +534,7 @@ impl PreparedSolver {
         }
         let t0 = Instant::now();
         let (x, iterations, residual) = self.solve_one(b)?;
+        let (shards, interface_dofs, shard_factor_bytes) = self.shard_info();
         Ok(BackendSolution {
             x,
             report: SolveReport {
@@ -476,6 +548,9 @@ impl PreparedSolver {
                 workers: 1,
                 factor_workers: self.factor_workers(),
                 supernode_stats: self.supernode_stats(),
+                shards,
+                interface_dofs,
+                shard_factor_bytes,
             },
         })
     }
@@ -519,6 +594,31 @@ impl PreparedSolver {
         let t0 = Instant::now();
         if let Engine::Direct(factor) = &self.engine {
             return Ok(self.solve_many_panels(factor, rhs, threads, t0));
+        }
+        if let Engine::Sharded(schur) = &self.engine {
+            let (xs, iterations, residual, workers) = schur.solve_many(rhs, threads)?;
+            return Ok(BatchSolution {
+                report: SolveReport {
+                    backend: self.engine.label(),
+                    setup_time: self.setup_time,
+                    solve_time: t0.elapsed(),
+                    iterations,
+                    residual,
+                    // The sharded staging vectors (gathered right-hand
+                    // sides, pre-solves, interface reductions) are held per
+                    // right-hand side across the interface stage, so the
+                    // workspace scales with the batch, not the workers.
+                    solver_bytes: self.shared_bytes + rhs.len().max(1) * self.workspace_bytes,
+                    rhs_count: xs.len(),
+                    workers,
+                    factor_workers: schur.factor_workers(),
+                    supernode_stats: None,
+                    shards: schur.num_shards(),
+                    interface_dofs: schur.interface_dofs(),
+                    shard_factor_bytes: schur.shard_factor_bytes(),
+                },
+                xs,
+            });
         }
         let pool = WorkPool::current();
         let concurrency = threads.max(1).min(rhs.len().max(1)).min(pool.cap());
@@ -571,6 +671,9 @@ impl PreparedSolver {
                 workers,
                 factor_workers: self.factor_workers(),
                 supernode_stats: None,
+                shards: 1,
+                interface_dofs: 0,
+                shard_factor_bytes: 0,
             },
         })
     }
@@ -633,6 +736,9 @@ impl PreparedSolver {
                 workers,
                 factor_workers: factor.factor_workers(),
                 supernode_stats: stats,
+                shards: 1,
+                interface_dofs: 0,
+                shard_factor_bytes: 0,
             },
         }
     }

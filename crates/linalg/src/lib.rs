@@ -32,6 +32,13 @@
 //! * [`FactorCache`] — content-addressed memo of prepared solvers, so
 //!   repeated solves over the same operator (many thermal loads on one
 //!   lattice) pay for one factorization.
+//! * [`ShardPlan`] / [`Sharded`] — domain-decomposition sharding of the
+//!   operator: a K-way interior/interface partition built from the
+//!   nested-dissection separator machinery, and a Schur-complement backend
+//!   that factors every interior block independently (concurrently, each
+//!   cached under its own fingerprint) and couples them through one small
+//!   factored interface system — so no single factorization ever spans the
+//!   whole operator.
 //! * [`WorkPool`] — the shared worker-pool runtime behind every parallel
 //!   stage in the workspace (the n+1 local solves, batched multi-RHS global
 //!   solves, block-wise stress reconstruction). One lazily-started set of
@@ -85,6 +92,8 @@ mod iterative;
 mod memory;
 mod ordering;
 mod pool;
+mod schur;
+mod shard;
 mod sparse;
 mod supernodal;
 mod vecops;
@@ -106,6 +115,8 @@ pub use ordering::{
     bandwidth, nested_dissection, reverse_cuthill_mckee, FillOrdering, Permutation, StructureProbe,
 };
 pub use pool::{TaskDag, WorkPool};
+pub use schur::Sharded;
+pub use shard::ShardPlan;
 pub use sparse::{CooMatrix, CsrMatrix};
 pub use supernodal::{SupernodalCholesky, SupernodalOptions, SupernodeStats};
 pub use vecops::{axpy, dot, norm2, norm_inf, scale, sub};

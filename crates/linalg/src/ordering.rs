@@ -415,9 +415,22 @@ pub fn nested_dissection(a: &CsrMatrix) -> Permutation {
             }
             Work::Piece(piece) => piece,
         };
-        if piece.len() <= ND_LEAF {
-            // Leaf: BFS order from a pseudo-peripheral vertex, reversed —
-            // a cheap RCM-flavored band ordering, good enough at this size.
+        let split = if piece.len() <= ND_LEAF {
+            None
+        } else {
+            split_piece(
+                a,
+                &piece,
+                &mut stamp,
+                &mut level,
+                &mut generation,
+                &mut queue,
+            )
+        };
+        let Some(PieceSplit { below, sep, above }) = split else {
+            // Leaf (small, or no useful separator): BFS order from a
+            // pseudo-peripheral vertex, reversed — a cheap RCM-flavored
+            // band ordering, good enough at this size.
             let mut local = bfs_order(
                 a,
                 &piece,
@@ -429,82 +442,7 @@ pub fn nested_dissection(a: &CsrMatrix) -> Permutation {
             local.reverse();
             order.extend_from_slice(&local);
             continue;
-        }
-
-        // Level structure from a pseudo-peripheral vertex of the piece.
-        let root = pseudo_peripheral(
-            a,
-            &piece,
-            &mut stamp,
-            &mut level,
-            &mut generation,
-            &mut queue,
-        );
-        generation += 1;
-        let member = generation;
-        for &v in &piece {
-            stamp[v] = member;
-        }
-        generation += 1;
-        let gen = generation;
-        queue.clear();
-        stamp[root] = gen;
-        level[root] = 0;
-        queue.push_back(root);
-        let mut level_counts: Vec<usize> = vec![0];
-        let mut reached = 0usize;
-        while let Some(v) = queue.pop_front() {
-            reached += 1;
-            let d = level[v];
-            if d as usize >= level_counts.len() {
-                level_counts.push(0);
-            }
-            level_counts[d as usize] += 1;
-            for &w in a.row(v).0 {
-                if w != v && stamp[w] == member {
-                    stamp[w] = gen;
-                    level[w] = d + 1;
-                    queue.push_back(w);
-                }
-            }
-        }
-        debug_assert_eq!(reached, piece.len(), "piece must be connected");
-        let num_levels = level_counts.len();
-        if num_levels < 3 {
-            // A (near-)complete piece: no useful separator. Order as a leaf.
-            let mut local = bfs_order(
-                a,
-                &piece,
-                &mut stamp,
-                &mut level,
-                &mut generation,
-                &mut queue,
-            );
-            local.reverse();
-            order.extend_from_slice(&local);
-            continue;
-        }
-
-        // Pick the separator level: the smallest level among the middle
-        // half of the level structure (never the end levels, which would
-        // leave one side empty).
-        let lo = (num_levels / 4).max(1);
-        let hi = (3 * num_levels / 4).min(num_levels - 2).max(lo);
-        let sep_level = (lo..=hi)
-            .min_by_key(|&l| level_counts[l])
-            .expect("non-empty middle range");
-        let sep_level = sep_level as u32;
-
-        let mut below = Vec::new();
-        let mut above = Vec::new();
-        let mut sep = Vec::new();
-        for &v in &piece {
-            match level[v].cmp(&sep_level) {
-                std::cmp::Ordering::Less => below.push(v),
-                std::cmp::Ordering::Equal => sep.push(v),
-                std::cmp::Ordering::Greater => above.push(v),
-            }
-        }
+        };
         // Halves may be internally disconnected; the recursion handles each
         // piece's components through the component split below.
         stack.push(Work::Emit(sep));
@@ -543,6 +481,96 @@ pub fn nested_dissection(a: &CsrMatrix) -> Permutation {
     }
 
     Permutation::new(order).expect("nested dissection produced a valid permutation")
+}
+
+/// One BFS level-structure bisection of a connected piece: the vertices
+/// strictly below the separator level, the separator itself, and the
+/// vertices above it.
+pub(crate) struct PieceSplit {
+    /// Vertices on levels below the separator level.
+    pub below: Vec<usize>,
+    /// The vertex separator (one whole BFS level): removing it disconnects
+    /// `below` from `above`.
+    pub sep: Vec<usize>,
+    /// Vertices on levels above the separator level.
+    pub above: Vec<usize>,
+}
+
+/// Splits a connected `piece` by the BFS level-structure separator both
+/// [`nested_dissection`] and the shard planner
+/// ([`ShardPlan`](crate::ShardPlan)) use: levels are grown from a
+/// pseudo-peripheral vertex, and the smallest level near the size-weighted
+/// middle becomes the separator (never an end level, which would leave one
+/// side empty). Returns `None` when the piece has fewer than three levels —
+/// a (near-)complete subgraph with no useful separator.
+///
+/// `stamp`/`level`/`generation`/`queue` are the caller's generation-stamped
+/// BFS scratch (full matrix dimension), so repeated splits never pay a
+/// clear pass.
+pub(crate) fn split_piece(
+    a: &CsrMatrix,
+    piece: &[usize],
+    stamp: &mut [u32],
+    level: &mut [u32],
+    generation: &mut u32,
+    queue: &mut std::collections::VecDeque<usize>,
+) -> Option<PieceSplit> {
+    // Level structure from a pseudo-peripheral vertex of the piece.
+    let root = pseudo_peripheral(a, piece, stamp, level, generation, queue);
+    *generation += 1;
+    let member = *generation;
+    for &v in piece {
+        stamp[v] = member;
+    }
+    *generation += 1;
+    let gen = *generation;
+    queue.clear();
+    stamp[root] = gen;
+    level[root] = 0;
+    queue.push_back(root);
+    let mut level_counts: Vec<usize> = vec![0];
+    let mut reached = 0usize;
+    while let Some(v) = queue.pop_front() {
+        reached += 1;
+        let d = level[v];
+        if d as usize >= level_counts.len() {
+            level_counts.push(0);
+        }
+        level_counts[d as usize] += 1;
+        for &w in a.row(v).0 {
+            if w != v && stamp[w] == member {
+                stamp[w] = gen;
+                level[w] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    debug_assert_eq!(reached, piece.len(), "piece must be connected");
+    let num_levels = level_counts.len();
+    if num_levels < 3 {
+        return None;
+    }
+
+    // Pick the separator level: the smallest level among the middle half of
+    // the level structure.
+    let lo = (num_levels / 4).max(1);
+    let hi = (3 * num_levels / 4).min(num_levels - 2).max(lo);
+    let sep_level = (lo..=hi)
+        .min_by_key(|&l| level_counts[l])
+        .expect("non-empty middle range");
+    let sep_level = sep_level as u32;
+
+    let mut below = Vec::new();
+    let mut above = Vec::new();
+    let mut sep = Vec::new();
+    for &v in piece {
+        match level[v].cmp(&sep_level) {
+            std::cmp::Ordering::Less => below.push(v),
+            std::cmp::Ordering::Equal => sep.push(v),
+            std::cmp::Ordering::Greater => above.push(v),
+        }
+    }
+    Some(PieceSplit { below, sep, above })
 }
 
 /// BFS order of a (connected) piece, rooted at a pseudo-peripheral vertex

@@ -243,8 +243,8 @@ impl WorkPool {
         Self { inner, owner }
     }
 
-    /// The process-wide shared pool (created on first use; see
-    /// [`default_global_cap`] semantics in the module docs).
+    /// The process-wide shared pool (created on first use; see the
+    /// `default_global_cap` semantics in the module docs).
     pub fn global() -> &'static WorkPool {
         static GLOBAL: OnceLock<WorkPool> = OnceLock::new();
         GLOBAL.get_or_init(|| WorkPool::new(default_global_cap()))

@@ -1,0 +1,426 @@
+//! K-way domain decomposition of a sparse operator for the sharded
+//! (Schur-complement) solver backend.
+//!
+//! A [`ShardPlan`] partitions the row/column index set of a square sparse
+//! matrix — viewed as an undirected adjacency graph, exactly like the
+//! fill-reducing orderings do — into `K` *interior shards* plus one
+//! *interface* set, such that no stored entry couples two different shards
+//! directly: every inter-shard path passes through interface vertices. In
+//! block form (after an implicit symmetric permutation) the operator is
+//! block-diagonal over the shard interiors bordered by the interface,
+//!
+//! ```text
+//!         ┌ A_11           A_1s ┐
+//!     A = │      ⋱           ⋮  │
+//!         │          A_KK  A_Ks │
+//!         └ A_s1  ⋯  A_sK  A_ss ┘
+//! ```
+//!
+//! which is the algebraic prerequisite for the Schur-complement solve in
+//! [`schur`](crate::Sharded): each `A_kk` factors independently (and
+//! concurrently), and only the small interface system couples them.
+//!
+//! The planner reuses the nested-dissection separator machinery of
+//! [`ordering`](crate::nested_dissection): it repeatedly bisects the
+//! largest remaining piece with a BFS level-structure separator
+//! (pseudo-peripheral root, smallest middle level), collects the
+//! separators into the interface, and finally merges the smallest pieces
+//! until exactly `K` shards remain. Merging is safe because distinct
+//! pieces are never adjacent — every split moved the whole separator level
+//! into the interface. The construction is fully deterministic (no
+//! scheduling, no randomness), so a plan — and everything the sharded
+//! solver derives from it — is identical across runs and pool caps.
+
+use std::collections::VecDeque;
+
+use crate::ordering::{split_piece, PieceSplit};
+use crate::{CsrMatrix, MemoryFootprint};
+
+/// Owner tag for interface rows in [`ShardPlan::owner`].
+const INTERFACE: usize = usize::MAX;
+
+/// Pieces smaller than this are never bisected further: a separator would
+/// cost more interface DoFs than the split saves.
+const MIN_SPLIT: usize = 32;
+
+/// A K-way interior/interface partition of a square operator's index set.
+///
+/// Built by [`ShardPlan::build`]; consumed by the
+/// [`Sharded`](crate::Sharded) backend. Row indices within each shard and
+/// within the interface are sorted ascending, and shards are ordered by
+/// their smallest row index, so the plan (and every extraction order
+/// derived from it) is canonical.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// Sorted interior row indices, one list per shard (all non-empty).
+    shards: Vec<Vec<usize>>,
+    /// Sorted interface row indices.
+    interface: Vec<usize>,
+    /// `owner[row]` = shard index, or `usize::MAX` for interface rows.
+    owner: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// Partitions the adjacency graph of `a` (square) into up to `shards`
+    /// interior blocks plus a separating interface.
+    ///
+    /// The plan delivers *at most* `shards` shards: pieces too small or
+    /// too dense to admit a BFS separator are not bisected, so tiny or
+    /// (near-)complete operators may yield fewer — in the limit one shard
+    /// and an empty interface, which degenerates the sharded solve to the
+    /// monolithic one. Requests of `shards <= 1` short-circuit to that
+    /// single-shard plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
+    pub fn build(a: &CsrMatrix, shards: usize) -> Self {
+        assert_eq!(a.nrows(), a.ncols(), "shard plan: matrix must be square");
+        let n = a.nrows();
+        if shards <= 1 || n < 2 * MIN_SPLIT {
+            return Self::single(n);
+        }
+
+        // Generation-stamped BFS scratch, shared by the component splits
+        // and the separator bisections.
+        let mut stamp = vec![0u32; n];
+        let mut level = vec![0u32; n];
+        let mut generation = 0u32;
+        let mut queue = VecDeque::new();
+
+        // Connected components of the full graph are the initial pieces.
+        let mut pieces: Vec<Vec<usize>> = Vec::new();
+        let everything: Vec<usize> = (0..n).collect();
+        split_components(
+            a,
+            &everything,
+            &mut stamp,
+            &mut generation,
+            &mut queue,
+            |comp| pieces.push(comp),
+        );
+
+        // Bisect the largest splittable piece until `shards` pieces exist.
+        let mut interface: Vec<usize> = Vec::new();
+        // Pieces that refused to split (too small / no separator) move here
+        // so the loop never retries them.
+        let mut done: Vec<Vec<usize>> = Vec::new();
+        while pieces.len() + done.len() < shards && !pieces.is_empty() {
+            let largest = (0..pieces.len())
+                .max_by_key(|&i| (pieces[i].len(), std::cmp::Reverse(pieces[i][0])))
+                .expect("non-empty piece list");
+            let piece = pieces.swap_remove(largest);
+            let split = if piece.len() < MIN_SPLIT {
+                None
+            } else {
+                split_piece(
+                    a,
+                    &piece,
+                    &mut stamp,
+                    &mut level,
+                    &mut generation,
+                    &mut queue,
+                )
+            };
+            let Some(PieceSplit { below, sep, above }) = split else {
+                done.push(piece);
+                continue;
+            };
+            interface.extend_from_slice(&sep);
+            // Removing the separator can fragment a half: each connected
+            // component becomes its own piece (the merge pass below
+            // re-coarsens if that overshoots the requested count).
+            for half in [below, above] {
+                split_components(a, &half, &mut stamp, &mut generation, &mut queue, |comp| {
+                    if !comp.is_empty() {
+                        pieces.push(comp)
+                    }
+                });
+            }
+        }
+        pieces.extend(done);
+        pieces.retain(|p| !p.is_empty());
+        if pieces.is_empty() {
+            return Self::single(n);
+        }
+
+        // Merge the two smallest pieces (ties broken by smallest member,
+        // so the pairing is deterministic) until at most `shards` remain —
+        // a min-heap keyed by `(len, min member)`, O(P log P) overall.
+        // Distinct pieces are never adjacent (every separator went to the
+        // interface in full), so a merged piece is still
+        // interior-decoupled from every other shard.
+        if pieces.len() > shards {
+            use std::cmp::Reverse;
+            let mut heap: std::collections::BinaryHeap<Reverse<(usize, usize, usize)>> = pieces
+                .iter()
+                .enumerate()
+                .map(|(slot, p)| Reverse((p.len(), *p.iter().min().expect("non-empty"), slot)))
+                .collect();
+            let mut slots: Vec<Vec<usize>> = std::mem::take(&mut pieces);
+            while heap.len() > shards {
+                let Reverse((len_a, first_a, slot_a)) = heap.pop().expect("len > shards >= 1");
+                let Reverse((len_b, first_b, slot_b)) = heap.pop().expect("len > shards >= 1");
+                let absorbed = std::mem::take(&mut slots[slot_b]);
+                slots[slot_a].extend_from_slice(&absorbed);
+                heap.push(Reverse((len_a + len_b, first_a.min(first_b), slot_a)));
+            }
+            pieces = slots.into_iter().filter(|p| !p.is_empty()).collect();
+        }
+
+        // Canonicalize: sorted members per shard, shards ordered by their
+        // smallest row.
+        for piece in &mut pieces {
+            piece.sort_unstable();
+        }
+        pieces.sort_unstable_by_key(|p| p[0]);
+
+        interface.sort_unstable();
+        let mut owner = vec![INTERFACE; n];
+        for (k, piece) in pieces.iter().enumerate() {
+            for &v in piece {
+                owner[v] = k;
+            }
+        }
+        debug_assert!(
+            {
+                let assigned = pieces.iter().map(Vec::len).sum::<usize>() + interface.len();
+                assigned == n
+            },
+            "shard plan must cover every row exactly once"
+        );
+        debug_assert!(
+            (0..n).all(|v| {
+                a.row(v).0.iter().all(|&w| {
+                    owner[v] == owner[w] || owner[v] == INTERFACE || owner[w] == INTERFACE
+                })
+            }),
+            "no edge may couple two different shards directly"
+        );
+        Self {
+            shards: pieces,
+            interface,
+            owner,
+        }
+    }
+
+    /// The trivial one-shard plan (everything interior, empty interface).
+    fn single(n: usize) -> Self {
+        Self {
+            shards: vec![(0..n).collect()],
+            interface: Vec::new(),
+            owner: vec![0; n],
+        }
+    }
+
+    /// Dimension of the partitioned operator.
+    pub fn num_rows(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Number of interior shards actually produced (≤ the requested count,
+    /// ≥ 1 for non-empty operators).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Sorted interior row indices of shard `k`.
+    pub fn shard_rows(&self, k: usize) -> &[usize] {
+        &self.shards[k]
+    }
+
+    /// Sorted interface row indices (empty for a single-shard plan).
+    pub fn interface(&self) -> &[usize] {
+        &self.interface
+    }
+
+    /// The shard owning `row`, or `None` for interface rows.
+    pub fn owner(&self, row: usize) -> Option<usize> {
+        match self.owner[row] {
+            INTERFACE => None,
+            k => Some(k),
+        }
+    }
+}
+
+impl MemoryFootprint for ShardPlan {
+    fn heap_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(MemoryFootprint::heap_bytes)
+            .sum::<usize>()
+            + self.interface.heap_bytes()
+            + self.owner.heap_bytes()
+    }
+}
+
+/// Invokes `emit` once per connected component of `half` (a vertex subset
+/// whose adjacency is restricted to itself).
+fn split_components(
+    a: &CsrMatrix,
+    half: &[usize],
+    stamp: &mut [u32],
+    generation: &mut u32,
+    queue: &mut VecDeque<usize>,
+    mut emit: impl FnMut(Vec<usize>),
+) {
+    if half.is_empty() {
+        return;
+    }
+    *generation += 1;
+    let in_half = *generation;
+    for &v in half {
+        stamp[v] = in_half;
+    }
+    *generation += 1;
+    let claimed = *generation;
+    for &v in half {
+        if stamp[v] != in_half {
+            continue;
+        }
+        let mut comp = Vec::new();
+        queue.clear();
+        queue.push_back(v);
+        stamp[v] = claimed;
+        while let Some(u) = queue.pop_front() {
+            comp.push(u);
+            for &w in a.row(u).0 {
+                if w != u && stamp[w] == in_half {
+                    stamp[w] = claimed;
+                    queue.push_back(w);
+                }
+            }
+        }
+        emit(comp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_operators::laplacian_2d;
+    use crate::CooMatrix;
+
+    fn check_invariants(a: &CsrMatrix, plan: &ShardPlan) {
+        let n = a.nrows();
+        // Exact cover.
+        let mut seen = vec![0usize; n];
+        for k in 0..plan.num_shards() {
+            assert!(!plan.shard_rows(k).is_empty(), "empty shard {k}");
+            for w in plan.shard_rows(k).windows(2) {
+                assert!(w[0] < w[1], "shard rows must be sorted unique");
+            }
+            for &v in plan.shard_rows(k) {
+                seen[v] += 1;
+                assert_eq!(plan.owner(v), Some(k));
+            }
+        }
+        for &v in plan.interface() {
+            seen[v] += 1;
+            assert_eq!(plan.owner(v), None);
+        }
+        assert!(seen.iter().all(|&c| c == 1), "rows covered exactly once");
+        // No direct inter-shard coupling.
+        for v in 0..n {
+            for &w in a.row(v).0 {
+                let (ov, ow) = (plan.owner(v), plan.owner(w));
+                assert!(
+                    ov == ow || ov.is_none() || ow.is_none(),
+                    "edge ({v},{w}) couples shards {ov:?} and {ow:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_partitions_a_lattice() {
+        let a = laplacian_2d(24, 24);
+        for k in [2usize, 3, 4, 7] {
+            let plan = ShardPlan::build(&a, k);
+            assert!(plan.num_shards() >= 2, "lattice must split for k={k}");
+            assert!(plan.num_shards() <= k);
+            assert!(!plan.interface().is_empty());
+            check_invariants(&a, &plan);
+        }
+    }
+
+    #[test]
+    fn single_shard_requests_are_trivial() {
+        let a = laplacian_2d(10, 10);
+        for k in [0usize, 1] {
+            let plan = ShardPlan::build(&a, k);
+            assert_eq!(plan.num_shards(), 1);
+            assert!(plan.interface().is_empty());
+            check_invariants(&a, &plan);
+        }
+    }
+
+    #[test]
+    fn tiny_operators_stay_monolithic() {
+        let a = laplacian_2d(4, 4);
+        let plan = ShardPlan::build(&a, 4);
+        assert_eq!(plan.num_shards(), 1);
+        assert!(plan.interface().is_empty());
+        check_invariants(&a, &plan);
+    }
+
+    #[test]
+    fn disconnected_components_shard_without_interface() {
+        // Two disjoint chains: a 2-shard plan needs no separator at all.
+        let n = 80;
+        let mut coo = CooMatrix::new(n, n);
+        for half in 0..2 {
+            let base = half * (n / 2);
+            for i in 0..n / 2 {
+                coo.push(base + i, base + i, 2.0);
+                if i + 1 < n / 2 {
+                    coo.push(base + i, base + i + 1, -1.0);
+                    coo.push(base + i + 1, base + i, -1.0);
+                }
+            }
+        }
+        let a = coo.to_csr();
+        let plan = ShardPlan::build(&a, 2);
+        assert_eq!(plan.num_shards(), 2);
+        assert!(plan.interface().is_empty());
+        check_invariants(&a, &plan);
+    }
+
+    #[test]
+    fn merge_pass_respects_the_requested_count() {
+        // A star of 5 chains around one hub: splitting fragments into many
+        // components; the plan must re-merge down to the request.
+        let arms = 5usize;
+        let len = 40usize;
+        let n = 1 + arms * len;
+        let mut coo = CooMatrix::new(n, n);
+        coo.push(0, 0, 2.0);
+        for arm in 0..arms {
+            let base = 1 + arm * len;
+            for i in 0..len {
+                coo.push(base + i, base + i, 2.0);
+                let prev = if i == 0 { 0 } else { base + i - 1 };
+                coo.push(base + i, prev, -1.0);
+                coo.push(prev, base + i, -1.0);
+            }
+        }
+        let a = coo.to_csr();
+        for k in [2usize, 3] {
+            let plan = ShardPlan::build(&a, k);
+            assert!(plan.num_shards() <= k);
+            check_invariants(&a, &plan);
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let a = laplacian_2d(30, 20);
+        let p1 = ShardPlan::build(&a, 4);
+        let p2 = ShardPlan::build(&a, 4);
+        assert_eq!(p1.num_shards(), p2.num_shards());
+        assert_eq!(p1.interface(), p2.interface());
+        for k in 0..p1.num_shards() {
+            assert_eq!(p1.shard_rows(k), p2.shard_rows(k));
+        }
+    }
+}
