@@ -268,6 +268,11 @@ pub struct GlobalStats {
     /// used (1 for iterative backends, serial factorization, warm-cache
     /// hits prepared serially, and fully-constrained solves).
     pub factor_workers: usize,
+    /// Resolved dense-microkernel name (`"scalar"`, `"blocked"`, `"avx2"`)
+    /// behind the direct factorization, after runtime CPU-feature
+    /// dispatch; `None` for iterative backends, the scalar reference
+    /// factorization and fully-constrained solves.
+    pub kernel: Option<&'static str>,
     /// Interior shards of the sharded global solve (1 for monolithic
     /// backends and fully-constrained solves).
     pub shards: usize,
@@ -585,6 +590,7 @@ impl<'a> GlobalStage<'a> {
                 backend: "none",
                 workers: 1,
                 factor_workers: 1,
+                kernel: None,
                 shards: 1,
                 interface_dofs: 0,
                 shard_factor_bytes: 0,
@@ -635,6 +641,7 @@ impl<'a> GlobalStage<'a> {
             backend: batch.report.backend,
             workers: batch.report.workers,
             factor_workers: batch.report.factor_workers,
+            kernel: batch.report.kernel,
             shards: batch.report.shards,
             interface_dofs: batch.report.interface_dofs,
             shard_factor_bytes: batch.report.shard_factor_bytes,

@@ -20,7 +20,8 @@ use morestress_core::{
 };
 use morestress_fem::MaterialSet;
 use morestress_linalg::{
-    CholeskyKernel, CooMatrix, DirectCholesky, FactorCache, SolverBackend, WorkPool,
+    CholeskyKernel, CooMatrix, DirectCholesky, FactorCache, FillOrdering, KernelChoice,
+    SolverBackend, SupernodalCholesky, SupernodalOptions, WorkPool,
 };
 use morestress_mesh::{BlockKind, BlockLayout, BlockResolution, TsvGeometry};
 
@@ -182,6 +183,76 @@ fn panel_multi_rhs_solves_are_pool_size_invariant() {
                 for (r, c) in reference.iter().zip(&xs) {
                     assert_bitwise(&format!("{kernel:?} panel_width={panel_width}"), cap, r, c);
                 }
+            }
+        }
+    }
+}
+
+#[test]
+fn supernodal_factor_is_pool_size_invariant_per_kernel() {
+    // The per-kernel determinism contract of the microkernel layer: for
+    // *each* resolved kernel (scalar oracle, blocked mul_add tiles, and —
+    // under the `simd` feature on AVX2 hardware — the intrinsics kernel),
+    // the elimination-tree-parallel factorization must be bitwise
+    // identical to the serial sweep at every pool cap. Run at the default
+    // chunk budget and at a tiny one that forces update-chunk tasks plus
+    // their reduction-tree combines into the DAG.
+    let nx = 17;
+    let ny = 13;
+    let n = nx * ny;
+    let id = |i: usize, j: usize| j * nx + i;
+    let mut coo = CooMatrix::new(n, n);
+    for j in 0..ny {
+        for i in 0..nx {
+            let me = id(i, j);
+            coo.push(me, me, 4.1 + ((me * 7) % 5) as f64 * 0.05);
+            if i > 0 {
+                coo.push(me, id(i - 1, j), -1.0);
+            }
+            if i + 1 < nx {
+                coo.push(me, id(i + 1, j), -1.0);
+            }
+            if j > 0 {
+                coo.push(me, id(i, j - 1), -1.0);
+            }
+            if j + 1 < ny {
+                coo.push(me, id(i, j + 1), -1.0);
+            }
+        }
+    }
+    let a = coo.to_csr();
+    let b: Vec<f64> = (0..n).map(|i| ((i * 5) % 11) as f64 - 5.0).collect();
+    let perm = FillOrdering::NestedDissection.permutation(&a);
+    for &kernel in KernelChoice::available() {
+        for chunk_work in [SupernodalOptions::default().chunk_work, 512] {
+            let opts = SupernodalOptions {
+                kernel,
+                chunk_work,
+                ..SupernodalOptions::default()
+            };
+            let factor = |cap: usize| {
+                WorkPool::new(cap).install(|| {
+                    SupernodalCholesky::factor_with_permutation(&a, perm.clone(), &opts)
+                        .expect("SPD")
+                })
+            };
+            let reference = factor(REFERENCE_CAP);
+            assert_eq!(reference.kernel_name(), kernel.resolved_name());
+            let x_ref = reference.solve(&b);
+            for cap in CAPS {
+                let parallel = factor(cap);
+                assert!(parallel.factor_workers() <= cap);
+                let label = format!(
+                    "{} factor (chunk_work {chunk_work})",
+                    kernel.resolved_name()
+                );
+                assert_bitwise(
+                    &label,
+                    cap,
+                    reference.factor_values(),
+                    parallel.factor_values(),
+                );
+                assert_bitwise(&label, cap, &x_ref, &parallel.solve(&b));
             }
         }
     }

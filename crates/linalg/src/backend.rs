@@ -209,6 +209,14 @@ pub struct SolveReport {
     /// balance; `None` for iterative engines and for the scalar reference
     /// kernel.
     pub supernode_stats: Option<SupernodeStats>,
+    /// Resolved [`DenseKernel`](crate::DenseKernel) name (`"scalar"`,
+    /// `"blocked"`, `"avx2"`) behind the supernodal factorization this
+    /// solve ran on — after runtime CPU-feature dispatch, so it reports
+    /// what actually executed. `None` for the iterative engines and the
+    /// scalar up-looking reference factorization, which do not route
+    /// through the microkernel layer; for the sharded engine, the kernel
+    /// of the interior block factors.
+    pub kernel: Option<&'static str>,
     /// Interior shards of the [`Sharded`](crate::Sharded) backend behind
     /// this solve (1 for every monolithic backend).
     pub shards: usize,
@@ -310,6 +318,15 @@ impl DirectFactor {
         match self {
             DirectFactor::Scalar(_) => None,
             DirectFactor::Supernodal(chol) => Some(chol.stats()),
+        }
+    }
+
+    /// Resolved microkernel name (`None` for the scalar up-looking
+    /// reference factorization, which predates the kernel layer).
+    fn kernel_name(&self) -> Option<&'static str> {
+        match self {
+            DirectFactor::Scalar(_) => None,
+            DirectFactor::Supernodal(chol) => Some(chol.kernel_name()),
         }
     }
 
@@ -495,6 +512,19 @@ impl PreparedSolver {
         }
     }
 
+    /// Resolved dense-microkernel name (`"scalar"`, `"blocked"`, `"avx2"`)
+    /// behind the supernodal factorization — after runtime CPU-feature
+    /// dispatch. `None` for the iterative engines and the scalar
+    /// up-looking reference factorization; the interior-block kernel for
+    /// the sharded engine.
+    pub fn kernel_name(&self) -> Option<&'static str> {
+        match &self.engine {
+            Engine::Direct(factor) => factor.kernel_name(),
+            Engine::Sharded(schur) => schur.kernel_name(),
+            _ => None,
+        }
+    }
+
     fn solve_one(&self, b: &[f64]) -> EngineResult {
         match &self.engine {
             Engine::Direct(factor) => Ok((factor.solve(b), None, None)),
@@ -548,6 +578,7 @@ impl PreparedSolver {
                 workers: 1,
                 factor_workers: self.factor_workers(),
                 supernode_stats: self.supernode_stats(),
+                kernel: self.kernel_name(),
                 shards,
                 interface_dofs,
                 shard_factor_bytes,
@@ -613,6 +644,7 @@ impl PreparedSolver {
                     workers,
                     factor_workers: schur.factor_workers(),
                     supernode_stats: None,
+                    kernel: schur.kernel_name(),
                     shards: schur.num_shards(),
                     interface_dofs: schur.interface_dofs(),
                     shard_factor_bytes: schur.shard_factor_bytes(),
@@ -671,6 +703,7 @@ impl PreparedSolver {
                 workers,
                 factor_workers: self.factor_workers(),
                 supernode_stats: None,
+                kernel: None,
                 shards: 1,
                 interface_dofs: 0,
                 shard_factor_bytes: 0,
@@ -736,6 +769,7 @@ impl PreparedSolver {
                 workers,
                 factor_workers: factor.factor_workers(),
                 supernode_stats: stats,
+                kernel: factor.kernel_name(),
                 shards: 1,
                 interface_dofs: 0,
                 shard_factor_bytes: 0,
@@ -900,6 +934,11 @@ impl SolverBackend for DirectCholesky {
         // is deliberately absent: serial and parallel factorization produce
         // bitwise-identical factors, so the two configs can share one cache
         // entry.
+        // The dense microkernel *is* part of the key: kernels differ in
+        // rounding (fused vs separate multiply-add), so two kernel configs
+        // produce different factor bits and must not share a cache entry.
+        // Fingerprinted by *resolved* kernel, so `Simd` on a non-AVX2 host
+        // shares the entry of the kernel it actually falls back to.
         0x10 ^ kernel.rotate_left(8)
             ^ self.ordering.fingerprint().rotate_left(12)
             ^ (self.panel_width as u64).rotate_left(24)
@@ -907,6 +946,7 @@ impl SolverBackend for DirectCholesky {
             ^ self.supernodal.relax.to_bits().rotate_left(48)
             ^ (self.supernodal.small_width as u64).rotate_left(56)
             ^ self.supernodal.chunk_work.rotate_left(16)
+            ^ self.supernodal.kernel.fingerprint().rotate_left(4)
     }
 }
 

@@ -4,6 +4,7 @@
 //! operators (n×n with n ≈ 24…456, Eq. 16 of the paper) and the interpolation
 //! matrix `L`. Row-major storage.
 
+use crate::kernel::{BlockedKernel, DenseKernel};
 use crate::{LinalgError, MemoryFootprint};
 
 /// A dense row-major `rows × cols` matrix of `f64`.
@@ -141,11 +142,9 @@ impl DenseMatrix {
                 if aik == 0.0 {
                     continue;
                 }
-                let brow = b.row(k);
-                let crow = c.row_mut(i);
-                for (cj, bj) in crow.iter_mut().zip(brow) {
-                    *cj += aik * bj;
-                }
+                // Row-major matmul is a sequence of row axpys — hand them
+                // to the blocked microkernel.
+                BlockedKernel.axpy(aik, b.row(k), c.row_mut(i));
             }
         }
         c
@@ -228,9 +227,7 @@ impl DenseMatrix {
                     let (top, bottom) = lu.data.split_at_mut(i * n);
                     let krow = &top[k * n..k * n + n];
                     let irow = &mut bottom[..n];
-                    for j in (k + 1)..n {
-                        irow[j] -= m * krow[j];
-                    }
+                    BlockedKernel.axpy(-m, &krow[(k + 1)..], &mut irow[(k + 1)..]);
                 }
             }
         }
@@ -283,20 +280,15 @@ impl DenseLu {
                 found: b.len(),
             });
         }
-        // Apply the row permutation, then forward/backward substitution.
+        // Apply the row permutation, then forward/backward substitution —
+        // each inner contraction one blocked-kernel dot over the stored row.
         let mut x: Vec<f64> = self.piv.iter().map(|&p| b[p]).collect();
         for i in 1..n {
-            let mut s = x[i];
-            for j in 0..i {
-                s -= self.lu[(i, j)] * x[j];
-            }
-            x[i] = s;
+            let s = BlockedKernel.dot(&self.lu.row(i)[..i], &x[..i]);
+            x[i] -= s;
         }
         for i in (0..n).rev() {
-            let mut s = x[i];
-            for j in (i + 1)..n {
-                s -= self.lu[(i, j)] * x[j];
-            }
+            let s = x[i] - BlockedKernel.dot(&self.lu.row(i)[(i + 1)..], &x[(i + 1)..]);
             x[i] = s / self.lu[(i, i)];
         }
         Ok(x)

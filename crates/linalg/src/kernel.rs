@@ -1,0 +1,1084 @@
+//! Swappable dense microkernels for the supernodal flop core.
+//!
+//! Every hot path in this crate — the supernodal rank-k panel updates, the
+//! dense diagonal-block Cholesky, the blocked triangular sweeps, the Schur
+//! clique condensation, and the Krylov dot/axpy primitives — funnels its
+//! floating-point work through the [`DenseKernel`] trait defined here.
+//! Three implementations are provided:
+//!
+//! * [`ScalarKernel`] — the original plain slice loops, extracted verbatim
+//!   from `supernodal.rs`. This is the differential oracle: every other
+//!   kernel is pinned against it to ≤1e-12 by proptests.
+//! * [`BlockedKernel`] — register-tiled, k-unrolled loops written around
+//!   explicit [`f64::mul_add`] so LLVM autovectorizes them (the default).
+//!   On x86-64 the bodies are compiled twice — once generic, once under
+//!   `#[target_feature(enable = "fma")]` — and dispatched at runtime via
+//!   `is_x86_feature_detected!`, so `mul_add` lowers to a hardware fused
+//!   multiply-add instead of a libm call wherever the CPU supports it.
+//!   Because `mul_add` is *exactly rounded* regardless of how it is
+//!   lowered, both paths produce bitwise-identical results: the kernel's
+//!   output does not depend on the host CPU.
+//! * [`SimdKernel`] — hand-written `core::arch` x86-64 AVX2/FMA
+//!   intrinsics for the bandwidth-bound entry points, behind the optional
+//!   `simd` cargo feature, with a runtime `is_x86_feature_detected!`
+//!   dispatch that falls back to [`ScalarKernel`] on CPUs without AVX2.
+//!
+//! # Determinism contract
+//!
+//! Each kernel is individually deterministic: for a fixed kernel choice
+//! the same inputs always produce the same bits, on any thread schedule
+//! and (for `Scalar` and `Blocked`) on any host CPU. This is what lets
+//! the parallel supernodal factorization stay bitwise pool-cap-invariant
+//! *per kernel*. Different kernels associate sums differently (and the
+//! fused multiply-add rounds differently from separate multiply/add), so
+//! **changing the kernel changes the result bits** — the kernel choice is
+//! therefore part of the [`FactorCache`](crate::FactorCache) config
+//! fingerprint, and cross-kernel agreement is pinned only to ≤1e-12.
+
+/// Dense panel microkernel: the flop-bearing inner loops of the
+/// supernodal factorization and triangular sweeps, plus the dot/axpy
+/// primitives the Krylov solvers share.
+///
+/// All panels are column-major with leading dimension = panel height, the
+/// layout `supernodal.rs` stores. Implementations must be deterministic
+/// (fixed inputs → fixed bits); see the module-level docs in `kernel.rs`
+/// for the exact contract.
+pub trait DenseKernel: Send + Sync {
+    /// Stable identifier recorded in [`SolveReport`](crate::SolveReport)
+    /// and the bench artifacts (`"scalar"`, `"blocked"`, `"avx2"`).
+    fn name(&self) -> &'static str;
+
+    /// Dot product `x · y`. Slices must have equal length.
+    fn dot(&self, x: &[f64], y: &[f64]) -> f64;
+
+    /// `y ← y + alpha·x`. Slices must have equal length.
+    fn axpy(&self, alpha: f64, x: &[f64], y: &mut [f64]);
+
+    /// Rank-`wd` symmetric update block of the supernodal left-looking
+    /// sweep: with `g_k = panel[k·m + lo .. k·m + m]` (the tail of
+    /// descendant column `k` at row offset `lo`) and `mu = m - lo`,
+    /// accumulates
+    ///
+    /// ```text
+    /// update[j·mu + i] += Σ_{k<wd} g_k[j] · g_k[i]    (j < wj, i < mu)
+    /// ```
+    ///
+    /// i.e. `update += Gᵀ·G` restricted to its first `wj` columns. The
+    /// caller zeroes (or owns) `update`, which must hold `wj·mu` entries;
+    /// the caller also scatters the result through its relative-index
+    /// maps, so the kernel only ever touches contiguous slices.
+    fn rank_update(
+        &self,
+        update: &mut [f64],
+        panel: &[f64],
+        m: usize,
+        lo: usize,
+        wj: usize,
+        wd: usize,
+    );
+
+    /// Dense left-looking Cholesky of the leading `w × w` block of a
+    /// `w`-column panel of height `m`, updating the below-diagonal rows in
+    /// the same pass (exactly the in-panel factorization of
+    /// `supernodal.rs`). On a non-positive or non-finite pivot returns
+    /// `Err((j, pivot))` with the *panel-local* column index `j`.
+    ///
+    /// # Errors
+    ///
+    /// `Err((j, pivot))` when the pivot of local column `j` is not
+    /// strictly positive and finite.
+    fn factor_panel(&self, panel: &mut [f64], m: usize, w: usize) -> Result<(), (usize, f64)>;
+
+    /// Forward substitution on the dense `w × w` lower-triangular
+    /// diagonal block of a panel of height `m`: solves `L₁₁ y = x` in
+    /// place, where `x` is the `w`-entry slice of the right-hand side
+    /// owned by this supernode.
+    fn solve_lower(&self, panel: &[f64], m: usize, w: usize, x: &mut [f64]);
+
+    /// Below-diagonal mat-vec of the forward sweep: overwrites `acc`
+    /// (length `m - w`) with `L₂₁ · y`, where `y` is the `w`-entry
+    /// diagonal-block solution and `L₂₁` the rows `w..m` of the panel.
+    /// The caller scatters `acc` into the global right-hand side.
+    fn below_accumulate(&self, panel: &[f64], m: usize, w: usize, y: &[f64], acc: &mut [f64]);
+
+    /// Backward substitution on the panel: solves `L₁₁ᵀ x = x − L₂₁ᵀ xb`
+    /// in place, where `x` is the `w`-entry diagonal-block slice and `xb`
+    /// (length `m - w`) the already-solved entries gathered from the rows
+    /// below the block.
+    fn solve_lower_transpose(&self, panel: &[f64], m: usize, w: usize, x: &mut [f64], xb: &[f64]);
+}
+
+/// Which [`DenseKernel`] the factorization and solve sweeps run on.
+///
+/// The choice changes the result bits (see the module-level docs in
+/// `kernel.rs`), so
+/// it participates in the backend config fingerprint and is recorded in
+/// [`SolveReport`](crate::SolveReport) / [`SupernodeStats`](crate::SupernodeStats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelChoice {
+    /// [`ScalarKernel`]: the original loops, kept as the differential
+    /// oracle.
+    Scalar,
+    /// [`BlockedKernel`]: unrolled `mul_add` tiles, autovectorized — the
+    /// default.
+    #[default]
+    Blocked,
+    /// `SimdKernel`: AVX2/FMA intrinsics when built with the `simd`
+    /// feature *and* the CPU supports them; resolves to
+    /// [`ScalarKernel`] otherwise (so the variant is always safe to
+    /// request).
+    Simd,
+}
+
+impl KernelChoice {
+    /// Resolves the choice to a kernel instance. [`KernelChoice::Simd`]
+    /// resolves at runtime: AVX2+FMA hardware (under the `simd` feature)
+    /// gets the intrinsics kernel, anything else the scalar fallback.
+    pub fn kernel(self) -> &'static dyn DenseKernel {
+        match self {
+            KernelChoice::Scalar => &ScalarKernel,
+            KernelChoice::Blocked => &BlockedKernel,
+            KernelChoice::Simd => {
+                #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+                if avx2_fma_detected() {
+                    return &SimdKernel;
+                }
+                &ScalarKernel
+            }
+        }
+    }
+
+    /// The name of the kernel this choice actually resolves to on this
+    /// host (`"scalar"`, `"blocked"`, or `"avx2"`).
+    pub fn resolved_name(self) -> &'static str {
+        self.kernel().name()
+    }
+
+    /// Fingerprint of the *resolved* kernel, folded into backend config
+    /// fingerprints: two choices that produce the same bits (e.g. `Simd`
+    /// falling back to scalar) share a fingerprint, and two that differ
+    /// numerically never do.
+    pub fn fingerprint(self) -> u64 {
+        match self.resolved_name() {
+            "blocked" => 0xb10c_6ed0_4b8d_2f31,
+            "avx2" => 0x51bd_a5e6_0c47_9d13,
+            _ => 0x5ca1_a27b_e581_66f7,
+        }
+    }
+
+    /// Every choice that resolves to a *distinct* kernel on this host, in
+    /// oracle-first order — what the ablation bench and the invariance
+    /// tests iterate.
+    pub fn available() -> &'static [KernelChoice] {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if avx2_fma_detected() {
+            return &[
+                KernelChoice::Scalar,
+                KernelChoice::Blocked,
+                KernelChoice::Simd,
+            ];
+        }
+        &[KernelChoice::Scalar, KernelChoice::Blocked]
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[inline]
+fn avx2_fma_detected() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+
+// ---------------------------------------------------------------------------
+// ScalarKernel — the original loops, verbatim.
+// ---------------------------------------------------------------------------
+
+/// The plain slice loops this crate shipped with, extracted verbatim —
+/// the differential oracle every tuned kernel is tested against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarKernel;
+
+impl DenseKernel for ScalarKernel {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn dot(&self, x: &[f64], y: &[f64]) -> f64 {
+        x.iter().zip(y).map(|(a, b)| a * b).sum()
+    }
+
+    fn axpy(&self, alpha: f64, x: &[f64], y: &mut [f64]) {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+        }
+    }
+
+    fn rank_update(
+        &self,
+        update: &mut [f64],
+        panel: &[f64],
+        m: usize,
+        lo: usize,
+        wj: usize,
+        wd: usize,
+    ) {
+        let mu = m - lo;
+        for k in 0..wd {
+            let gcol = &panel[k * m + lo..k * m + m];
+            for jj in 0..wj {
+                let coef = gcol[jj];
+                if coef == 0.0 {
+                    continue;
+                }
+                let dstcol = &mut update[jj * mu..(jj + 1) * mu];
+                for (di, &gi) in dstcol.iter_mut().zip(gcol) {
+                    *di += coef * gi;
+                }
+            }
+        }
+    }
+
+    fn factor_panel(&self, panel: &mut [f64], m: usize, w: usize) -> Result<(), (usize, f64)> {
+        for j in 0..w {
+            let (head, tail) = panel.split_at_mut(j * m);
+            let colj = &mut tail[..m];
+            for colk in head.chunks_exact(m) {
+                let coef = colk[j]; // L[j, k] in the diagonal block
+                if coef == 0.0 {
+                    continue;
+                }
+                for (x, &lk) in colj[j..].iter_mut().zip(&colk[j..]) {
+                    *x -= coef * lk;
+                }
+            }
+            let d = colj[j];
+            if d <= 0.0 || !d.is_finite() {
+                return Err((j, d));
+            }
+            let piv = d.sqrt();
+            colj[j] = piv;
+            let inv = 1.0 / piv;
+            for x in &mut colj[j + 1..] {
+                *x *= inv;
+            }
+        }
+        Ok(())
+    }
+
+    fn solve_lower(&self, panel: &[f64], m: usize, w: usize, x: &mut [f64]) {
+        for j in 0..w {
+            let col = &panel[j * m..(j + 1) * m];
+            let yj = x[j] / col[j];
+            x[j] = yj;
+            for i in (j + 1)..w {
+                x[i] -= col[i] * yj;
+            }
+        }
+    }
+
+    fn below_accumulate(&self, panel: &[f64], m: usize, w: usize, y: &[f64], acc: &mut [f64]) {
+        acc.iter_mut().for_each(|v| *v = 0.0);
+        for (j, &coef) in y.iter().enumerate().take(w) {
+            if coef == 0.0 {
+                continue;
+            }
+            let col = &panel[j * m + w..(j + 1) * m];
+            for (a, &l) in acc.iter_mut().zip(col) {
+                *a += l * coef;
+            }
+        }
+    }
+
+    fn solve_lower_transpose(&self, panel: &[f64], m: usize, w: usize, x: &mut [f64], xb: &[f64]) {
+        for j in (0..w).rev() {
+            let col = &panel[j * m..(j + 1) * m];
+            let mut acc = x[j];
+            for (&l, &xi) in col[w..].iter().zip(xb.iter()) {
+                acc -= l * xi;
+            }
+            for i in (j + 1)..w {
+                acc -= col[i] * x[i];
+            }
+            x[j] = acc / col[j];
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BlockedKernel — unrolled mul_add tiles, FMA-dispatched.
+// ---------------------------------------------------------------------------
+
+/// Register-tiled kernel: the loops are unrolled over the rank dimension
+/// (4 descendant columns per pass) and written around [`f64::mul_add`] so
+/// LLVM turns the inner row loops into packed FMA streams. See the
+/// module-level docs in `kernel.rs` for the FMA runtime-dispatch scheme
+/// and why the result bits are host-independent.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlockedKernel;
+
+/// Generates the `BlockedKernel` trait methods: each one dispatches to
+/// the `fma::` re-export of the shared body when the CPU supports fused
+/// multiply-add (so `mul_add` compiles to a single instruction), and to
+/// the generic body (libm `fma`, same bits) otherwise.
+macro_rules! blocked_dispatch {
+    ($body:ident ( $($arg:expr),* )) => {{
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("fma") {
+            // SAFETY: FMA support was just verified at runtime.
+            return unsafe { fma::$body($($arg),*) };
+        }
+        body::$body($($arg),*)
+    }};
+}
+
+impl DenseKernel for BlockedKernel {
+    fn name(&self) -> &'static str {
+        "blocked"
+    }
+
+    fn dot(&self, x: &[f64], y: &[f64]) -> f64 {
+        blocked_dispatch!(dot(x, y))
+    }
+
+    fn axpy(&self, alpha: f64, x: &[f64], y: &mut [f64]) {
+        blocked_dispatch!(axpy(alpha, x, y))
+    }
+
+    fn rank_update(
+        &self,
+        update: &mut [f64],
+        panel: &[f64],
+        m: usize,
+        lo: usize,
+        wj: usize,
+        wd: usize,
+    ) {
+        blocked_dispatch!(rank_update(update, panel, m, lo, wj, wd))
+    }
+
+    fn factor_panel(&self, panel: &mut [f64], m: usize, w: usize) -> Result<(), (usize, f64)> {
+        blocked_dispatch!(factor_panel(panel, m, w))
+    }
+
+    fn solve_lower(&self, panel: &[f64], m: usize, w: usize, x: &mut [f64]) {
+        blocked_dispatch!(solve_lower(panel, m, w, x))
+    }
+
+    fn below_accumulate(&self, panel: &[f64], m: usize, w: usize, y: &[f64], acc: &mut [f64]) {
+        blocked_dispatch!(below_accumulate(panel, m, w, y, acc))
+    }
+
+    fn solve_lower_transpose(&self, panel: &[f64], m: usize, w: usize, x: &mut [f64], xb: &[f64]) {
+        blocked_dispatch!(solve_lower_transpose(panel, m, w, x, xb))
+    }
+}
+
+/// The blocked loop bodies, written once and compiled under two feature
+/// sets (generic here, FMA-enabled in [`fma`]). Everything is
+/// `#[inline(always)]` so the `target_feature` wrappers specialize the
+/// whole body, not just a call.
+mod body {
+    /// Four-lane accumulator dot; the fixed reduction tree keeps the
+    /// result schedule-independent.
+    #[inline(always)]
+    pub(super) fn dot(x: &[f64], y: &[f64]) -> f64 {
+        let n = x.len();
+        let quads = n / 4;
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0, 0.0, 0.0);
+        for q in 0..quads {
+            let b = 4 * q;
+            s0 = x[b].mul_add(y[b], s0);
+            s1 = x[b + 1].mul_add(y[b + 1], s1);
+            s2 = x[b + 2].mul_add(y[b + 2], s2);
+            s3 = x[b + 3].mul_add(y[b + 3], s3);
+        }
+        let mut tail = 0.0f64;
+        for i in 4 * quads..n {
+            tail = x[i].mul_add(y[i], tail);
+        }
+        ((s0 + s1) + (s2 + s3)) + tail
+    }
+
+    #[inline(always)]
+    pub(super) fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+        for (yi, &xi) in y.iter_mut().zip(x) {
+            *yi = alpha.mul_add(xi, *yi);
+        }
+    }
+
+    #[inline(always)]
+    pub(super) fn rank_update(
+        update: &mut [f64],
+        panel: &[f64],
+        m: usize,
+        lo: usize,
+        wj: usize,
+        wd: usize,
+    ) {
+        let mu = m - lo;
+        let mut k = 0;
+        // Four rank-1 terms per pass: each destination element chains four
+        // fused multiply-adds while independent rows fill the FMA pipes.
+        while k + 4 <= wd {
+            let g0 = &panel[k * m + lo..k * m + m];
+            let g1 = &panel[(k + 1) * m + lo..(k + 1) * m + m];
+            let g2 = &panel[(k + 2) * m + lo..(k + 2) * m + m];
+            let g3 = &panel[(k + 3) * m + lo..(k + 3) * m + m];
+            for jj in 0..wj {
+                let (c0, c1, c2, c3) = (g0[jj], g1[jj], g2[jj], g3[jj]);
+                let dstcol = &mut update[jj * mu..(jj + 1) * mu];
+                for i in 0..mu {
+                    dstcol[i] = c3.mul_add(
+                        g3[i],
+                        c2.mul_add(g2[i], c1.mul_add(g1[i], c0.mul_add(g0[i], dstcol[i]))),
+                    );
+                }
+            }
+            k += 4;
+        }
+        while k < wd {
+            let g0 = &panel[k * m + lo..k * m + m];
+            for jj in 0..wj {
+                let c0 = g0[jj];
+                let dstcol = &mut update[jj * mu..(jj + 1) * mu];
+                for (di, &gi) in dstcol.iter_mut().zip(g0) {
+                    *di = c0.mul_add(gi, *di);
+                }
+            }
+            k += 1;
+        }
+    }
+
+    #[inline(always)]
+    pub(super) fn factor_panel(panel: &mut [f64], m: usize, w: usize) -> Result<(), (usize, f64)> {
+        for j in 0..w {
+            let (head, tail) = panel.split_at_mut(j * m);
+            let colj = &mut tail[..m];
+            // Two prior columns per pass over the update tail.
+            let mut k = 0;
+            while k + 2 <= j {
+                let ck0 = &head[k * m..(k + 1) * m];
+                let ck1 = &head[(k + 1) * m..(k + 2) * m];
+                let (c0, c1) = (ck0[j], ck1[j]);
+                for i in j..m {
+                    colj[i] = (-c1).mul_add(ck1[i], (-c0).mul_add(ck0[i], colj[i]));
+                }
+                k += 2;
+            }
+            if k < j {
+                let ck = &head[k * m..(k + 1) * m];
+                let c = ck[j];
+                for i in j..m {
+                    colj[i] = (-c).mul_add(ck[i], colj[i]);
+                }
+            }
+            let d = colj[j];
+            if d <= 0.0 || !d.is_finite() {
+                return Err((j, d));
+            }
+            let piv = d.sqrt();
+            colj[j] = piv;
+            let inv = 1.0 / piv;
+            for x in &mut colj[j + 1..] {
+                *x *= inv;
+            }
+        }
+        Ok(())
+    }
+
+    #[inline(always)]
+    pub(super) fn solve_lower(panel: &[f64], m: usize, w: usize, x: &mut [f64]) {
+        for j in 0..w {
+            let col = &panel[j * m..(j + 1) * m];
+            let yj = x[j] / col[j];
+            x[j] = yj;
+            for i in (j + 1)..w {
+                x[i] = (-yj).mul_add(col[i], x[i]);
+            }
+        }
+    }
+
+    #[inline(always)]
+    pub(super) fn below_accumulate(panel: &[f64], m: usize, w: usize, y: &[f64], acc: &mut [f64]) {
+        acc.iter_mut().for_each(|v| *v = 0.0);
+        let mut j = 0;
+        while j + 4 <= w {
+            let (c0, c1, c2, c3) = (y[j], y[j + 1], y[j + 2], y[j + 3]);
+            let l0 = &panel[j * m + w..(j + 1) * m];
+            let l1 = &panel[(j + 1) * m + w..(j + 2) * m];
+            let l2 = &panel[(j + 2) * m + w..(j + 3) * m];
+            let l3 = &panel[(j + 3) * m + w..(j + 4) * m];
+            for i in 0..acc.len() {
+                acc[i] = c3.mul_add(
+                    l3[i],
+                    c2.mul_add(l2[i], c1.mul_add(l1[i], c0.mul_add(l0[i], acc[i]))),
+                );
+            }
+            j += 4;
+        }
+        while j < w {
+            let coef = y[j];
+            let col = &panel[j * m + w..(j + 1) * m];
+            for (a, &l) in acc.iter_mut().zip(col) {
+                *a = coef.mul_add(l, *a);
+            }
+            j += 1;
+        }
+    }
+
+    #[inline(always)]
+    pub(super) fn solve_lower_transpose(
+        panel: &[f64],
+        m: usize,
+        w: usize,
+        x: &mut [f64],
+        xb: &[f64],
+    ) {
+        for j in (0..w).rev() {
+            let col = &panel[j * m..(j + 1) * m];
+            let mut acc = x[j] - dot(&col[w..], xb);
+            for i in (j + 1)..w {
+                acc = (-col[i]).mul_add(x[i], acc);
+            }
+            x[j] = acc / col[j];
+        }
+    }
+}
+
+/// `#[target_feature(enable = "fma")]` instantiations of the [`body`]
+/// loops: identical source, compiled with hardware fused multiply-add so
+/// `mul_add` never falls back to libm. Bitwise-identical output (fused
+/// multiply-add is exactly rounded either way); purely a speed dispatch.
+#[cfg(target_arch = "x86_64")]
+mod fma {
+    use super::body;
+
+    /// Re-exports one body under the FMA feature set.
+    macro_rules! fma_variant {
+        ($name:ident ( $($arg:ident : $ty:ty),* ) $(-> $ret:ty)?) => {
+            /// # Safety
+            ///
+            /// The caller must have verified FMA support at runtime.
+            #[target_feature(enable = "fma")]
+            pub(super) unsafe fn $name($($arg: $ty),*) $(-> $ret)? {
+                body::$name($($arg),*)
+            }
+        };
+    }
+
+    fma_variant!(dot(x: &[f64], y: &[f64]) -> f64);
+    fma_variant!(axpy(alpha: f64, x: &[f64], y: &mut [f64]));
+    fma_variant!(rank_update(
+        update: &mut [f64],
+        panel: &[f64],
+        m: usize,
+        lo: usize,
+        wj: usize,
+        wd: usize
+    ));
+    fma_variant!(factor_panel(panel: &mut [f64], m: usize, w: usize) -> Result<(), (usize, f64)>);
+    fma_variant!(solve_lower(panel: &[f64], m: usize, w: usize, x: &mut [f64]));
+    fma_variant!(below_accumulate(
+        panel: &[f64],
+        m: usize,
+        w: usize,
+        y: &[f64],
+        acc: &mut [f64]
+    ));
+    fma_variant!(solve_lower_transpose(
+        panel: &[f64],
+        m: usize,
+        w: usize,
+        x: &mut [f64],
+        xb: &[f64]
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// SimdKernel — AVX2/FMA intrinsics (optional `simd` feature).
+// ---------------------------------------------------------------------------
+
+/// Hand-vectorized AVX2/FMA kernel for the bandwidth-bound entry points
+/// (rank-k update, dot, axpy, below-block mat-vec); the short triangular
+/// loops delegate to [`BlockedKernel`], whose FMA path emits the same
+/// instructions there. Methods verify CPU support at runtime and fall
+/// back to [`ScalarKernel`] when AVX2/FMA is absent, so direct calls are
+/// sound on any x86-64 host; [`KernelChoice::Simd`] performs the same
+/// check once at resolution time.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimdKernel;
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+impl DenseKernel for SimdKernel {
+    fn name(&self) -> &'static str {
+        "avx2"
+    }
+
+    fn dot(&self, x: &[f64], y: &[f64]) -> f64 {
+        if avx2_fma_detected() {
+            // SAFETY: AVX2+FMA support was just verified at runtime.
+            unsafe { avx::dot(x, y) }
+        } else {
+            ScalarKernel.dot(x, y)
+        }
+    }
+
+    fn axpy(&self, alpha: f64, x: &[f64], y: &mut [f64]) {
+        if avx2_fma_detected() {
+            // SAFETY: AVX2+FMA support was just verified at runtime.
+            unsafe { avx::axpy(alpha, x, y) }
+        } else {
+            ScalarKernel.axpy(alpha, x, y)
+        }
+    }
+
+    fn rank_update(
+        &self,
+        update: &mut [f64],
+        panel: &[f64],
+        m: usize,
+        lo: usize,
+        wj: usize,
+        wd: usize,
+    ) {
+        if avx2_fma_detected() {
+            // SAFETY: AVX2+FMA support was just verified at runtime.
+            unsafe { avx::rank_update(update, panel, m, lo, wj, wd) }
+        } else {
+            ScalarKernel.rank_update(update, panel, m, lo, wj, wd)
+        }
+    }
+
+    fn factor_panel(&self, panel: &mut [f64], m: usize, w: usize) -> Result<(), (usize, f64)> {
+        if avx2_fma_detected() {
+            BlockedKernel.factor_panel(panel, m, w)
+        } else {
+            ScalarKernel.factor_panel(panel, m, w)
+        }
+    }
+
+    fn solve_lower(&self, panel: &[f64], m: usize, w: usize, x: &mut [f64]) {
+        if avx2_fma_detected() {
+            BlockedKernel.solve_lower(panel, m, w, x)
+        } else {
+            ScalarKernel.solve_lower(panel, m, w, x)
+        }
+    }
+
+    fn below_accumulate(&self, panel: &[f64], m: usize, w: usize, y: &[f64], acc: &mut [f64]) {
+        if avx2_fma_detected() {
+            // SAFETY: AVX2+FMA support was just verified at runtime.
+            unsafe { avx::below_accumulate(panel, m, w, y, acc) }
+        } else {
+            ScalarKernel.below_accumulate(panel, m, w, y, acc)
+        }
+    }
+
+    fn solve_lower_transpose(&self, panel: &[f64], m: usize, w: usize, x: &mut [f64], xb: &[f64]) {
+        if avx2_fma_detected() {
+            BlockedKernel.solve_lower_transpose(panel, m, w, x, xb)
+        } else {
+            ScalarKernel.solve_lower_transpose(panel, m, w, x, xb)
+        }
+    }
+}
+
+/// The AVX2/FMA loop bodies. Every function requires the caller to have
+/// verified `avx2` and `fma` CPU support.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx {
+    use core::arch::x86_64::{
+        __m256d, _mm256_add_pd, _mm256_castpd256_pd128, _mm256_extractf128_pd, _mm256_fmadd_pd,
+        _mm256_loadu_pd, _mm256_set1_pd, _mm256_setzero_pd, _mm256_storeu_pd, _mm_add_pd,
+        _mm_add_sd, _mm_cvtsd_f64, _mm_unpackhi_pd,
+    };
+
+    /// Horizontal sum of one 4-lane register (fixed lane order, so the
+    /// reduction stays deterministic).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn hsum(v: __m256d) -> f64 {
+        let lo = _mm256_castpd256_pd128(v);
+        let hi = _mm256_extractf128_pd(v, 1);
+        let s = _mm_add_pd(lo, hi);
+        _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)))
+    }
+
+    /// Two-register-accumulator dot product with a `mul_add` scalar tail.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn dot(x: &[f64], y: &[f64]) -> f64 {
+        let n = x.len().min(y.len());
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let mut i = 0;
+        while i + 8 <= n {
+            acc0 = _mm256_fmadd_pd(
+                _mm256_loadu_pd(x.as_ptr().add(i)),
+                _mm256_loadu_pd(y.as_ptr().add(i)),
+                acc0,
+            );
+            acc1 = _mm256_fmadd_pd(
+                _mm256_loadu_pd(x.as_ptr().add(i + 4)),
+                _mm256_loadu_pd(y.as_ptr().add(i + 4)),
+                acc1,
+            );
+            i += 8;
+        }
+        if i + 4 <= n {
+            acc0 = _mm256_fmadd_pd(
+                _mm256_loadu_pd(x.as_ptr().add(i)),
+                _mm256_loadu_pd(y.as_ptr().add(i)),
+                acc0,
+            );
+            i += 4;
+        }
+        let mut sum = hsum(_mm256_add_pd(acc0, acc1));
+        while i < n {
+            sum = x[i].mul_add(y[i], sum);
+            i += 1;
+        }
+        sum
+    }
+
+    /// Packed `y ← y + alpha·x`.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+        let n = x.len().min(y.len());
+        let av = _mm256_set1_pd(alpha);
+        let mut i = 0;
+        while i + 4 <= n {
+            let yv = _mm256_fmadd_pd(
+                av,
+                _mm256_loadu_pd(x.as_ptr().add(i)),
+                _mm256_loadu_pd(y.as_ptr().add(i)),
+            );
+            _mm256_storeu_pd(y.as_mut_ptr().add(i), yv);
+            i += 4;
+        }
+        while i < n {
+            y[i] = alpha.mul_add(x[i], y[i]);
+            i += 1;
+        }
+    }
+
+    /// Rank-k update, two rank-1 terms per pass, 4 rows per register.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA; same slice contract as
+    /// [`DenseKernel::rank_update`](super::DenseKernel::rank_update).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn rank_update(
+        update: &mut [f64],
+        panel: &[f64],
+        m: usize,
+        lo: usize,
+        wj: usize,
+        wd: usize,
+    ) {
+        let mu = m - lo;
+        let mut k = 0;
+        while k + 2 <= wd {
+            let g0 = &panel[k * m + lo..k * m + m];
+            let g1 = &panel[(k + 1) * m + lo..(k + 1) * m + m];
+            for jj in 0..wj {
+                let c0 = _mm256_set1_pd(g0[jj]);
+                let c1 = _mm256_set1_pd(g1[jj]);
+                let dstcol = &mut update[jj * mu..(jj + 1) * mu];
+                let mut i = 0;
+                while i + 4 <= mu {
+                    let mut acc = _mm256_loadu_pd(dstcol.as_ptr().add(i));
+                    acc = _mm256_fmadd_pd(c0, _mm256_loadu_pd(g0.as_ptr().add(i)), acc);
+                    acc = _mm256_fmadd_pd(c1, _mm256_loadu_pd(g1.as_ptr().add(i)), acc);
+                    _mm256_storeu_pd(dstcol.as_mut_ptr().add(i), acc);
+                    i += 4;
+                }
+                while i < mu {
+                    dstcol[i] = g1[jj].mul_add(g1[i], g0[jj].mul_add(g0[i], dstcol[i]));
+                    i += 1;
+                }
+            }
+            k += 2;
+        }
+        if k < wd {
+            let g0 = &panel[k * m + lo..k * m + m];
+            for jj in 0..wj {
+                let c0 = _mm256_set1_pd(g0[jj]);
+                let dstcol = &mut update[jj * mu..(jj + 1) * mu];
+                let mut i = 0;
+                while i + 4 <= mu {
+                    let acc = _mm256_fmadd_pd(
+                        c0,
+                        _mm256_loadu_pd(g0.as_ptr().add(i)),
+                        _mm256_loadu_pd(dstcol.as_ptr().add(i)),
+                    );
+                    _mm256_storeu_pd(dstcol.as_mut_ptr().add(i), acc);
+                    i += 4;
+                }
+                while i < mu {
+                    dstcol[i] = g0[jj].mul_add(g0[i], dstcol[i]);
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Below-block mat-vec `acc = L₂₁ · y`, two columns per pass.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA; same slice contract as
+    /// [`DenseKernel::below_accumulate`](super::DenseKernel::below_accumulate).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn below_accumulate(
+        panel: &[f64],
+        m: usize,
+        w: usize,
+        y: &[f64],
+        acc: &mut [f64],
+    ) {
+        acc.iter_mut().for_each(|v| *v = 0.0);
+        let mb = acc.len();
+        let mut j = 0;
+        while j + 2 <= w {
+            let c0 = _mm256_set1_pd(y[j]);
+            let c1 = _mm256_set1_pd(y[j + 1]);
+            let l0 = &panel[j * m + w..(j + 1) * m];
+            let l1 = &panel[(j + 1) * m + w..(j + 2) * m];
+            let mut i = 0;
+            while i + 4 <= mb {
+                let mut av = _mm256_loadu_pd(acc.as_ptr().add(i));
+                av = _mm256_fmadd_pd(c0, _mm256_loadu_pd(l0.as_ptr().add(i)), av);
+                av = _mm256_fmadd_pd(c1, _mm256_loadu_pd(l1.as_ptr().add(i)), av);
+                _mm256_storeu_pd(acc.as_mut_ptr().add(i), av);
+                i += 4;
+            }
+            while i < mb {
+                acc[i] = y[j + 1].mul_add(l1[i], y[j].mul_add(l0[i], acc[i]));
+                i += 1;
+            }
+            j += 2;
+        }
+        if j < w {
+            let coef = y[j];
+            let col = &panel[j * m + w..(j + 1) * m];
+            for (a, &l) in acc.iter_mut().zip(col) {
+                *a = coef.mul_add(l, *a);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random panel (no external RNG in the test
+    /// sandbox): wd columns of height m, column-major.
+    fn test_panel(m: usize, wd: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+        (0..m * wd)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 2000) as f64 / 1000.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn all_kernels() -> Vec<&'static dyn DenseKernel> {
+        KernelChoice::available()
+            .iter()
+            .map(|c| c.kernel())
+            .collect()
+    }
+
+    fn assert_close(label: &str, a: f64, b: f64, scale: f64) {
+        assert!(
+            (a - b).abs() <= 1e-12 * scale.max(1.0),
+            "{label}: {a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn default_choice_is_blocked() {
+        assert_eq!(KernelChoice::default(), KernelChoice::Blocked);
+        assert_eq!(KernelChoice::Blocked.resolved_name(), "blocked");
+        assert_eq!(KernelChoice::Scalar.resolved_name(), "scalar");
+    }
+
+    #[test]
+    fn fingerprints_follow_resolution() {
+        assert_ne!(
+            KernelChoice::Scalar.fingerprint(),
+            KernelChoice::Blocked.fingerprint()
+        );
+        // Simd either resolves to real AVX2 (own fingerprint) or falls
+        // back to scalar (shared fingerprint) — never to blocked's.
+        let simd = KernelChoice::Simd;
+        if simd.resolved_name() == "scalar" {
+            assert_eq!(simd.fingerprint(), KernelChoice::Scalar.fingerprint());
+        } else {
+            assert_ne!(simd.fingerprint(), KernelChoice::Scalar.fingerprint());
+            assert_ne!(simd.fingerprint(), KernelChoice::Blocked.fingerprint());
+        }
+    }
+
+    #[test]
+    fn available_is_distinct_and_oracle_first() {
+        let avail = KernelChoice::available();
+        assert_eq!(avail[0], KernelChoice::Scalar);
+        assert!(avail.contains(&KernelChoice::Blocked));
+        let names: Vec<_> = avail.iter().map(|c| c.resolved_name()).collect();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names, dedup, "available kernels must be distinct");
+    }
+
+    #[test]
+    fn dot_and_axpy_agree_across_kernels() {
+        for len in [0usize, 1, 3, 4, 7, 8, 31, 64, 129] {
+            let x = test_panel(len.max(1), 1, 11)[..len].to_vec();
+            let y = test_panel(len.max(1), 1, 23)[..len].to_vec();
+            let oracle = ScalarKernel.dot(&x, &y);
+            for kern in all_kernels() {
+                assert_close(
+                    &format!("dot len {len} ({})", kern.name()),
+                    kern.dot(&x, &y),
+                    oracle,
+                    len as f64,
+                );
+                let mut yo = y.clone();
+                let mut yk = y.clone();
+                ScalarKernel.axpy(0.37, &x, &mut yo);
+                kern.axpy(0.37, &x, &mut yk);
+                for (a, b) in yo.iter().zip(&yk) {
+                    assert_close(&format!("axpy len {len} ({})", kern.name()), *b, *a, 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_update_agrees_across_kernels() {
+        // Widths that exercise the unroll remainders: 1, below a tile,
+        // non-multiples of the 4-wide k-unroll, and the width cap.
+        for (m, lo, wj, wd) in [
+            (1usize, 0usize, 1usize, 1usize),
+            (5, 0, 2, 1),
+            (9, 2, 3, 3),
+            (16, 4, 5, 4),
+            (23, 6, 7, 6),
+            (40, 8, 17, 32),
+        ] {
+            let panel = test_panel(m, wd, (m * 31 + wd) as u64);
+            let mu = m - lo;
+            let mut oracle = vec![0.1; wj * mu];
+            ScalarKernel.rank_update(&mut oracle, &panel, m, lo, wj, wd);
+            for kern in all_kernels() {
+                let mut update = vec![0.1; wj * mu];
+                kern.rank_update(&mut update, &panel, m, lo, wj, wd);
+                for (i, (a, b)) in oracle.iter().zip(&update).enumerate() {
+                    assert_close(
+                        &format!("rank_update m{m} wj{wj} wd{wd} [{i}] ({})", kern.name()),
+                        *b,
+                        *a,
+                        wd as f64,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn factor_and_solves_agree_across_kernels() {
+        for (m, w) in [(1usize, 1usize), (6, 3), (13, 5), (40, 32)] {
+            // SPD-ish panel: G·Gᵀ + (m+1)·I on the diagonal block.
+            let g = test_panel(m, m, (m + w) as u64);
+            let mut base = vec![0.0f64; w * m];
+            for j in 0..w {
+                for i in 0..m {
+                    let mut v = 0.0;
+                    for k in 0..m {
+                        v += g[k * m + i] * g[k * m + j];
+                    }
+                    if i == j {
+                        v += (m + 1) as f64;
+                    }
+                    base[j * m + i] = v;
+                }
+            }
+            let rhs = test_panel(m, 1, 97);
+            let mut oracle = base.clone();
+            ScalarKernel
+                .factor_panel(&mut oracle, m, w)
+                .expect("SPD panel");
+            for kern in all_kernels() {
+                let mut panel = base.clone();
+                kern.factor_panel(&mut panel, m, w).expect("SPD panel");
+                for (i, (a, b)) in oracle.iter().zip(&panel).enumerate() {
+                    assert_close(
+                        &format!("factor m{m} w{w} [{i}] ({})", kern.name()),
+                        *b,
+                        *a,
+                        m as f64,
+                    );
+                }
+                // Forward, below mat-vec, and backward on the same factor
+                // (use the oracle factor so only the sweep differs).
+                let mut xo = rhs[..w].to_vec();
+                let mut xk = xo.clone();
+                ScalarKernel.solve_lower(&oracle, m, w, &mut xo);
+                kern.solve_lower(&oracle, m, w, &mut xk);
+                for (a, b) in xo.iter().zip(&xk) {
+                    assert_close(&format!("solve_lower ({})", kern.name()), *b, *a, 1.0);
+                }
+                let mut ao = vec![0.0; m - w];
+                let mut ak = vec![1.0; m - w]; // must be overwritten
+                ScalarKernel.below_accumulate(&oracle, m, w, &xo, &mut ao);
+                kern.below_accumulate(&oracle, m, w, &xo, &mut ak);
+                for (a, b) in ao.iter().zip(&ak) {
+                    assert_close(&format!("below_accumulate ({})", kern.name()), *b, *a, 1.0);
+                }
+                let xb = vec![0.25; m - w];
+                let mut bo = xo.clone();
+                let mut bk = xo.clone();
+                ScalarKernel.solve_lower_transpose(&oracle, m, w, &mut bo, &xb);
+                kern.solve_lower_transpose(&oracle, m, w, &mut bk, &xb);
+                for (a, b) in bo.iter().zip(&bk) {
+                    assert_close(
+                        &format!("solve_lower_transpose ({})", kern.name()),
+                        *b,
+                        *a,
+                        1.0,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_spd_panel_reports_local_column() {
+        let mut panel = vec![0.0f64; 3 * 3];
+        panel[0] = 4.0;
+        panel[4] = -1.0; // column 1 diagonal goes non-positive
+        panel[8] = 1.0;
+        for kern in all_kernels() {
+            let mut p = panel.clone();
+            let err = kern.factor_panel(&mut p, 3, 3).expect_err("indefinite");
+            assert_eq!(err.0, 1, "local column index ({})", kern.name());
+        }
+    }
+}

@@ -10,6 +10,14 @@
 //! * [`SparseCholesky`] — the scalar up-looking sparse Cholesky
 //!   factorization with elimination-tree symbolic analysis; kept as the
 //!   differential-testing oracle behind the blocked kernel.
+//! * [`DenseKernel`] / [`KernelChoice`] — the swappable dense microkernel
+//!   layer (`kernel.rs`) every flop-bearing loop routes through: the
+//!   supernodal rank-k updates, panel Cholesky, triangular sweeps, the
+//!   Schur clique condensation and the Krylov dot/axpy primitives. Three
+//!   implementations: [`ScalarKernel`] (the original loops, the
+//!   differential oracle), [`BlockedKernel`] (unrolled `mul_add` tiles
+//!   with runtime FMA dispatch — the default), and an optional AVX2
+//!   intrinsics kernel behind the `simd` cargo feature.
 //! * [`SupernodalCholesky`] — the supernodal blocked Cholesky the
 //!   `DirectCholesky` backend runs by default: dense column panels from
 //!   relaxed supernode amalgamation, rank-k panel updates, and blocked
@@ -89,6 +97,7 @@ mod cholesky;
 mod dense;
 mod error;
 mod iterative;
+mod kernel;
 mod memory;
 mod ordering;
 mod pool;
@@ -110,6 +119,9 @@ pub use iterative::{
     solve_cg, solve_gmres, CgOptions, GmresOptions, IdentityPreconditioner, IterativeSolution,
     JacobiPreconditioner, Preconditioner, SsorPreconditioner,
 };
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub use kernel::SimdKernel;
+pub use kernel::{BlockedKernel, DenseKernel, KernelChoice, ScalarKernel};
 pub use memory::MemoryFootprint;
 pub use ordering::{
     bandwidth, nested_dissection, reverse_cuthill_mckee, FillOrdering, Permutation, StructureProbe,

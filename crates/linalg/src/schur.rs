@@ -265,6 +265,18 @@ impl SchurSolver {
         Some(total)
     }
 
+    /// Resolved dense-microkernel name of the interior block factors
+    /// (first block that reports one; they all share the inner backend
+    /// configuration, so they resolve identically).
+    pub(crate) fn kernel_name(&self) -> Option<&'static str> {
+        self.blocks
+            .iter()
+            .map(|b| b.solver.kernel_name())
+            .chain(self.interface_solver.iter().map(|s| s.kernel_name()))
+            .flatten()
+            .next()
+    }
+
     /// Peak worker slots any block's numeric factorization used.
     pub(crate) fn factor_workers(&self) -> usize {
         self.blocks
@@ -488,17 +500,23 @@ fn shard_prep_task(
     }
     // E = A_kk⁻¹ A_ks[:, cols] in one batched panel sweep.
     let e = solver.solve_many(&cols_rhs, WorkPool::current().cap())?;
-    // Dense clique C[p][q] = (A_sk E)[cols[p], q].
+    // Dense clique C[p][q] = (A_sk E)[cols[p], q], each entry a sparse·dense
+    // dot: gather the coupled entries of e_q into a contiguous scratch and
+    // hand the contraction to the configured dense microkernel — the same
+    // kernel that factored the interior, so the condensation inherits its
+    // rounding (and the fingerprint split already accounts for it).
+    let kern = inner.supernodal.kernel.kernel();
     let w = cols.len();
     let mut clique = vec![0.0f64; w * w];
+    let mut eg: Vec<f64> = Vec::new();
     for (p, &i) in cols.iter().enumerate() {
         let (cidx, vals) = a_sk.row(i);
+        eg.resize(cidx.len(), 0.0);
         for (q, e_q) in e.xs.iter().enumerate() {
-            let mut acc = 0.0;
-            for (&c, &v) in cidx.iter().zip(vals) {
-                acc += v * e_q[c];
+            for (j, &c) in cidx.iter().enumerate() {
+                eg[j] = e_q[c];
             }
-            clique[p * w + q] = acc;
+            clique[p * w + q] = kern.dot(vals, &eg);
         }
     }
     Ok((solver, cols, clique))

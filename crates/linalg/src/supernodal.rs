@@ -101,6 +101,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 use crate::cholesky::{ereach, etree};
+use crate::kernel::{DenseKernel, KernelChoice};
 use crate::ordering::{tree_metrics, FillOrdering, Permutation, TreeMetrics};
 use crate::pool::TaskDag;
 use crate::{CsrMatrix, LinalgError, MemoryFootprint, WorkPool};
@@ -136,6 +137,13 @@ pub struct SupernodalOptions {
     /// serial and parallel paths always share one partition. Mostly for
     /// tests, which shrink it to force chunking on small operators.
     pub chunk_work: u64,
+    /// Which [`DenseKernel`] runs the flop-bearing loops (rank-k updates,
+    /// panel Cholesky, triangular sweeps). Each kernel is individually
+    /// deterministic — serial and parallel factors stay bitwise identical
+    /// at every pool cap *per kernel* — but different kernels associate
+    /// sums differently, so like `chunk_work` the choice is part of the
+    /// structural configuration and of the cache fingerprint.
+    pub kernel: KernelChoice,
 }
 
 impl Default for SupernodalOptions {
@@ -146,6 +154,7 @@ impl Default for SupernodalOptions {
             small_width: 8,
             parallel: true,
             chunk_work: CHUNK_WORK_BUDGET,
+            kernel: KernelChoice::default(),
         }
     }
 }
@@ -181,6 +190,9 @@ pub struct SupernodeStats {
     /// Mean weight of the parallel units (see
     /// [`max_subtree_weight`](SupernodeStats::max_subtree_weight)).
     pub mean_subtree_weight: f64,
+    /// Resolved name of the [`DenseKernel`] that ran the numeric phase
+    /// (`"scalar"`, `"blocked"`, or `"avx2"`).
+    pub kernel: &'static str,
 }
 
 /// The symbolic analysis of one factorization: supernode partition, row
@@ -221,6 +233,18 @@ struct Symbolic {
     acc_ptr: Vec<usize>,
     /// Total accumulator storage (f64 entries) the chunk tasks need.
     acc_len: usize,
+    /// Chunk-accumulator reduction trees, grouped per panel: panel `s`
+    /// owns combines `cmb_ptr[s]..cmb_ptr[s+1]`; combine `u` folds
+    /// accumulator `cmb_src[u]` into `cmb_dst[u]` element-wise (both are
+    /// global chunk indices). Within a panel the combines form a fixed
+    /// stride-doubling pairwise tree rooted at the panel's first chunk —
+    /// pure structure, independent of worker count — so on wide
+    /// separators the O(chunks) accumulator folds ride log-depth parallel
+    /// tasks instead of the panel task's critical path. Listed in
+    /// stride order, which is the order the serial sweep runs them.
+    cmb_ptr: Vec<usize>,
+    cmb_dst: Vec<usize>,
+    cmb_src: Vec<usize>,
     /// Longest weighted path through the task DAG — the schedule's span.
     critical_path: u64,
     /// Summed task weights.
@@ -430,6 +454,9 @@ impl Symbolic {
         let mut chunk_panel: Vec<usize> = Vec::new();
         let mut acc_ptr: Vec<usize> = Vec::new();
         let mut chunk_weight: Vec<u64> = Vec::new();
+        let mut cmb_ptr = vec![0usize; num_sn + 1];
+        let mut cmb_dst: Vec<usize> = Vec::new();
+        let mut cmb_src: Vec<usize> = Vec::new();
         let mut panel_weight = vec![0u64; num_sn];
         let mut acc_len = 0usize;
         // Structure-only adaptive budget: at least the configured floor,
@@ -466,33 +493,68 @@ impl Symbolic {
                 chunk_weight.push(work.max(1));
             }
             chk_ptr[s + 1] = chunk_lo.len();
+            // Fixed stride-doubling pairwise reduction tree over this
+            // panel's chunks, rooted at the first chunk: the panel task
+            // then subtracts the root accumulator only.
+            let lo_t = chk_ptr[s];
+            let q = chk_ptr[s + 1] - lo_t;
+            let mut stride = 1usize;
+            while stride < q {
+                let mut i = 0;
+                while i + stride < q {
+                    cmb_dst.push(lo_t + i);
+                    cmb_src.push(lo_t + i + stride);
+                    i += 2 * stride;
+                }
+                stride *= 2;
+            }
+            cmb_ptr[s + 1] = cmb_dst.len();
             let nchunks = (chk_ptr[s + 1] - chk_ptr[s]) as u64;
-            // Assembly + streamed updates + element-wise chunk application
-            // + dense in-panel Cholesky.
-            panel_weight[s] =
-                ((w * m) as u64 + streamed + nchunks * (w * m) as u64 + (w * w * m) as u64).max(1);
+            // Assembly + streamed updates + one element-wise root-chunk
+            // subtraction + dense in-panel Cholesky (the per-chunk folds
+            // are combine tasks with their own weights).
+            let root_apply = if nchunks > 0 { (w * m) as u64 } else { 0 };
+            panel_weight[s] = ((w * m) as u64 + streamed + root_apply + (w * w * m) as u64).max(1);
         }
 
         // --- Schedule span: longest weighted path through the task DAG ----
         // Panels are visited in serial (topological) order, so a single
         // pass suffices: a chunk's predecessors are the panels it reads, a
-        // panel's predecessors its streamed descendants and its chunks.
+        // combine's the chunk/combine that last wrote each side, and a
+        // panel's its streamed descendants plus the root of its combine
+        // tree.
         let mut critical_path = 0u64;
         let mut total_work = 0u64;
         {
             let mut lp = vec![0u64; num_sn]; // longest path ending at panel s
+            let mut clp: Vec<u64> = Vec::new(); // per-chunk, reused per panel
             for s in 0..num_sn {
+                let w = sn_ptr[s + 1] - sn_ptr[s];
+                let m = row_ptr[s + 1] - row_ptr[s];
                 let mut best = 0u64;
                 for i in upd_ptr[s]..stream_hi[s] {
                     best = best.max(lp[upd[i].0]);
                 }
-                for t in chk_ptr[s]..chk_ptr[s + 1] {
+                let lo_t = chk_ptr[s];
+                clp.clear();
+                for t in lo_t..chk_ptr[s + 1] {
                     let mut chunk_best = 0u64;
                     for i in chunk_lo[t]..chunk_hi[t] {
                         chunk_best = chunk_best.max(lp[upd[i].0]);
                     }
-                    best = best.max(chunk_best + chunk_weight[t]);
+                    clp.push(chunk_best + chunk_weight[t]);
                     total_work += chunk_weight[t];
+                }
+                // Fold the combine tree: each combine waits for both its
+                // accumulators' last writers and costs one w·m pass.
+                let cmb_weight = (w * m) as u64;
+                for u in cmb_ptr[s]..cmb_ptr[s + 1] {
+                    let (d, c) = (cmb_dst[u] - lo_t, cmb_src[u] - lo_t);
+                    clp[d] = clp[d].max(clp[c]) + cmb_weight;
+                    total_work += cmb_weight;
+                }
+                if !clp.is_empty() {
+                    best = best.max(clp[0]);
                 }
                 lp[s] = best + panel_weight[s];
                 total_work += panel_weight[s];
@@ -500,10 +562,17 @@ impl Symbolic {
             }
         }
 
-        // Whole-supernode work (panel + its chunks) drives the tree-shape
-        // metrics and the claim priorities.
+        // Whole-supernode work (panel + its chunks + its combine folds)
+        // drives the tree-shape metrics and the claim priorities.
         let sn_weight: Vec<u64> = (0..num_sn)
-            .map(|s| panel_weight[s] + chunk_weight[chk_ptr[s]..chk_ptr[s + 1]].iter().sum::<u64>())
+            .map(|s| {
+                let w = sn_ptr[s + 1] - sn_ptr[s];
+                let m = row_ptr[s + 1] - row_ptr[s];
+                let folds = (cmb_ptr[s + 1] - cmb_ptr[s]) as u64 * (w * m) as u64;
+                panel_weight[s]
+                    + folds
+                    + chunk_weight[chk_ptr[s]..chk_ptr[s + 1]].iter().sum::<u64>()
+            })
             .collect();
         let metrics = tree_metrics(&sn_parent, &sn_weight);
 
@@ -524,6 +593,9 @@ impl Symbolic {
             chunk_panel,
             acc_ptr,
             acc_len,
+            cmb_ptr,
+            cmb_dst,
+            cmb_src,
             critical_path,
             total_work,
             metrics,
@@ -577,6 +649,7 @@ unsafe impl Sync for SharedStorage {}
 #[allow(clippy::too_many_arguments)] // internal kernel, call sites are two
 unsafe fn apply_update(
     sym: &Symbolic,
+    kern: &dyn DenseKernel,
     values: *const f64,
     d: usize,
     p: usize,
@@ -605,19 +678,7 @@ unsafe fn apply_update(
     // Accumulated as wd rank-1 updates over contiguous columns.
     update.clear();
     update.resize(mu * wj, 0.0);
-    for k in 0..wd {
-        let gcol = &panel_d[k * md + p..k * md + md];
-        for jj in 0..wj {
-            let coef = gcol[jj];
-            if coef == 0.0 {
-                continue;
-            }
-            let dstcol = &mut update[jj * mu..(jj + 1) * mu];
-            for (di, &gi) in dstcol.iter_mut().zip(gcol) {
-                *di += coef * gi;
-            }
-        }
-    }
+    kern.rank_update(update, panel_d, md, p, wj, wd);
 
     // Scatter through relative indices (the rows of a descendant's tail
     // are a subset of this panel's rows).
@@ -653,6 +714,7 @@ unsafe fn apply_update(
 /// [`WorkPool::scope_dag`]'s dependency edges).
 unsafe fn run_chunk_task(
     sym: &Symbolic,
+    kern: &dyn DenseKernel,
     values: *const f64,
     acc: *mut f64,
     t: usize,
@@ -672,8 +734,32 @@ unsafe fn run_chunk_task(
     let accbuf = unsafe { std::slice::from_raw_parts_mut(acc.add(sym.acc_ptr[t]), w * m) };
     for &(d, p) in &sym.upd[sym.chunk_lo[t]..sym.chunk_hi[t]] {
         // SAFETY: propagated contract.
-        unsafe { apply_update(sym, values, d, p, c0, c1, m, accbuf, scratch, false) };
+        unsafe { apply_update(sym, kern, values, d, p, c0, c1, m, accbuf, scratch, false) };
     }
+}
+
+/// Folds accumulator `cmb_src[u]` into `cmb_dst[u]` element-wise — one
+/// edge of a panel's chunk-reduction tree, shared verbatim by the serial
+/// sweep and the DAG. The fold is `dst += 1.0 · src`, which every kernel
+/// computes exactly (a fused multiply-add by 1.0 rounds like a plain
+/// add), so the factor bits do not depend on which kernel runs it.
+///
+/// # Safety
+///
+/// `acc` must point at the full accumulator storage; the caller must
+/// guarantee exclusive access to both accumulators of combine `u` and
+/// that their previous writers (the chunk tasks, and any earlier combines
+/// of the same tree) have run with their writes visible to this thread.
+unsafe fn run_combine_task(sym: &Symbolic, kern: &dyn DenseKernel, acc: *mut f64, u: usize) {
+    let s = sym.chunk_panel[sym.cmb_dst[u]];
+    let w = sym.sn_ptr[s + 1] - sym.sn_ptr[s];
+    let m = sym.row_ptr[s + 1] - sym.row_ptr[s];
+    // SAFETY: distinct chunks own disjoint `acc_ptr` slices, and the
+    // contract grants exclusive access to both sides of this combine.
+    let dst =
+        unsafe { std::slice::from_raw_parts_mut(acc.add(sym.acc_ptr[sym.cmb_dst[u]]), w * m) };
+    let src = unsafe { std::slice::from_raw_parts(acc.add(sym.acc_ptr[sym.cmb_src[u]]), w * m) };
+    kern.axpy(1.0, src, dst);
 }
 
 /// Assembles, updates and factors panel `s` in place — the task body
@@ -689,12 +775,14 @@ unsafe fn run_chunk_task(
 /// out by `sym`, and the caller must guarantee (a) exclusive access to
 /// panel `s` for the duration of the call, (b) that every streamed
 /// descendant in `sym.upd[upd_ptr[s]..stream_hi[s]]` is fully factored and
-/// (c) that every chunk of `s` has run, all with their writes visible to
-/// this thread. The serial sweep satisfies this by running tasks one at a
-/// time in schedule order; the parallel path by [`WorkPool::scope_dag`]'s
-/// dependency edges and its mutex-backed happens-before edge.
+/// (c) that every chunk and combine of `s` has run, all with their writes
+/// visible to this thread. The serial sweep satisfies this by running
+/// tasks one at a time in schedule order; the parallel path by
+/// [`WorkPool::scope_dag`]'s dependency edges and its mutex-backed
+/// happens-before edge.
 unsafe fn run_panel_task(
     sym: &Symbolic,
+    kern: &dyn DenseKernel,
     ap: &CsrMatrix,
     values: *mut f64,
     acc: *const f64,
@@ -726,45 +814,24 @@ unsafe fn run_panel_task(
     // Streamed descendant updates, in the precomputed serial-sweep order.
     for &(d, p) in &sym.upd[sym.upd_ptr[s]..sym.stream_hi[s]] {
         // SAFETY: propagated contract (streamed descendants are factored).
-        unsafe { apply_update(sym, values, d, p, c0, c1, m, panel, scratch, true) };
+        unsafe { apply_update(sym, kern, values, d, p, c0, c1, m, panel, scratch, true) };
     }
 
-    // Finished update chunks, subtracted element-wise in fixed chunk order.
-    for t in sym.chk_ptr[s]..sym.chk_ptr[s + 1] {
-        // SAFETY: chunk `t` has run (function contract) and is read-only
-        // here; its slice is disjoint from every panel.
-        let accbuf = unsafe { std::slice::from_raw_parts(acc.add(sym.acc_ptr[t]), w * m) };
-        for (x, &u) in panel.iter_mut().zip(accbuf) {
-            *x -= u;
-        }
+    // The chunk accumulators were folded into the first chunk by the
+    // panel's combine tree; subtract that root once. (`-1.0 · acc` is
+    // exact under every kernel, like the combine folds.)
+    if sym.chk_ptr[s + 1] > sym.chk_ptr[s] {
+        let root = sym.chk_ptr[s];
+        // SAFETY: every chunk and combine of `s` has run (function
+        // contract), so the root accumulator is final and read-only here;
+        // its slice is disjoint from every panel.
+        let accbuf = unsafe { std::slice::from_raw_parts(acc.add(sym.acc_ptr[root]), w * m) };
+        kern.axpy(-1.0, accbuf, panel);
     }
 
-    // Dense in-panel column Cholesky (left-looking within the panel;
-    // contiguous tails autovectorize).
-    for j in 0..w {
-        let (head, tail) = panel.split_at_mut(j * m);
-        let colj = &mut tail[..m];
-        for colk in head.chunks_exact(m) {
-            let coef = colk[j]; // L[j, k] in the diagonal block
-            if coef == 0.0 {
-                continue;
-            }
-            for (x, &lk) in colj[j..].iter_mut().zip(&colk[j..]) {
-                *x -= coef * lk;
-            }
-        }
-        let d = colj[j];
-        if d <= 0.0 || !d.is_finite() {
-            return Err((c0 + j, d));
-        }
-        let piv = d.sqrt();
-        colj[j] = piv;
-        let inv = 1.0 / piv;
-        for x in &mut colj[j + 1..] {
-            *x *= inv;
-        }
-    }
-    Ok(())
+    // Dense in-panel column Cholesky (left-looking within the panel).
+    kern.factor_panel(panel, m, w)
+        .map_err(|(j, pivot)| (c0 + j, pivot))
 }
 
 /// A supernodal Cholesky factorization of a symmetric positive definite
@@ -813,6 +880,9 @@ pub struct SupernodalCholesky {
     /// Worker slots the numeric phase actually used (1 for the serial
     /// sweep).
     factor_workers: usize,
+    /// The microkernel the numeric phase ran on; the solve sweeps reuse
+    /// it so factor and solve share one choice.
+    kernel: KernelChoice,
 }
 
 impl SupernodalCholesky {
@@ -875,12 +945,14 @@ impl SupernodalCholesky {
                 max_subtree_weight: 0,
                 mean_subtree_weight: 0.0,
                 factor_workers: 1,
+                kernel: opts.kernel,
             });
         }
         let ap = a.permuted_symmetric(&perm);
         let sym = Symbolic::analyze(&ap, opts);
         let mut values = vec![0.0f64; sym.val_ptr[sym.num_sn()]];
-        let factor_workers = Self::factor_numeric(&sym, &ap, &mut values, opts.parallel)?;
+        let factor_workers =
+            Self::factor_numeric(&sym, &ap, &mut values, opts.parallel, opts.kernel.kernel())?;
 
         Ok(Self {
             n,
@@ -898,6 +970,7 @@ impl SupernodalCholesky {
             max_subtree_weight: sym.metrics.max_parallel_subtree,
             mean_subtree_weight: sym.metrics.mean_parallel_subtree,
             factor_workers,
+            kernel: opts.kernel,
         })
     }
 
@@ -909,9 +982,11 @@ impl SupernodalCholesky {
         ap: &CsrMatrix,
         values: &mut [f64],
         parallel: bool,
+        kern: &dyn DenseKernel,
     ) -> Result<usize, LinalgError> {
         let num_sn = sym.num_sn();
         let num_chunks = sym.chunk_panel.len();
+        let num_combines = sym.cmb_dst.len();
         // Chunk accumulators: zero-initialized, one panel-shaped slice per
         // update-chunk task.
         let mut acc = vec![0.0f64; sym.acc_len];
@@ -931,33 +1006,68 @@ impl SupernodalCholesky {
                 // its output slice.
                 unsafe {
                     for t in sym.chk_ptr[s]..sym.chk_ptr[s + 1] {
-                        run_chunk_task(sym, values.as_ptr(), acc.as_mut_ptr(), t, &mut scratch);
+                        run_chunk_task(
+                            sym,
+                            kern,
+                            values.as_ptr(),
+                            acc.as_mut_ptr(),
+                            t,
+                            &mut scratch,
+                        );
                     }
-                    run_panel_task(sym, ap, values.as_mut_ptr(), acc.as_ptr(), s, &mut scratch)
-                        .map_err(|(row, pivot)| LinalgError::NotPositiveDefinite { row, pivot })?;
+                    for u in sym.cmb_ptr[s]..sym.cmb_ptr[s + 1] {
+                        run_combine_task(sym, kern, acc.as_mut_ptr(), u);
+                    }
+                    run_panel_task(
+                        sym,
+                        kern,
+                        ap,
+                        values.as_mut_ptr(),
+                        acc.as_ptr(),
+                        s,
+                        &mut scratch,
+                    )
+                    .map_err(|(row, pivot)| LinalgError::NotPositiveDefinite { row, pivot })?;
                 }
             }
             return Ok(1);
         }
 
-        // Task DAG: nodes 0..num_sn are panel tasks, num_sn.. are update
-        // chunks. A chunk waits for the descendants it reads; a panel for
-        // its streamed descendants and its chunks.
-        let mut dag = TaskDag::new(num_sn + num_chunks);
-        for s in 0..num_sn {
-            for i in sym.upd_ptr[s]..sym.stream_hi[s] {
-                dag.add_dependency(sym.upd[i].0, s);
-            }
-            // Heaviest independent subtrees first keeps the tail short.
-            dag.set_priority(s, sym.metrics.subtree_weight[s]);
-        }
+        // Task DAG: nodes 0..num_sn are panel tasks, then update chunks,
+        // then combine folds. A chunk waits for the descendants it reads;
+        // a combine for the last writer of each of its two accumulators;
+        // a panel for its streamed descendants and the last writer of its
+        // root accumulator (which transitively orders every chunk and
+        // combine of its tree before it).
+        let mut dag = TaskDag::new(num_sn + num_chunks + num_combines);
+        // Last DAG node to have written each chunk accumulator so far —
+        // initially the chunk task itself, then the combines that fold
+        // into (or read) it, in tree order.
+        let mut last_writer: Vec<usize> = (0..num_chunks).map(|t| num_sn + t).collect();
         for t in 0..num_chunks {
             let s = sym.chunk_panel[t];
-            dag.add_dependency(num_sn + t, s);
             for i in sym.chunk_lo[t]..sym.chunk_hi[t] {
                 dag.add_dependency(sym.upd[i].0, num_sn + t);
             }
             dag.set_priority(num_sn + t, sym.metrics.subtree_weight[s]);
+        }
+        for u in 0..num_combines {
+            let node = num_sn + num_chunks + u;
+            let (d, c) = (sym.cmb_dst[u], sym.cmb_src[u]);
+            dag.add_dependency(last_writer[d], node);
+            dag.add_dependency(last_writer[c], node);
+            last_writer[d] = node;
+            dag.set_priority(node, sym.metrics.subtree_weight[sym.chunk_panel[d]]);
+        }
+        for s in 0..num_sn {
+            for i in sym.upd_ptr[s]..sym.stream_hi[s] {
+                dag.add_dependency(sym.upd[i].0, s);
+            }
+            if sym.chk_ptr[s + 1] > sym.chk_ptr[s] {
+                dag.add_dependency(last_writer[sym.chk_ptr[s]], s);
+            }
+            // Heaviest independent subtrees first keeps the tail short.
+            dag.set_priority(s, sym.metrics.subtree_weight[s]);
         }
         dag.seal();
 
@@ -980,21 +1090,38 @@ impl SupernodalCholesky {
                     // doing (now meaningless) numeric work.
                     return;
                 }
+                if node >= num_sn + num_chunks {
+                    // SAFETY: scope_dag ordered the last writers of both
+                    // accumulators before this combine, with a
+                    // happens-before edge; no other live task touches
+                    // either slice.
+                    unsafe {
+                        run_combine_task(sym, kern, shared.acc, node - num_sn - num_chunks);
+                    }
+                    return;
+                }
                 if node >= num_sn {
                     // SAFETY: scope_dag ordered every descendant this chunk
                     // reads before it, with a happens-before edge; the
                     // accumulator slice is written by exactly this task.
                     unsafe {
-                        run_chunk_task(sym, shared.values, shared.acc, node - num_sn, scratch);
+                        run_chunk_task(
+                            sym,
+                            kern,
+                            shared.values,
+                            shared.acc,
+                            node - num_sn,
+                            scratch,
+                        );
                     }
                     return;
                 }
                 // SAFETY: scope_dag ordered the streamed descendants and
-                // every chunk of `node` before it, with a happens-before
-                // edge; tasks write disjoint panel ranges.
-                if let Err((row, pivot)) =
-                    unsafe { run_panel_task(sym, ap, shared.values, shared.acc, node, scratch) }
-                {
+                // the combine-tree root of `node` before it, with a
+                // happens-before edge; tasks write disjoint panel ranges.
+                if let Err((row, pivot)) = unsafe {
+                    run_panel_task(sym, kern, ap, shared.values, shared.acc, node, scratch)
+                } {
                     failed.store(true, Ordering::Release);
                     let mut slot = first_error.lock().expect("factor error slot poisoned");
                     // Deterministic report: keep the smallest failing row.
@@ -1037,6 +1164,12 @@ impl SupernodalCholesky {
         self.factor_workers
     }
 
+    /// Resolved name of the microkernel the factorization and solve
+    /// sweeps run on (`"scalar"`, `"blocked"`, or `"avx2"`).
+    pub fn kernel_name(&self) -> &'static str {
+        self.kernel.resolved_name()
+    }
+
     /// Shape statistics of the factor.
     pub fn stats(&self) -> SupernodeStats {
         SupernodeStats {
@@ -1049,6 +1182,7 @@ impl SupernodalCholesky {
             total_work: self.total_work as usize,
             max_subtree_weight: self.max_subtree_weight as usize,
             mean_subtree_weight: self.mean_subtree_weight,
+            kernel: self.kernel_name(),
         }
     }
 
@@ -1110,6 +1244,7 @@ impl SupernodalCholesky {
         }
         let (permbuf, gather) = scratch.split_at_mut(n);
         let num_sn = self.sn_ptr.len() - 1;
+        let kern = self.kernel.kernel();
 
         // Into the factor basis.
         for r in 0..nrhs {
@@ -1129,31 +1264,14 @@ impl SupernodalCholesky {
             for r in 0..nrhs {
                 let x = &mut rhs[r * n..(r + 1) * n];
                 // Dense lower-triangular solve on the diagonal block.
-                for j in 0..w {
-                    let col = &panel[j * m..(j + 1) * m];
-                    let yj = x[c0 + j] / col[j];
-                    x[c0 + j] = yj;
-                    for i in (j + 1)..w {
-                        x[c0 + i] -= col[i] * yj;
-                    }
-                }
+                kern.solve_lower(panel, m, w, &mut x[c0..c0 + w]);
                 if below.is_empty() {
                     continue;
                 }
                 // Below block: accumulate L₂₁ y into a contiguous buffer,
                 // then scatter.
                 let acc = &mut gather[..m - w];
-                acc.iter_mut().for_each(|v| *v = 0.0);
-                for j in 0..w {
-                    let coef = x[c0 + j];
-                    if coef == 0.0 {
-                        continue;
-                    }
-                    let col = &panel[j * m + w..(j + 1) * m];
-                    for (a, &l) in acc.iter_mut().zip(col) {
-                        *a += l * coef;
-                    }
-                }
+                kern.below_accumulate(panel, m, w, &x[c0..c0 + w], acc);
                 for (i, &row) in below.iter().enumerate() {
                     x[row] -= acc[i];
                 }
@@ -1170,22 +1288,13 @@ impl SupernodalCholesky {
             let below = &rows_s[w..];
             for r in 0..nrhs {
                 let x = &mut rhs[r * n..(r + 1) * n];
-                // Gather the below entries once.
+                // Gather the below entries once, contract them against
+                // L₂₁ᵀ and finish with the dense transposed diag solve.
                 let xb = &mut gather[..m - w];
                 for (i, &row) in below.iter().enumerate() {
                     xb[i] = x[row];
                 }
-                for j in (0..w).rev() {
-                    let col = &panel[j * m..(j + 1) * m];
-                    let mut acc = x[c0 + j];
-                    for (&l, &xi) in col[w..].iter().zip(xb.iter()) {
-                        acc -= l * xi;
-                    }
-                    for i in (j + 1)..w {
-                        acc -= col[i] * x[c0 + i];
-                    }
-                    x[c0 + j] = acc / col[j];
-                }
+                kern.solve_lower_transpose(panel, m, w, &mut x[c0..c0 + w], xb);
             }
         }
 
@@ -1232,41 +1341,91 @@ mod tests {
     fn parallel_factor_is_bitwise_equal_to_serial() {
         let a = laplacian_2d(17, 11);
         let perm = FillOrdering::Rcm.permutation(&a);
-        // A tiny chunk budget forces real update-chunk tasks even at this
-        // size, so both task kinds of the DAG are exercised.
-        for chunk_work in [SupernodalOptions::default().chunk_work, 64] {
-            let opts = SupernodalOptions {
-                chunk_work,
+        // A tiny chunk budget forces real update-chunk tasks (and their
+        // combine trees) even at this size, so all three task kinds of
+        // the DAG are exercised — for every kernel this host resolves.
+        for &kernel in KernelChoice::available() {
+            for chunk_work in [SupernodalOptions::default().chunk_work, 64] {
+                let opts = SupernodalOptions {
+                    chunk_work,
+                    kernel,
+                    ..SupernodalOptions::default()
+                };
+                let serial = SupernodalCholesky::factor_with_permutation(
+                    &a,
+                    perm.clone(),
+                    &SupernodalOptions {
+                        parallel: false,
+                        ..opts
+                    },
+                )
+                .unwrap();
+                assert_eq!(serial.factor_workers(), 1);
+                for cap in [1usize, 2, 8] {
+                    let parallel = WorkPool::new(cap).install(|| {
+                        SupernodalCholesky::factor_with_permutation(&a, perm.clone(), &opts)
+                            .unwrap()
+                    });
+                    assert!(parallel.factor_workers() <= cap.max(1));
+                    assert_eq!(serial.factor_values().len(), parallel.factor_values().len());
+                    for (i, (p, q)) in serial
+                        .factor_values()
+                        .iter()
+                        .zip(parallel.factor_values())
+                        .enumerate()
+                    {
+                        assert_eq!(
+                            p.to_bits(),
+                            q.to_bits(),
+                            "panel entry {i} at cap {cap} (chunk_work {chunk_work}, kernel {})",
+                            kernel.resolved_name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_agree_within_tolerance() {
+        // Every kernel must reproduce the scalar oracle's solution to
+        // ≤1e-12 (they associate sums differently, so bitwise equality is
+        // *not* expected — that's why the kernel is in the cache
+        // fingerprint).
+        let a = laplacian_2d(13, 9);
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 17) % 23) as f64 - 11.0).collect();
+        let perm = FillOrdering::NestedDissection.permutation(&a);
+        let reference = SupernodalCholesky::factor_with_permutation(
+            &a,
+            perm.clone(),
+            &SupernodalOptions {
+                kernel: KernelChoice::Scalar,
                 ..SupernodalOptions::default()
-            };
-            let serial = SupernodalCholesky::factor_with_permutation(
+            },
+        )
+        .unwrap()
+        .solve(&b);
+        let scale = reference.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for &kernel in KernelChoice::available() {
+            let chol = SupernodalCholesky::factor_with_permutation(
                 &a,
                 perm.clone(),
                 &SupernodalOptions {
-                    parallel: false,
-                    ..opts
+                    kernel,
+                    ..SupernodalOptions::default()
                 },
             )
             .unwrap();
-            assert_eq!(serial.factor_workers(), 1);
-            for cap in [1usize, 2, 8] {
-                let parallel = WorkPool::new(cap).install(|| {
-                    SupernodalCholesky::factor_with_permutation(&a, perm.clone(), &opts).unwrap()
-                });
-                assert!(parallel.factor_workers() <= cap.max(1));
-                assert_eq!(serial.factor_values().len(), parallel.factor_values().len());
-                for (i, (p, q)) in serial
-                    .factor_values()
-                    .iter()
-                    .zip(parallel.factor_values())
-                    .enumerate()
-                {
-                    assert_eq!(
-                        p.to_bits(),
-                        q.to_bits(),
-                        "panel entry {i} at cap {cap} (chunk_work {chunk_work})"
-                    );
-                }
+            assert_eq!(chol.kernel_name(), kernel.resolved_name());
+            assert_eq!(chol.stats().kernel, kernel.resolved_name());
+            let x = chol.solve(&b);
+            for (p, q) in reference.iter().zip(&x) {
+                assert!(
+                    (p - q).abs() <= 1e-12 * scale,
+                    "{}: {p} vs {q}",
+                    kernel.resolved_name()
+                );
             }
         }
     }

@@ -1,8 +1,15 @@
 //! Basic dense vector kernels shared by the solvers.
 //!
-//! These are deliberately plain slice loops: at the problem sizes used by the
-//! global stage the memory traffic dominates, and the compiler vectorizes
-//! these loops well at `opt-level >= 2`.
+//! The contraction primitives (`dot`, `axpy`, and `norm2` through `dot`)
+//! delegate to [`BlockedKernel`] — the unrolled `mul_add` microkernels with
+//! runtime FMA dispatch from `kernel.rs` — so CG/GMRES inherit the same
+//! tuned loops the supernodal factorization runs on. `BlockedKernel` is
+//! pinned here (rather than following `KernelChoice`) so free-function
+//! results never depend on a per-solver configuration. The element-wise
+//! helpers stay plain slice loops: they are memory-bound and the compiler
+//! already vectorizes them at `opt-level >= 2`.
+
+use crate::kernel::{BlockedKernel, DenseKernel};
 
 /// Dot product `x · y`.
 ///
@@ -12,7 +19,7 @@
 #[inline]
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
-    x.iter().zip(y).map(|(a, b)| a * b).sum()
+    BlockedKernel.dot(x, y)
 }
 
 /// Euclidean norm `‖x‖₂`.
@@ -35,9 +42,7 @@ pub fn norm_inf(x: &[f64]) -> f64 {
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    BlockedKernel.axpy(alpha, x, y);
 }
 
 /// `x ← alpha * x`.

@@ -9,9 +9,9 @@ use std::sync::{Arc, Mutex};
 
 use morestress_linalg::{
     nested_dissection, reverse_cuthill_mckee, solve_cg, solve_gmres, Auto, CgOptions,
-    CholeskyKernel, CooMatrix, CsrMatrix, DenseMatrix, DirectCholesky, FactorCache, FillOrdering,
-    GmresOptions, JacobiPreconditioner, Permutation, SolverBackend, SparseCholesky,
-    SupernodalCholesky, SupernodalOptions, TaskDag, WorkPool,
+    CholeskyKernel, CooMatrix, CsrMatrix, DenseKernel, DenseMatrix, DirectCholesky, FactorCache,
+    FillOrdering, GmresOptions, JacobiPreconditioner, KernelChoice, Permutation, ScalarKernel,
+    SolverBackend, SparseCholesky, SupernodalCholesky, SupernodalOptions, TaskDag, WorkPool,
 };
 use proptest::prelude::*;
 
@@ -266,6 +266,98 @@ proptest! {
         let scale = x_scalar.iter().fold(1.0f64, |m, v| m.max(v.abs()));
         for (p, q) in x_scalar.iter().zip(&x_super) {
             prop_assert!((p - q).abs() <= 1e-12 * scale, "{} vs {}", p, q);
+        }
+    }
+
+    /// Every resolved microkernel agrees with the `ScalarKernel` oracle to
+    /// ≤1e-12 on random SPD panels, at the edge widths: 1, a non-multiple
+    /// of the 4-wide unroll tiles, and the default supernode width cap.
+    #[test]
+    fn kernels_match_scalar_on_random_panels(m_extra in 0usize..9,
+                                             g in prop::collection::vec(-1.0f64..1.0, 41 * 41),
+                                             rhs in prop::collection::vec(-2.0f64..2.0, 41)) {
+        for w in [1usize, 5, 32] {
+            let m = w + m_extra;
+            // SPD diagonal block via G·Gᵀ + (m+1)·I, column-major panel of
+            // height m (rows w..m are the below-diagonal block).
+            let mut base = vec![0.0f64; w * m];
+            for j in 0..w {
+                for i in 0..m {
+                    let mut v = 0.0;
+                    for k in 0..m {
+                        v += g[k * m + i] * g[k * m + j];
+                    }
+                    if i == j {
+                        v += (m + 1) as f64;
+                    }
+                    base[j * m + i] = v;
+                }
+            }
+            let mut oracle = base.clone();
+            ScalarKernel.factor_panel(&mut oracle, m, w).expect("SPD panel");
+            for choice in KernelChoice::available() {
+                let kern = choice.kernel();
+                let mut panel = base.clone();
+                kern.factor_panel(&mut panel, m, w).expect("SPD panel");
+                for (a, b) in oracle.iter().zip(&panel) {
+                    prop_assert!((a - b).abs() <= 1e-12 * (m as f64),
+                        "factor w{} ({}): {} vs {}", w, kern.name(), a, b);
+                }
+                // Triangular sweeps on the shared oracle factor, so only
+                // the kernel under test differs.
+                let mut xo = rhs[..w].to_vec();
+                let mut xk = xo.clone();
+                ScalarKernel.solve_lower(&oracle, m, w, &mut xo);
+                kern.solve_lower(&oracle, m, w, &mut xk);
+                let mut ao = vec![0.0; m - w];
+                let mut ak = vec![1.0; m - w]; // must be overwritten
+                ScalarKernel.below_accumulate(&oracle, m, w, &xo, &mut ao);
+                kern.below_accumulate(&oracle, m, w, &xo, &mut ak);
+                let xb = &rhs[..m - w];
+                let mut bo = xo.clone();
+                let mut bk = xo.clone();
+                ScalarKernel.solve_lower_transpose(&oracle, m, w, &mut bo, xb);
+                kern.solve_lower_transpose(&oracle, m, w, &mut bk, xb);
+                for (pair, label) in [(xo.iter().zip(&xk), "solve_lower"),
+                                      (ao.iter().zip(&ak), "below_accumulate"),
+                                      (bo.iter().zip(&bk), "solve_lower_transpose")] {
+                    for (a, b) in pair {
+                        prop_assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0),
+                            "{} w{} ({}): {} vs {}", label, w, kern.name(), a, b);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The same ≤1e-12 kernel-vs-oracle contract end to end: a supernodal
+    /// factorization + solve under each available kernel stays within
+    /// tolerance of the `ScalarKernel` configuration on random SPD
+    /// operators.
+    #[test]
+    fn supernodal_kernels_match_scalar_kernel(a in spd_strategy(13),
+                                              b in prop::collection::vec(-4.0f64..4.0, 13),
+                                              max_width in 1usize..6) {
+        let perm = FillOrdering::Rcm.permutation(&a);
+        let opts = SupernodalOptions { max_width, ..Default::default() };
+        let reference = SupernodalCholesky::factor_with_permutation(
+            &a,
+            perm.clone(),
+            &SupernodalOptions { kernel: KernelChoice::Scalar, ..opts },
+        ).expect("SPD").solve(&b);
+        let scale = reference.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for &kernel in KernelChoice::available() {
+            let chol = SupernodalCholesky::factor_with_permutation(
+                &a,
+                perm.clone(),
+                &SupernodalOptions { kernel, ..opts },
+            ).expect("SPD");
+            prop_assert_eq!(chol.kernel_name(), kernel.resolved_name());
+            let x = chol.solve(&b);
+            for (p, q) in reference.iter().zip(&x) {
+                prop_assert!((p - q).abs() <= 1e-12 * scale,
+                    "{}: {} vs {}", kernel.resolved_name(), p, q);
+            }
         }
     }
 
