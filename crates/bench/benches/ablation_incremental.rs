@@ -1,0 +1,175 @@
+//! Ablation: incremental shard-local re-factorization vs a full sharded
+//! prepare on the batched multi-load array workload. A placement move
+//! swaps one corner block TSV ↔ dummy — value-only (the lattice pattern
+//! depends only on the array shape) — and the hoisted [`Sharded`] backend
+//! re-factors just the shards the block touches, reuses every other
+//! shard's factor and stored clique, and rebuilds only the small
+//! interface system. Measured against: the cold full prepare, a
+//! from-scratch prepare of the *same* perturbed operator (the cost the
+//! incremental route avoids), and the warm cached solve (the floor — no
+//! preparation at all). The acceptance shape: `incremental − warm` ≈ one
+//! shard's factor + clique + the interface refactor, well under
+//! `scratch − warm`.
+//!
+//! Records its medians into `BENCH_PR7.json` (section
+//! `ablation_incremental`), uniformly stamped like every record, so the
+//! `check_bench_json` CI gate can validate it. Under
+//! `MORESTRESS_BENCH_QUICK=1` the array and load count shrink so CI can
+//! run the emitter end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use morestress_bench::{median_ms, one_shot, quick_or, record_bench_entries, time3, Scale};
+use morestress_core::{GlobalBc, GlobalStage, ReducedOrderModel};
+use morestress_linalg::{FactorCache, Sharded};
+use morestress_mesh::{BlockKind, BlockLayout, TsvGeometry};
+
+const SHARDS: usize = 4;
+
+/// A stage over the given hoisted backend — the caller keeps the backend
+/// alive, so its shard cache and retained previous preparation persist
+/// across solves (the incremental route's working state).
+fn stage<'a>(
+    tsv: &'a ReducedOrderModel,
+    dummy: &'a ReducedOrderModel,
+    backend: &'a Sharded,
+) -> GlobalStage<'a> {
+    GlobalStage::new(tsv)
+        .with_dummy(dummy)
+        .expect("compatible ROMs")
+        .with_backend(backend)
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let scale = Scale::small();
+    let geom = TsvGeometry::paper_defaults(15.0);
+    let shot = one_shot(&geom, &scale, true).expect("one-shot stage");
+    let tsv = shot.sim.tsv_model();
+    let dummy = shot.sim.dummy_model().expect("dummy ROM built");
+    let array = quick_or(6usize, 3);
+    let base = BlockLayout::uniform(array, array, BlockKind::Tsv);
+    let mut perturbed = base.clone();
+    perturbed.set_kind(0, 0, BlockKind::Dummy);
+    let bc = GlobalBc::ClampedTopBottom;
+    let loads: Vec<f64> = (0..quick_or(8, 3))
+        .map(|k| -250.0 + 40.0 * k as f64)
+        .collect();
+
+    // Cold: full prepare (every shard factored) + batched solve.
+    let backend = Sharded::new(SHARDS);
+    let t0 = std::time::Instant::now();
+    let cold = stage(tsv, dummy, &backend)
+        .solve_many(&base, &loads, &bc)
+        .expect("cold sharded solve");
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let cold_stats = cold[0].stats;
+
+    // Incremental: one corner block swapped. Alternate back and forth so
+    // every repetition pays a real dirty-shard re-preparation (median of
+    // 3, like the other measured comparisons); time only the perturbed leg.
+    let mut samples = Vec::with_capacity(3);
+    let mut incr_batch = None;
+    for _ in 0..3 {
+        stage(tsv, dummy, &backend)
+            .solve_many(&base, &loads, &bc)
+            .expect("base re-solve");
+        let t0 = std::time::Instant::now();
+        let batch = stage(tsv, dummy, &backend)
+            .solve_many(&perturbed, &loads, &bc)
+            .expect("incremental re-solve");
+        samples.push(t0.elapsed());
+        incr_batch = Some(batch);
+    }
+    let incr_ms = median_ms(&mut samples);
+    let incr_batch = incr_batch.expect("three repetitions ran");
+    let incr_stats = incr_batch[0].stats;
+
+    // From-scratch reference on the same perturbed operator: a fresh
+    // backend has no previous preparation to reuse.
+    let (scratch_ms, scratch_batch) = time3(|| {
+        let fresh = Sharded::new(SHARDS);
+        stage(tsv, dummy, &fresh)
+            .solve_many(&perturbed, &loads, &bc)
+            .expect("from-scratch sharded solve")
+    });
+    // Bitwise identity of the routes, asserted right in the emitter.
+    for (a, b) in incr_batch.iter().zip(&scratch_batch) {
+        assert_eq!(
+            a.nodal_displacement(),
+            b.nodal_displacement(),
+            "incremental bits must match from-scratch bits"
+        );
+    }
+
+    // Warm floor: the same prepared solver served from a FactorCache —
+    // assembly + panel sweeps, no preparation at all.
+    let cache = FactorCache::new();
+    let warm_backend = Sharded::new(SHARDS);
+    stage(tsv, dummy, &warm_backend)
+        .with_cache(&cache)
+        .solve_many(&perturbed, &loads, &bc)
+        .expect("warm-up solve");
+    let (warm_ms, _) = time3(|| {
+        stage(tsv, dummy, &warm_backend)
+            .with_cache(&cache)
+            .solve_many(&perturbed, &loads, &bc)
+            .expect("warm sharded solve")
+    });
+
+    println!(
+        "incremental re-factorization ({array}×{array}, {} loads, {} shards / {} interface DoFs): \
+         cold {cold_ms:.1} ms, incremental {incr_ms:.1} ms ({} of {} shards refactored), \
+         from-scratch {scratch_ms:.1} ms, warm {warm_ms:.1} ms \
+         (re-prepare {:.1} ms vs full prepare {:.1} ms)",
+        loads.len(),
+        cold_stats.shards,
+        cold_stats.interface_dofs,
+        incr_stats.shards_refactored,
+        incr_stats.shards,
+        (incr_ms - warm_ms).max(0.0),
+        (scratch_ms - warm_ms).max(0.0),
+    );
+    record_bench_entries(
+        "BENCH_PR7.json",
+        "ablation_incremental",
+        vec![
+            ("array".into(), array as f64),
+            ("loads".into(), loads.len() as f64),
+            ("shards".into(), cold_stats.shards as f64),
+            ("interface_dofs".into(), cold_stats.interface_dofs as f64),
+            ("cold_solve_ms".into(), cold_ms),
+            ("incr_solve_ms".into(), incr_ms),
+            ("scratch_solve_ms".into(), scratch_ms),
+            ("warm_solve_ms".into(), warm_ms),
+            ("incr_prepare_ms".into(), (incr_ms - warm_ms).max(0.0)),
+            ("full_prepare_ms".into(), (scratch_ms - warm_ms).max(0.0)),
+            (
+                "shards_refactored".into(),
+                incr_stats.shards_refactored as f64,
+            ),
+            ("shards_reused".into(), incr_stats.shards_reused as f64),
+        ],
+    );
+
+    // Criterion point: one placement move (incremental re-prepare +
+    // batched solve), alternating layouts so every iteration re-prepares.
+    let mut group = c.benchmark_group("ablation_incremental");
+    group.sample_size(10);
+    let backend = Sharded::new(SHARDS);
+    stage(tsv, dummy, &backend)
+        .solve_many(&base, &loads, &bc)
+        .expect("warm-up solve");
+    let mut flip = false;
+    group.bench_function("placement_move_solve_many", |b| {
+        b.iter(|| {
+            let layout = if flip { &base } else { &perturbed };
+            flip = !flip;
+            stage(tsv, dummy, &backend)
+                .solve_many(layout, &loads, &bc)
+                .expect("incremental re-solve")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

@@ -92,6 +92,14 @@ impl Default for RomSolver {
 impl RomSolver {
     /// Maps this selection to a `morestress-linalg` solver backend; every
     /// global-stage solve routes through the returned backend.
+    ///
+    /// Each call constructs a *fresh* backend — for [`RomSolver::Sharded`]
+    /// that means a fresh internal shard cache and no retained previous
+    /// preparation, so callers that solve repeatedly must construct once
+    /// and reuse (the [`GlobalStage`] builds its backend at construction,
+    /// and [`MoreStressSimulator`](crate::MoreStressSimulator) hoists one
+    /// backend across all its stages via [`GlobalStage::with_backend`])
+    /// rather than calling this per solve.
     pub fn backend(&self) -> Box<dyn SolverBackend> {
         match *self {
             RomSolver::Gmres { tol } => Box::new(morestress_linalg::Gmres::with_tol(tol)),
@@ -281,6 +289,20 @@ pub struct GlobalStats {
     /// Largest single-shard factor footprint in bytes (0 unless sharded) —
     /// the peak factor memory sharding bounds.
     pub shard_factor_bytes: usize,
+    /// Interior shards whose factor + clique were (re)computed by the
+    /// preparation behind this solve: all of them on a from-scratch
+    /// sharded prepare, only the perturbed ones on the incremental
+    /// re-preparation a pattern-matching
+    /// [`resolve_perturbed`](crate::MoreStressSimulator::resolve_perturbed)
+    /// takes. A warm [`FactorCache`] hit repeats the counters of the
+    /// preparation that built the cached solver. 0 for monolithic
+    /// backends and fully-constrained solves.
+    pub shards_refactored: usize,
+    /// Interior shards whose factor and stored clique the incremental
+    /// sharded re-preparation reused intact
+    /// (`shards_refactored + shards_reused == shards` for a sharded
+    /// prepare; 0 otherwise).
+    pub shards_reused: usize,
 }
 
 /// The solved global problem of one array.
@@ -321,7 +343,14 @@ impl GlobalSolution {
 pub struct GlobalStage<'a> {
     rom_tsv: &'a ReducedOrderModel,
     rom_dummy: Option<&'a ReducedOrderModel>,
-    solver: RomSolver,
+    /// Backend built once from the [`RomSolver`] selection and reused by
+    /// every solve through this stage, so backend-internal state (the
+    /// `Sharded` shard cache and retained previous preparation) survives
+    /// across repeated prepares.
+    backend: Box<dyn SolverBackend>,
+    /// Caller-owned backend overriding `backend` when set — how the
+    /// simulator shares one backend across all the stages it builds.
+    external_backend: Option<&'a dyn SolverBackend>,
     cache: Option<&'a FactorCache>,
     threads: usize,
 }
@@ -332,7 +361,8 @@ impl<'a> GlobalStage<'a> {
         Self {
             rom_tsv,
             rom_dummy: None,
-            solver: RomSolver::default(),
+            backend: RomSolver::default().backend(),
+            external_backend: None,
             cache: None,
             threads: morestress_linalg::default_solve_threads(),
         }
@@ -371,9 +401,23 @@ impl<'a> GlobalStage<'a> {
         Ok(self)
     }
 
-    /// Selects the global solver (default: the paper's GMRES).
+    /// Selects the global solver (default: the paper's GMRES). The backend
+    /// is constructed here, once, and reused by every solve through this
+    /// stage.
     pub fn with_solver(mut self, solver: RomSolver) -> Self {
-        self.solver = solver;
+        self.backend = solver.backend();
+        self
+    }
+
+    /// Routes every solve through a caller-owned backend instead of one
+    /// constructed from the [`RomSolver`] selection — so prepared state
+    /// living *inside* the backend (the `Sharded` shard cache, and the
+    /// retained previous preparation behind the incremental
+    /// re-factorization) survives beyond this stage's lifetime.
+    /// [`MoreStressSimulator`](crate::MoreStressSimulator) hoists its one
+    /// backend through here.
+    pub fn with_backend(mut self, backend: &'a dyn SolverBackend) -> Self {
+        self.external_backend = Some(backend);
         self
     }
 
@@ -594,6 +638,8 @@ impl<'a> GlobalStage<'a> {
                 shards: 1,
                 interface_dofs: 0,
                 shard_factor_bytes: 0,
+                shards_refactored: 0,
+                shards_reused: 0,
             };
             return Ok(delta_ts
                 .iter()
@@ -623,9 +669,12 @@ impl<'a> GlobalStage<'a> {
             + self.rom_dummy.map_or(0, MemoryFootprint::heap_bytes);
 
         // --- Solve through the unified backend layer -----------------------
-        let backend = self.solver.backend();
+        let backend: &dyn SolverBackend = match self.external_backend {
+            Some(external) => external,
+            None => &*self.backend,
+        };
         let prepared = match self.cache {
-            Some(cache) => cache.prepare(&*backend, &reduced.a_ff)?,
+            Some(cache) => cache.prepare(backend, &reduced.a_ff)?,
             None => Arc::new(backend.prepare(Arc::clone(&reduced.a_ff))?),
         };
         let batch = prepared.solve_many(&rhs_set, self.threads)?;
@@ -645,6 +694,8 @@ impl<'a> GlobalStage<'a> {
             shards: batch.report.shards,
             interface_dofs: batch.report.interface_dofs,
             shard_factor_bytes: batch.report.shard_factor_bytes,
+            shards_refactored: batch.report.shards_refactored,
+            shards_reused: batch.report.shards_reused,
         };
         Ok(batch
             .xs

@@ -3,7 +3,7 @@
 use std::path::PathBuf;
 
 use morestress_fem::{MaterialSet, ScalarField2d};
-use morestress_linalg::FactorCache;
+use morestress_linalg::{FactorCache, Sharded, SolverBackend};
 use morestress_mesh::{BlockKind, BlockLayout, BlockResolution, TsvGeometry};
 
 use crate::model::build_or_load_cached;
@@ -45,13 +45,41 @@ pub struct SimulatorOptions {
 pub struct MoreStressSimulator {
     rom_tsv: ReducedOrderModel,
     rom_dummy: Option<ReducedOrderModel>,
-    solver: RomSolver,
     threads: Option<usize>,
-    shards: Option<usize>,
+    /// The one global-solve backend, built at construction from the
+    /// resolved solver selection and hoisted into every stage — so
+    /// backend-internal state (the `Sharded` shard cache and its retained
+    /// previous preparation) persists across simulator calls instead of
+    /// being discarded per solve.
+    backend: Box<dyn SolverBackend>,
+    /// A clone of the hoisted backend when the resolved solver is sharded
+    /// (clones share the shard cache and previous-preparation state),
+    /// kept for counter inspection.
+    sharded: Option<Sharded>,
     /// Memo of prepared global-stage factorizations: solving the same
     /// lattice again (any thermal load) reuses the factor instead of
     /// re-preparing it.
     factor_cache: FactorCache,
+}
+
+/// Resolves the configured solver (with the optional shard-count
+/// override) into the one hoisted backend, keeping a second handle to the
+/// sharded backend for diagnostics.
+fn resolve_backend(
+    solver: RomSolver,
+    shards: Option<usize>,
+) -> (Box<dyn SolverBackend>, Option<Sharded>) {
+    let resolved = match shards {
+        Some(shards) => RomSolver::Sharded { shards },
+        None => solver,
+    };
+    match resolved {
+        RomSolver::Sharded { shards } => {
+            let backend = Sharded::new(shards.max(1));
+            (Box::new(backend.clone()), Some(backend))
+        }
+        other => (other.backend(), None),
+    }
 }
 
 impl MoreStressSimulator {
@@ -100,12 +128,13 @@ impl MoreStressSimulator {
         } else {
             None
         };
+        let (backend, sharded) = resolve_backend(opts.solver, opts.shards);
         Ok(Self {
             rom_tsv,
             rom_dummy,
-            solver: opts.solver,
             threads: opts.threads,
-            shards: opts.shards,
+            backend,
+            sharded,
             factor_cache: FactorCache::new(),
         })
     }
@@ -123,12 +152,13 @@ impl MoreStressSimulator {
         if let Some(dummy) = &rom_dummy {
             rom_tsv.check_compatible(dummy)?;
         }
+        let (backend, sharded) = resolve_backend(solver, None);
         Ok(Self {
             rom_tsv,
             rom_dummy,
-            solver,
             threads: None,
-            shards: None,
+            backend,
+            sharded,
             factor_cache: FactorCache::new(),
         })
     }
@@ -149,13 +179,17 @@ impl MoreStressSimulator {
         &self.factor_cache
     }
 
+    /// The hoisted sharded backend, when the resolved solver is
+    /// [`RomSolver::Sharded`] — a clone sharing the internal shard cache
+    /// (hit/miss counters) and the retained previous preparation, for
+    /// tests and diagnostics.
+    pub fn sharded_backend(&self) -> Option<&Sharded> {
+        self.sharded.as_ref()
+    }
+
     fn stage(&self) -> Result<GlobalStage<'_>, RomError> {
-        let solver = match self.shards {
-            Some(shards) => RomSolver::Sharded { shards },
-            None => self.solver,
-        };
         let mut stage = GlobalStage::new(&self.rom_tsv)
-            .with_solver(solver)
+            .with_backend(&*self.backend)
             .with_cache(&self.factor_cache);
         if let Some(threads) = self.threads {
             stage = stage.with_threads(threads);
@@ -191,6 +225,54 @@ impl MoreStressSimulator {
     ///
     /// See [`GlobalStage::solve_many`].
     pub fn solve_array_many(
+        &self,
+        layout: &BlockLayout,
+        delta_ts: &[f64],
+        bc: &GlobalBc,
+    ) -> Result<Vec<GlobalSolution>, RomError> {
+        self.stage()?.solve_many(layout, delta_ts, bc)
+    }
+
+    /// Re-solves after a value-only perturbation of a previously solved
+    /// layout — the entry point for placement/optimization loops that
+    /// mutate a few blocks per move (pitch sweeps, keep-out zones,
+    /// TSV ↔ dummy swaps).
+    ///
+    /// Routes through the same stage as [`solve_array`](Self::solve_array);
+    /// the savings come from the hoisted sharded backend. When the
+    /// perturbed layout assembles to an operator with the same sparsity
+    /// pattern as the previous solve — any layout of the same shape does,
+    /// since the pattern depends only on the lattice while swapping a
+    /// block between [`BlockKind::Tsv`] and [`BlockKind::Dummy`] changes
+    /// values only — the backend re-factors just the shards whose blocks
+    /// changed, reuses every clean shard's factor and stored clique, and
+    /// rebuilds only the small interface system. The result is **bitwise
+    /// identical** to a from-scratch solve of the perturbed layout;
+    /// [`GlobalStats::shards_refactored`](crate::GlobalStats) /
+    /// [`shards_reused`](crate::GlobalStats::shards_reused) report the
+    /// split. With a monolithic solver the call is simply a fresh solve.
+    ///
+    /// # Errors
+    ///
+    /// See [`GlobalStage::solve`].
+    pub fn resolve_perturbed(
+        &self,
+        layout: &BlockLayout,
+        delta_t: f64,
+        bc: &GlobalBc,
+    ) -> Result<GlobalSolution, RomError> {
+        let mut solutions = self.resolve_perturbed_many(layout, &[delta_t], bc)?;
+        Ok(solutions.pop().expect("one load in, one solution out"))
+    }
+
+    /// [`resolve_perturbed`](Self::resolve_perturbed) for many thermal
+    /// loads at once: one incremental re-preparation serving the whole
+    /// batch, like [`solve_array_many`](Self::solve_array_many).
+    ///
+    /// # Errors
+    ///
+    /// See [`GlobalStage::solve_many`].
+    pub fn resolve_perturbed_many(
         &self,
         layout: &BlockLayout,
         delta_ts: &[f64],

@@ -1,0 +1,249 @@
+//! Incremental re-factorization suite: `resolve_perturbed` over
+//! value-only layout perturbations (TSV ↔ dummy block swaps keep the
+//! lattice pattern — only values change) must be **bitwise identical** to
+//! a from-scratch sharded solve of the perturbed layout, while the
+//! `GlobalStats` counters prove only the touched shards were re-factored.
+//!
+//! CI runs this suite across `MORESTRESS_THREADS ∈ {1, 8}` ×
+//! `MORESTRESS_SHARDS ∈ {1, 4}` next to `sharded_global.rs`: the shard
+//! axis covers the monolithic degenerate plan (`shards = 1` — the
+//! incremental route still engages, with a one-block "everything dirty"
+//! plan) and a real decomposition; the thread axis serial vs saturated
+//! pools.
+
+use morestress_core::{
+    GlobalBc, GlobalStage, InterpolationGrid, MoreStressSimulator, RomSolver, SimulatorOptions,
+};
+use morestress_fem::MaterialSet;
+use morestress_mesh::{BlockKind, BlockLayout, BlockResolution, TsvGeometry};
+
+/// Shard count under test: `MORESTRESS_SHARDS` when set (the CI matrix
+/// pins 1 and 4), else 4.
+fn env_shards() -> usize {
+    std::env::var("MORESTRESS_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+/// A simulator with both ROMs built (swaps need the dummy model) and the
+/// sharded backend hoisted.
+fn build_sim(shards: usize) -> MoreStressSimulator {
+    MoreStressSimulator::build(
+        &TsvGeometry::paper_defaults(15.0),
+        &BlockResolution::coarse(),
+        InterpolationGrid::new([3, 3, 3]),
+        &MaterialSet::tsv_defaults(),
+        &SimulatorOptions {
+            shards: Some(shards),
+            build_dummy: true,
+            ..SimulatorOptions::default()
+        },
+    )
+    .expect("simulator builds")
+}
+
+/// From-scratch sharded reference over the same ROMs: a fresh
+/// `GlobalStage` builds a fresh backend, so nothing carries over.
+fn scratch_solve(
+    sim: &MoreStressSimulator,
+    shards: usize,
+    layout: &BlockLayout,
+    loads: &[f64],
+    bc: &GlobalBc,
+) -> Vec<morestress_core::GlobalSolution> {
+    GlobalStage::new(sim.tsv_model())
+        .with_dummy(sim.dummy_model().expect("dummy ROM built"))
+        .expect("compatible ROMs")
+        .with_solver(RomSolver::Sharded { shards })
+        .solve_many(layout, loads, bc)
+        .expect("from-scratch sharded solve")
+}
+
+fn assert_bitwise(label: &str, reference: &[f64], candidate: &[f64]) {
+    assert_eq!(reference.len(), candidate.len(), "{label}: length");
+    for (i, (a, b)) in reference.iter().zip(candidate).enumerate() {
+        assert!(
+            a.to_bits() == b.to_bits(),
+            "{label}: entry {i} differs: {a:?} vs {b:?}"
+        );
+    }
+}
+
+/// The acceptance case: swap one corner block of a solved array and
+/// `resolve_perturbed` — the answer is bitwise the from-scratch sharded
+/// solve of the perturbed layout, and (when the plan really splits) at
+/// least one shard factor was reused.
+#[test]
+fn single_block_swap_is_bitwise_and_reuses_shards() {
+    let shards = env_shards();
+    let sim = build_sim(shards);
+    let bc = GlobalBc::ClampedTopBottom;
+    let loads = [-250.0, -100.0, 60.0];
+    let base = BlockLayout::uniform(6, 6, BlockKind::Tsv);
+    let cold = sim
+        .solve_array_many(&base, &loads, &bc)
+        .expect("cold sharded solve");
+    assert_eq!(cold[0].stats.backend, "sharded");
+    let k = cold[0].stats.shards;
+    assert_eq!(cold[0].stats.shards_refactored, k, "cold prepare is full");
+    assert_eq!(cold[0].stats.shards_reused, 0);
+
+    let mut perturbed = base.clone();
+    perturbed.set_kind(0, 0, BlockKind::Dummy);
+    let incremental = sim
+        .resolve_perturbed_many(&perturbed, &loads, &bc)
+        .expect("incremental re-solve");
+    let stats = incremental[0].stats;
+    assert_eq!(
+        stats.shards_refactored + stats.shards_reused,
+        k,
+        "every shard is either refactored or reused"
+    );
+    if k >= 2 {
+        assert!(
+            stats.shards_reused >= 1,
+            "a corner-block swap must leave some shard untouched (refactored {} of {k})",
+            stats.shards_refactored
+        );
+    }
+
+    let scratch = scratch_solve(&sim, shards, &perturbed, &loads, &bc);
+    for (inc, full) in incremental.iter().zip(&scratch) {
+        assert_bitwise(
+            "perturbed nodal displacement",
+            full.nodal_displacement(),
+            inc.nodal_displacement(),
+        );
+    }
+}
+
+/// Satellite-1 regression: the simulator's backend is built once and
+/// hoisted into every stage, so a re-preparation of an already-seen
+/// operator hits the backend's internal shard cache instead of paying for
+/// a fresh `Sharded` (fresh, empty cache) per call.
+#[test]
+fn hoisted_backend_reuses_shard_factors_across_prepares() {
+    let shards = env_shards();
+    let sim = build_sim(shards);
+    let bc = GlobalBc::ClampedTopBottom;
+    let layout = BlockLayout::uniform(5, 5, BlockKind::Tsv);
+    let first = sim
+        .solve_array_many(&layout, &[-250.0], &bc)
+        .expect("cold solve");
+    let backend = sim.sharded_backend().expect("sharded solver resolved");
+    let misses = backend.shard_cache().misses();
+    assert!(misses >= 1, "cold prepare must populate the shard cache");
+
+    // Drop the outer memo so the second solve genuinely re-prepares
+    // through the backend — with a per-call backend this re-factored
+    // every shard from nothing.
+    sim.factor_cache().clear();
+    let second = sim
+        .solve_array_many(&layout, &[-250.0], &bc)
+        .expect("re-prepared solve");
+    assert_eq!(
+        backend.shard_cache().misses(),
+        misses,
+        "re-preparing the same operator must hit the hoisted shard cache"
+    );
+    assert_eq!(second[0].stats.shards_refactored, 0, "nothing changed");
+    assert_eq!(second[0].stats.shards_reused, first[0].stats.shards);
+    for (a, b) in first.iter().zip(&second) {
+        assert_bitwise(
+            "re-prepared nodal displacement",
+            a.nodal_displacement(),
+            b.nodal_displacement(),
+        );
+    }
+}
+
+/// Swapping *every* block is still value-only (the pattern depends only
+/// on the lattice shape): the incremental route engages but finds every
+/// shard dirty — equivalent to a full prepare, and still bitwise.
+#[test]
+fn all_blocks_swapped_refactors_everything() {
+    let shards = env_shards();
+    let sim = build_sim(shards);
+    let bc = GlobalBc::ClampedTopBottom;
+    let loads = [-250.0, 75.0];
+    let base = BlockLayout::uniform(5, 5, BlockKind::Tsv);
+    let cold = sim
+        .solve_array_many(&base, &loads, &bc)
+        .expect("cold solve");
+    let k = cold[0].stats.shards;
+
+    let perturbed = BlockLayout::uniform(5, 5, BlockKind::Dummy);
+    let incremental = sim
+        .resolve_perturbed_many(&perturbed, &loads, &bc)
+        .expect("all-swapped re-solve");
+    assert_eq!(
+        incremental[0].stats.shards_refactored, k,
+        "every block changed, so every shard re-factors"
+    );
+    assert_eq!(incremental[0].stats.shards_reused, 0);
+    let scratch = scratch_solve(&sim, shards, &perturbed, &loads, &bc);
+    for (inc, full) in incremental.iter().zip(&scratch) {
+        assert_bitwise(
+            "all-swapped nodal displacement",
+            full.nodal_displacement(),
+            inc.nodal_displacement(),
+        );
+    }
+}
+
+/// A different lattice shape is a *pattern* change: no incremental reuse
+/// is possible, the backend takes the full route under a fresh plan, and
+/// the result is still correct.
+#[test]
+fn pattern_change_takes_the_full_route() {
+    let shards = env_shards();
+    let sim = build_sim(shards);
+    let bc = GlobalBc::ClampedTopBottom;
+    let loads = [-250.0];
+    sim.solve_array_many(&BlockLayout::uniform(6, 6, BlockKind::Tsv), &loads, &bc)
+        .expect("cold solve");
+
+    let reshaped = BlockLayout::uniform(5, 5, BlockKind::Tsv);
+    let solved = sim
+        .resolve_perturbed_many(&reshaped, &loads, &bc)
+        .expect("reshaped solve");
+    let stats = solved[0].stats;
+    assert_eq!(
+        stats.shards_refactored, stats.shards,
+        "a pattern change must re-factor everything under the new plan"
+    );
+    assert_eq!(stats.shards_reused, 0);
+    let scratch = scratch_solve(&sim, shards, &reshaped, &loads, &bc);
+    for (inc, full) in solved.iter().zip(&scratch) {
+        assert_bitwise(
+            "reshaped nodal displacement",
+            full.nodal_displacement(),
+            inc.nodal_displacement(),
+        );
+    }
+}
+
+/// `resolve_perturbed` (single-load convenience) agrees with the batched
+/// variant and with `solve_array` on a fresh simulator.
+#[test]
+fn resolve_perturbed_single_load_matches_batched() {
+    let shards = env_shards();
+    let sim = build_sim(shards);
+    let bc = GlobalBc::ClampedTopBottom;
+    let base = BlockLayout::uniform(4, 4, BlockKind::Tsv);
+    sim.solve_array(&base, -250.0, &bc).expect("cold solve");
+    let mut perturbed = base.clone();
+    perturbed.set_kind(1, 2, BlockKind::Dummy);
+    let single = sim
+        .resolve_perturbed(&perturbed, -250.0, &bc)
+        .expect("single-load re-solve");
+    let batched = sim
+        .resolve_perturbed_many(&perturbed, &[-250.0], &bc)
+        .expect("batched re-solve");
+    assert_bitwise(
+        "single vs batched",
+        batched[0].nodal_displacement(),
+        single.nodal_displacement(),
+    );
+}

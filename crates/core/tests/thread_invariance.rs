@@ -20,7 +20,7 @@ use morestress_core::{
 };
 use morestress_fem::MaterialSet;
 use morestress_linalg::{
-    CholeskyKernel, CooMatrix, DirectCholesky, FactorCache, FillOrdering, KernelChoice,
+    CholeskyKernel, CooMatrix, DirectCholesky, FactorCache, FillOrdering, KernelChoice, Sharded,
     SolverBackend, SupernodalCholesky, SupernodalOptions, WorkPool,
 };
 use morestress_mesh::{BlockKind, BlockLayout, BlockResolution, TsvGeometry};
@@ -369,6 +369,67 @@ fn sharded_global_solve_is_pool_size_invariant() {
                 "sharded vs monolithic beyond 1e-8 relative: {a} vs {b}"
             );
         }
+    }
+}
+
+#[test]
+fn incremental_reprepare_is_pool_size_invariant() {
+    // The PR-7 incremental route: solve a layout, swap one block
+    // (value-only — the pattern depends only on the lattice shape), and
+    // re-solve through the *same* hoisted backend so the dirty-shard
+    // re-factorization path runs. Dirty detection is structural, the
+    // dirty-shard fan-out writes disjoint slots, and the interface
+    // accumulation is serial in shard order — so both the base solve and
+    // the incremental re-solve must be bitwise identical at every pool
+    // cap, including a cap-1 serial pool and an oversubscribed one.
+    const SHARDS: usize = 4;
+    let tsv = WorkPool::new(REFERENCE_CAP).install(|| build_rom(BlockKind::Tsv));
+    let dummy = WorkPool::new(REFERENCE_CAP).install(|| build_rom(BlockKind::Dummy));
+    let base = BlockLayout::uniform(5, 5, BlockKind::Tsv);
+    let mut perturbed = base.clone();
+    perturbed.set_kind(0, 0, BlockKind::Dummy);
+    perturbed.set_kind(4, 4, BlockKind::Dummy);
+    let loads = [-250.0, -120.0, 75.0];
+    let run = |cap: usize| {
+        WorkPool::new(cap).install(|| {
+            let backend = Sharded::new(SHARDS);
+            let cache = FactorCache::new();
+            let stage = GlobalStage::new(&tsv)
+                .with_dummy(&dummy)
+                .expect("compatible ROMs")
+                .with_backend(&backend)
+                .with_cache(&cache)
+                .with_threads(64);
+            let cold = stage
+                .solve_many(&base, &loads, &GlobalBc::ClampedTopBottom)
+                .expect("cold sharded solve");
+            let incr = stage
+                .solve_many(&perturbed, &loads, &GlobalBc::ClampedTopBottom)
+                .expect("incremental re-solve");
+            let stats = incr[0].stats;
+            assert_eq!(
+                stats.shards_refactored + stats.shards_reused,
+                stats.shards,
+                "counter invariant at cap {cap}"
+            );
+            let flat = |batch: &[morestress_core::GlobalSolution]| -> Vec<f64> {
+                batch
+                    .iter()
+                    .flat_map(|sol| sol.nodal_displacement().iter().copied())
+                    .collect()
+            };
+            (flat(&cold), flat(&incr), stats.shards_refactored)
+        })
+    };
+    let (ref_cold, ref_incr, ref_dirty) = run(REFERENCE_CAP);
+    for cap in CAPS {
+        let (cold, incr, dirty) = run(cap);
+        assert_eq!(
+            dirty, ref_dirty,
+            "the dirty set must not depend on the pool cap"
+        );
+        assert_bitwise("cold sharded displacement", cap, &ref_cold, &cold);
+        assert_bitwise("incremental displacement", cap, &ref_incr, &incr);
     }
 }
 

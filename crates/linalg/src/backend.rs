@@ -227,6 +227,17 @@ pub struct SolveReport {
     /// memory any one shard needs, which is what sharding bounds (0 for
     /// monolithic backends, whose whole factor is one block).
     pub shard_factor_bytes: usize,
+    /// Interior shards whose factor + clique were (re)computed by the
+    /// preparation behind this solve. A from-scratch sharded prepare
+    /// refactors every shard (`shards_refactored == shards`); the
+    /// incremental re-preparation after a value-only perturbation
+    /// refactors only the touched shards. 0 for monolithic backends.
+    pub shards_refactored: usize,
+    /// Interior shards whose factor and stored clique were reused intact
+    /// from the previous preparation by the incremental sharded path
+    /// (`shards_refactored + shards_reused == shards` for the sharded
+    /// engine; 0 for monolithic backends and from-scratch prepares).
+    pub shards_reused: usize,
 }
 
 /// One solved right-hand side with its report.
@@ -272,6 +283,21 @@ pub trait SolverBackend: fmt::Debug + Send + Sync {
     /// preconditioner, restart length, …), mixed into [`FactorCache`] keys
     /// so differently-configured backends never share an entry.
     fn config_fingerprint(&self) -> u64;
+
+    /// Whether a cached solver prepared under a *different* configuration
+    /// fingerprint is still interchangeable with what `prepare(a)` would
+    /// produce for this configuration.
+    ///
+    /// [`FactorCache::prepare`] consults this after an exact-key miss, for
+    /// entries whose cached operator is value-identical to `a`: returning
+    /// `true` dedupes configurations that are spelled differently but
+    /// degenerate to the same prepared object (e.g. two requested shard
+    /// counts whose [`ShardPlan`](crate::ShardPlan)s collapse to the same
+    /// partition on a small operator). The default is conservative:
+    /// configurations never share entries.
+    fn accepts_cached(&self, _prepared: &PreparedSolver, _a: &CsrMatrix) -> bool {
+        false
+    }
 }
 
 /// A prepared direct factorization: the supernodal blocked kernel (the
@@ -348,11 +374,14 @@ impl DirectFactor {
 }
 
 enum Engine {
-    Direct(DirectFactor),
+    /// Boxed: a supernodal factor is by far the largest variant, and
+    /// `PreparedSolver`s travel through caches and `Arc`s by value.
+    Direct(Box<DirectFactor>),
     /// The domain-decomposition engine of the [`Sharded`](crate::Sharded)
     /// backend: per-shard interior factors + a factored interface Schur
-    /// complement.
-    Sharded(SchurSolver),
+    /// complement. `Arc`-shared so the backend can retain the previous
+    /// preparation as the base of the incremental re-factorization path.
+    Sharded(Arc<SchurSolver>),
     Cg {
         precond: Box<dyn Preconditioner + Send + Sync>,
         opts: CgOptions,
@@ -415,7 +444,7 @@ impl PreparedSolver {
     /// `Sharded::prepare` uses.
     pub(crate) fn from_sharded(
         matrix: Arc<CsrMatrix>,
-        schur: SchurSolver,
+        schur: Arc<SchurSolver>,
         setup_time: Duration,
     ) -> Self {
         let shared_bytes = schur.shared_bytes();
@@ -479,6 +508,25 @@ impl PreparedSolver {
                 schur.shard_factor_bytes(),
             ),
             _ => (1, 0, 0),
+        }
+    }
+
+    /// The sharded engine behind this solver, if any — the handle
+    /// `Sharded::prepare` retains as the base of the next incremental
+    /// re-preparation.
+    pub(crate) fn schur(&self) -> Option<&Arc<SchurSolver>> {
+        match &self.engine {
+            Engine::Sharded(schur) => Some(schur),
+            _ => None,
+        }
+    }
+
+    /// `(shards refactored, shards reused)` by the preparation behind this
+    /// solver; `(0, 0)` for monolithic backends.
+    fn reuse_info(&self) -> (usize, usize) {
+        match &self.engine {
+            Engine::Sharded(schur) => (schur.shards_refactored(), schur.shards_reused()),
+            _ => (0, 0),
         }
     }
 
@@ -565,6 +613,7 @@ impl PreparedSolver {
         let t0 = Instant::now();
         let (x, iterations, residual) = self.solve_one(b)?;
         let (shards, interface_dofs, shard_factor_bytes) = self.shard_info();
+        let (shards_refactored, shards_reused) = self.reuse_info();
         Ok(BackendSolution {
             x,
             report: SolveReport {
@@ -582,6 +631,8 @@ impl PreparedSolver {
                 shards,
                 interface_dofs,
                 shard_factor_bytes,
+                shards_refactored,
+                shards_reused,
             },
         })
     }
@@ -648,6 +699,8 @@ impl PreparedSolver {
                     shards: schur.num_shards(),
                     interface_dofs: schur.interface_dofs(),
                     shard_factor_bytes: schur.shard_factor_bytes(),
+                    shards_refactored: schur.shards_refactored(),
+                    shards_reused: schur.shards_reused(),
                 },
                 xs,
             });
@@ -707,6 +760,8 @@ impl PreparedSolver {
                 shards: 1,
                 interface_dofs: 0,
                 shard_factor_bytes: 0,
+                shards_refactored: 0,
+                shards_reused: 0,
             },
         })
     }
@@ -773,6 +828,8 @@ impl PreparedSolver {
                 shards: 1,
                 interface_dofs: 0,
                 shard_factor_bytes: 0,
+                shards_refactored: 0,
+                shards_reused: 0,
             },
         }
     }
@@ -915,7 +972,7 @@ impl SolverBackend for DirectCholesky {
             (self.panel_width.max(1) * a.nrows() + factor.tmp_len()) * std::mem::size_of::<f64>();
         Ok(PreparedSolver {
             matrix: a,
-            engine: Engine::Direct(factor),
+            engine: Engine::Direct(Box::new(factor)),
             setup_time: t0.elapsed(),
             shared_bytes,
             workspace_bytes,
@@ -1169,7 +1226,13 @@ impl Default for FactorCache {
 /// byte-wise variant on the multi-million-entry operators the global stage
 /// assembles per call, and any lost avalanche quality is covered by the
 /// exact matrix comparison every cache hit performs anyway.
-fn matrix_fingerprint(a: &CsrMatrix) -> u64 {
+///
+/// Public as the content-address every block-level reuse decision shares:
+/// [`FactorCache`] keys, and the per-block dirty detection of the
+/// [`Sharded`](crate::Sharded) incremental re-preparation (a fingerprint
+/// mismatch proves a block changed; equal fingerprints are confirmed by
+/// exact comparison before anything is reused).
+pub fn matrix_fingerprint(a: &CsrMatrix) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut mix = |v: u64| {
         h ^= v;
@@ -1226,10 +1289,28 @@ impl FactorCache {
         // A key match is only trusted after an exact comparison with the
         // cached operator: the O(nnz) check costs no more than the hash we
         // already computed and closes the fingerprint-collision hole.
+        //
+        // On an exact-key miss, entries holding the *same operator* under a
+        // different configuration fingerprint get a second chance through
+        // `SolverBackend::accepts_cached` — the dedupe for configurations
+        // that are spelled differently but prepare identically (e.g. shard
+        // counts that degenerate to one plan). Such a hit is served in
+        // place; no alias entry is inserted.
         let lookup = |entries: &mut Vec<CacheEntry>| -> Option<Arc<PreparedSolver>> {
             let pos = entries
                 .iter()
-                .position(|e| e.key == key && e.solver.matrix().as_ref() == a.as_ref())?;
+                .position(|e| e.key == key && e.solver.matrix().as_ref() == a.as_ref())
+                .or_else(|| {
+                    entries.iter().position(|e| {
+                        e.key.backend_config != key.backend_config
+                            && e.key.nrows == key.nrows
+                            && e.key.ncols == key.ncols
+                            && e.key.nnz == key.nnz
+                            && e.key.matrix_fingerprint == key.matrix_fingerprint
+                            && e.solver.matrix().as_ref() == a.as_ref()
+                            && backend.accepts_cached(&e.solver, a)
+                    })
+                })?;
             let entry = entries.remove(pos);
             let solver = Arc::clone(&entry.solver);
             entries.insert(0, entry); // LRU: move to front
@@ -1261,6 +1342,53 @@ impl FactorCache {
         entries.truncate(self.capacity);
         self.misses.fetch_add(1, Ordering::Relaxed);
         Ok(solver)
+    }
+
+    /// Looks up the cached prepared solver for `(backend, a)` without
+    /// preparing anything on a miss — the block-level probe the sharded
+    /// incremental path and diagnostics use. A successful lookup counts as
+    /// a hit and refreshes the entry's LRU position; a miss counts nothing
+    /// (the miss counter tracks preparations performed).
+    pub fn get(
+        &self,
+        backend: &dyn SolverBackend,
+        a: &Arc<CsrMatrix>,
+    ) -> Option<Arc<PreparedSolver>> {
+        let key = CacheKey {
+            backend_config: backend.config_fingerprint(),
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            nnz: a.nnz(),
+            matrix_fingerprint: matrix_fingerprint(a),
+        };
+        let mut entries = self.entries.lock().expect("factor cache poisoned");
+        let pos = entries
+            .iter()
+            .position(|e| e.key == key && e.solver.matrix().as_ref() == a.as_ref())?;
+        let entry = entries.remove(pos);
+        let solver = Arc::clone(&entry.solver);
+        entries.insert(0, entry);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(solver)
+    }
+
+    /// Drops every cached solver prepared for an operator value-identical
+    /// to `a` (any backend configuration), returning how many entries were
+    /// removed. The sharded incremental path calls this on the superseded
+    /// interior blocks and interface system of a perturbed prepare, so
+    /// stale factors never crowd live ones out of the LRU list.
+    pub fn invalidate(&self, a: &CsrMatrix) -> usize {
+        let fp = matrix_fingerprint(a);
+        let mut entries = self.entries.lock().expect("factor cache poisoned");
+        let before = entries.len();
+        entries.retain(|e| {
+            e.key.matrix_fingerprint != fp
+                || e.key.nrows != a.nrows()
+                || e.key.ncols != a.ncols()
+                || e.key.nnz != a.nnz()
+                || e.solver.matrix().as_ref() != a
+        });
+        before - entries.len()
     }
 
     /// Number of cache hits so far.

@@ -108,9 +108,9 @@ mod supernodal;
 mod vecops;
 
 pub use backend::{
-    default_solve_threads, Auto, BackendSolution, BatchSolution, Cg, CholeskyKernel,
-    DirectCholesky, FactorCache, Gmres, LinearOperator, PrecondSpec, PreparedSolver, SolveReport,
-    SolverBackend,
+    default_solve_threads, matrix_fingerprint, Auto, BackendSolution, BatchSolution, Cg,
+    CholeskyKernel, DirectCholesky, FactorCache, Gmres, LinearOperator, PrecondSpec,
+    PreparedSolver, SolveReport, SolverBackend,
 };
 pub use cholesky::SparseCholesky;
 pub use dense::{DenseLu, DenseMatrix};

@@ -50,7 +50,13 @@ const MIN_SPLIT: usize = 32;
 /// within the interface are sorted ascending, and shards are ordered by
 /// their smallest row index, so the plan (and every extraction order
 /// derived from it) is canonical.
-#[derive(Debug, Clone)]
+///
+/// Because the plan is canonical, `PartialEq` compares partitions
+/// semantically: two plans are equal exactly when they induce the same
+/// block structure — which is what the [`Sharded`](crate::Sharded) cache
+/// dedupe relies on when different requested shard counts degenerate to
+/// the same partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardPlan {
     /// Sorted interior row indices, one list per shard (all non-empty).
     shards: Vec<Vec<usize>>,

@@ -281,6 +281,16 @@ impl CsrMatrix {
         &mut self.values
     }
 
+    /// Whether `other` has the same dimensions and sparsity pattern
+    /// (ignoring values) — the precondition for value-only reuse paths
+    /// like the [`Sharded`](crate::Sharded) incremental re-preparation.
+    pub fn same_pattern(&self, other: &CsrMatrix) -> bool {
+        self.nrows == other.nrows
+            && self.ncols == other.ncols
+            && self.row_ptr == other.row_ptr
+            && self.col_idx == other.col_idx
+    }
+
     /// The columns and values of row `i`.
     #[inline]
     pub fn row(&self, i: usize) -> (&[usize], &[f64]) {

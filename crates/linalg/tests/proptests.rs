@@ -11,7 +11,8 @@ use morestress_linalg::{
     nested_dissection, reverse_cuthill_mckee, solve_cg, solve_gmres, Auto, CgOptions,
     CholeskyKernel, CooMatrix, CsrMatrix, DenseKernel, DenseMatrix, DirectCholesky, FactorCache,
     FillOrdering, GmresOptions, JacobiPreconditioner, KernelChoice, Permutation, ScalarKernel,
-    SolverBackend, SparseCholesky, SupernodalCholesky, SupernodalOptions, TaskDag, WorkPool,
+    ShardPlan, Sharded, SolverBackend, SparseCholesky, SupernodalCholesky, SupernodalOptions,
+    TaskDag, WorkPool,
 };
 use proptest::prelude::*;
 
@@ -587,6 +588,66 @@ proptest! {
         prop_assert_eq!(total.load(Ordering::Relaxed), outer * inner);
         let distinct = ids.lock().unwrap().len();
         prop_assert!(distinct <= cap, "{distinct} threads exceed shared cap {cap}");
+    }
+
+    /// Incremental sharded re-preparation under random value-only
+    /// perturbations: the dirty set is exactly the owning shards of the
+    /// perturbed interior rows (interface-row perturbations dirty no
+    /// shard), and the incremental solve is **bitwise identical** to a
+    /// from-scratch preparation of the perturbed operator — the PR-7
+    /// determinism contract.
+    #[test]
+    fn incremental_reprepare_is_bitwise_for_random_perturbations(
+        nx in 9usize..13,
+        ny in 8usize..11,
+        shards in 2usize..5,
+        picks in prop::collection::vec((0usize..1000, 0.1f64..3.0), 1..6)) {
+        let n = nx * ny;
+        let id = |i: usize, j: usize| j * nx + i;
+        let mut coo = CooMatrix::new(n, n);
+        for j in 0..ny {
+            for i in 0..nx {
+                let me = id(i, j);
+                coo.push(me, me, 4.1);
+                if i > 0 { coo.push(me, id(i - 1, j), -1.0); }
+                if i + 1 < nx { coo.push(me, id(i + 1, j), -1.0); }
+                if j > 0 { coo.push(me, id(i, j - 1), -1.0); }
+                if j + 1 < ny { coo.push(me, id(i, j + 1), -1.0); }
+            }
+        }
+        let a = Arc::new(coo.to_csr());
+        let backend = Sharded::new(shards);
+        backend.prepare(Arc::clone(&a)).expect("SPD lattice");
+
+        // Diagonal bumps keep the operator SPD and the pattern unchanged.
+        let plan = ShardPlan::build(&a, shards);
+        let mut perturbed = (*a).clone();
+        let mut owners = std::collections::HashSet::new();
+        for &(seed, amount) in &picks {
+            let row = seed % n;
+            perturbed.add_at(row, row, amount);
+            if let Some(k) = plan.owner(row) {
+                owners.insert(k);
+            }
+        }
+        let perturbed = Arc::new(perturbed);
+        let rhs: Vec<Vec<f64>> = (0..2)
+            .map(|k| (0..n).map(|i| ((i * (k + 3)) % 7) as f64 - 3.0).collect())
+            .collect();
+
+        let incremental = backend.prepare(Arc::clone(&perturbed)).expect("still SPD");
+        let scratch = Sharded::new(shards).prepare(Arc::clone(&perturbed)).expect("still SPD");
+        let bi = incremental.solve_many(&rhs, 4).expect("sharded solve");
+        let bs = scratch.solve_many(&rhs, 4).expect("sharded solve");
+        prop_assert_eq!(bi.report.shards_refactored, owners.len());
+        prop_assert_eq!(bi.report.shards_reused, plan.num_shards() - owners.len());
+        prop_assert_eq!(bs.report.shards_refactored, plan.num_shards());
+        for (x, y) in bi.xs.iter().zip(&bs.xs) {
+            for (p, q) in x.iter().zip(y) {
+                prop_assert_eq!(p.to_bits(), q.to_bits(),
+                    "incremental bits must match from-scratch bits");
+            }
+        }
     }
 
     /// A `FactorCache` is usable from many pool workers concurrently: all
