@@ -14,7 +14,8 @@ use std::time::{Duration, Instant};
 
 use morestress_fem::{DirichletBcs, ReducedSystem};
 use morestress_linalg::{
-    CgOptions, CsrMatrix, FactorCache, MemoryFootprint, PrecondSpec, SolverBackend,
+    CgOptions, CsrMatrix, DegradationTrail, FactorCache, MemoryFootprint, PrecondSpec,
+    SolverBackend,
 };
 use morestress_mesh::{BlockKind, BlockLayout};
 
@@ -303,6 +304,18 @@ pub struct GlobalStats {
     /// (`shards_refactored + shards_reused == shards` for a sharded
     /// prepare; 0 otherwise).
     pub shards_reused: usize,
+    /// Interior shards (plus one for the interface system, if affected)
+    /// whose direct factorization broke down and were contained by the
+    /// resilience ladder instead of aborting the solve. 0 on every clean
+    /// solve.
+    pub shards_degraded: usize,
+    /// Verified relative residual of the solve (worst over the batch),
+    /// when the backend's verification policy — or the resilient ladder's
+    /// self-verification — computed one. `None` when verification is off.
+    pub verified_residual: Option<f64>,
+    /// Structured history of every recovery the solve performed (ladder
+    /// escalations, stale-cache rebuilds). Empty on the clean path.
+    pub degradation: DegradationTrail,
 }
 
 /// The solved global problem of one array.
@@ -640,6 +653,9 @@ impl<'a> GlobalStage<'a> {
                 shard_factor_bytes: 0,
                 shards_refactored: 0,
                 shards_reused: 0,
+                shards_degraded: 0,
+                verified_residual: None,
+                degradation: DegradationTrail::new(),
             };
             return Ok(delta_ts
                 .iter()
@@ -673,11 +689,21 @@ impl<'a> GlobalStage<'a> {
             Some(external) => external,
             None => &*self.backend,
         };
-        let prepared = match self.cache {
-            Some(cache) => cache.prepare(backend, &reduced.a_ff)?,
-            None => Arc::new(backend.prepare(Arc::clone(&reduced.a_ff))?),
+        let batch = match self.cache {
+            // The cache-backed path self-heals: a cached factor that fails
+            // its solve (or needs more ladder recovery than its own
+            // preparation did) is invalidated, re-prepared from scratch and
+            // retried once, with the rebuild recorded as a `Rung::Rebuilt`
+            // step in the report's degradation trail.
+            Some(cache) => {
+                cache
+                    .solve_many_healing(backend, &reduced.a_ff, &rhs_set, self.threads)?
+                    .0
+            }
+            None => backend
+                .prepare(Arc::clone(&reduced.a_ff))?
+                .solve_many(&rhs_set, self.threads)?,
         };
-        let batch = prepared.solve_many(&rhs_set, self.threads)?;
         peak_bytes += batch.report.solver_bytes;
 
         let stats = GlobalStats {
@@ -696,6 +722,9 @@ impl<'a> GlobalStage<'a> {
             shard_factor_bytes: batch.report.shard_factor_bytes,
             shards_refactored: batch.report.shards_refactored,
             shards_reused: batch.report.shards_reused,
+            shards_degraded: batch.report.shards_degraded,
+            verified_residual: batch.report.verified_residual,
+            degradation: batch.report.degradation,
         };
         Ok(batch
             .xs

@@ -169,6 +169,130 @@ impl PrecondSpec {
 }
 
 // ---------------------------------------------------------------------------
+// Verification + degradation ladder types
+// ---------------------------------------------------------------------------
+
+/// Residual-verification policy for prepared solves.
+///
+/// Verification computes the true relative residual `‖b − Ax‖/‖b‖` against
+/// the *original* operator after every solve — an O(nnz) SpMV, negligible
+/// next to a factorization — and records it in
+/// [`SolveReport::verified_residual`]. It never mutates the solution, so
+/// turning it on cannot change solve results bitwise.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum VerifyPolicy {
+    /// No residual verification (the default).
+    #[default]
+    Off,
+    /// Compute and record the residual; never fail the solve.
+    Report,
+    /// Compute and record the residual; a residual above `tol` (or a
+    /// non-finite one) fails the solve with
+    /// [`LinalgError::DidNotConverge`] — or, under the resilient ladder,
+    /// triggers the next rung.
+    Enforce {
+        /// Largest acceptable relative residual.
+        tol: f64,
+    },
+}
+
+impl VerifyPolicy {
+    pub(crate) fn fingerprint(&self) -> u64 {
+        match *self {
+            VerifyPolicy::Off => 0,
+            VerifyPolicy::Report => 0x5,
+            VerifyPolicy::Enforce { tol } => 0xA ^ tol.to_bits().rotate_left(8),
+        }
+    }
+}
+
+/// Rungs of the resilience degradation ladder, in escalation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rung {
+    /// Iterative refinement reusing the existing (possibly shifted) factor.
+    Refined,
+    /// Diagonal-shift regularized re-factorization.
+    Regularized,
+    /// GMRES on the raw operator action.
+    Gmres,
+    /// A suspect cached factor was invalidated and re-prepared from
+    /// scratch (the [`FactorCache`] stale-entry self-heal).
+    Rebuilt,
+}
+
+/// One recorded escalation of the degradation ladder: the rung the solve
+/// moved to, and the typed error that forced the move.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationStep {
+    /// Rung the ladder escalated to.
+    pub rung: Rung,
+    /// The failure that triggered the escalation.
+    pub error: LinalgError,
+}
+
+/// Maximum [`DegradationStep`]s a trail retains.
+pub const MAX_DEGRADATION_STEPS: usize = 4;
+
+/// A fixed-capacity, `Copy` trail of [`DegradationStep`]s — the structured
+/// history of every recovery a prepare/solve performed, carried in
+/// [`SolveReport::degradation`] instead of being discarded. At most
+/// [`MAX_DEGRADATION_STEPS`] steps are kept (the ladder has fewer rungs, so
+/// saturation only loses repeats).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DegradationTrail {
+    steps: [Option<DegradationStep>; MAX_DEGRADATION_STEPS],
+}
+
+impl DegradationTrail {
+    /// An empty trail.
+    pub const fn new() -> Self {
+        Self {
+            steps: [None; MAX_DEGRADATION_STEPS],
+        }
+    }
+
+    /// Records a step (saturating: steps past the capacity are dropped).
+    pub fn push(&mut self, step: DegradationStep) {
+        if let Some(slot) = self.steps.iter_mut().find(|s| s.is_none()) {
+            *slot = Some(step);
+        }
+    }
+
+    /// The recorded steps, in escalation order.
+    pub fn steps(&self) -> impl Iterator<Item = &DegradationStep> {
+        self.steps.iter().flatten()
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.steps.iter().flatten().count()
+    }
+
+    /// Whether no degradation was recorded (the clean path).
+    pub fn is_empty(&self) -> bool {
+        self.steps[0].is_none()
+    }
+
+    /// The deepest rung reached, if any degradation was recorded.
+    pub fn last(&self) -> Option<&DegradationStep> {
+        self.steps.iter().flatten().last()
+    }
+}
+
+/// Fails with [`LinalgError::NonFinite`] if `values` holds a NaN/Inf.
+pub(crate) fn check_finite(values: &[f64], context: &'static str) -> Result<(), LinalgError> {
+    match values.iter().position(|v| !v.is_finite()) {
+        Some(index) => Err(LinalgError::NonFinite { context, index }),
+        None => Ok(()),
+    }
+}
+
+/// Scans the stored operator values for NaN/Inf (O(nnz)).
+pub(crate) fn check_finite_matrix(a: &CsrMatrix) -> Result<(), LinalgError> {
+    check_finite(a.values(), "operator")
+}
+
+// ---------------------------------------------------------------------------
 // SolveReport
 // ---------------------------------------------------------------------------
 
@@ -238,6 +362,21 @@ pub struct SolveReport {
     /// (`shards_refactored + shards_reused == shards` for the sharded
     /// engine; 0 for monolithic backends and from-scratch prepares).
     pub shards_reused: usize,
+    /// True relative residual `‖b − Ax‖/‖b‖` against the original operator
+    /// (worst over the batch), when a [`VerifyPolicy`] other than `Off` is
+    /// active or the resilient ladder ran; `None` when verification is off.
+    pub verified_residual: Option<f64>,
+    /// Structured trail of every degradation-ladder escalation behind this
+    /// solve — preparation-time steps (regularized re-factor, GMRES
+    /// fallback) followed by solve-time steps (refinement, GMRES rung).
+    /// Empty on the clean path. For batched solves, the deepest per-RHS
+    /// trail is reported.
+    pub degradation: DegradationTrail,
+    /// Blocks of the sharded engine running on a degraded (regularized or
+    /// iterative) solver instead of a clean direct factor — interior shards
+    /// plus, when the interface system itself fell down the ladder, one
+    /// more. 0 for monolithic backends and fully-clean sharded solves.
+    pub shards_degraded: usize,
 }
 
 /// One solved right-hand side with its report.
@@ -390,6 +529,10 @@ enum Engine {
         precond: Box<dyn Preconditioner + Send + Sync>,
         opts: GmresOptions,
     },
+    /// The degradation-ladder engine of the [`Resilient`] backend: a direct
+    /// factor (possibly of a diagonally-shifted operator) plus the
+    /// refinement and lazily-built GMRES rungs below it.
+    Resilient(ResilientEngine),
 }
 
 impl Engine {
@@ -399,7 +542,141 @@ impl Engine {
             Engine::Sharded(_) => "sharded",
             Engine::Cg { .. } => "cg",
             Engine::Gmres { .. } => "gmres",
+            Engine::Resilient(_) => "resilient",
         }
+    }
+}
+
+/// Runtime state of the [`Resilient`] ladder: the direct rung and the
+/// machinery to fall below it per solve.
+pub(crate) struct ResilientEngine {
+    /// The prepared direct rung — a factor of `A` itself (`shift == 0`) or
+    /// of the regularized `A + shift·I`.
+    direct: Arc<PreparedSolver>,
+    /// Diagonal shift of the factored operator (0 for a clean factor).
+    shift: f64,
+    /// Enforced relative-residual tolerance of the ladder.
+    tol: f64,
+    /// Refinement budget of the refinement rung.
+    refine: crate::RefineOptions,
+    /// Options of the GMRES bottom rung.
+    gmres_opts: GmresOptions,
+    /// The GMRES rung, built on first use (most solves never reach it).
+    gmres: Mutex<Option<Arc<PreparedSolver>>>,
+}
+
+impl ResilientEngine {
+    /// Walks the solve-time rungs for one right-hand side: direct solve →
+    /// verified residual → iterative refinement reusing the factor → GMRES.
+    fn solve(&self, a: &Arc<CsrMatrix>, b: &[f64]) -> EngineResult {
+        let mut trail = DegradationTrail::new();
+        let mut x = match self.direct.solve(b) {
+            Ok(sol) => sol.x,
+            // A non-finite direct solution (severely ill-conditioned
+            // factor) cannot be refined — fall straight to GMRES.
+            Err(err) => return self.gmres_rung(a, b, err, 0, &mut trail),
+        };
+        let rr = a.residual(&x, b);
+        if rr <= self.tol {
+            return Ok(EngineSolve {
+                x,
+                iterations: None,
+                residual: None,
+                verified: Some(rr),
+                trail,
+            });
+        }
+        // Refinement rung: reuse the (possibly shifted) factor to solve the
+        // correction equation. Stall detection keeps the best iterate.
+        trail.push(DegradationStep {
+            rung: Rung::Refined,
+            error: LinalgError::DidNotConverge {
+                iterations: 0,
+                residual: rr,
+                restarts: 0,
+            },
+        });
+        let factor = &self.direct;
+        let (sweeps, refined) = crate::refine(
+            a.as_ref(),
+            b,
+            &mut x,
+            |r| match factor.solve(r) {
+                Ok(sol) => sol.x,
+                // A non-finite correction stalls the sweep, which rolls
+                // back to the best iterate and stops.
+                Err(_) => vec![f64::NAN; r.len()],
+            },
+            crate::RefineOptions {
+                tol: self.tol,
+                ..self.refine
+            },
+        );
+        if refined <= self.tol {
+            return Ok(EngineSolve {
+                x,
+                iterations: Some(sweeps),
+                residual: Some(refined),
+                verified: Some(refined),
+                trail,
+            });
+        }
+        self.gmres_rung(
+            a,
+            b,
+            LinalgError::DidNotConverge {
+                iterations: sweeps,
+                residual: refined,
+                restarts: 0,
+            },
+            sweeps,
+            &mut trail,
+        )
+    }
+
+    /// The bottom rung: GMRES on the original operator action, prepared
+    /// lazily and shared across right-hand sides.
+    fn gmres_rung(
+        &self,
+        a: &Arc<CsrMatrix>,
+        b: &[f64],
+        cause: LinalgError,
+        sweeps: usize,
+        trail: &mut DegradationTrail,
+    ) -> EngineResult {
+        trail.push(DegradationStep {
+            rung: Rung::Gmres,
+            error: cause,
+        });
+        let gmres = {
+            let mut slot = self.gmres.lock().expect("gmres rung poisoned");
+            match &*slot {
+                Some(prepared) => Arc::clone(prepared),
+                None => {
+                    let prepared = Arc::new(
+                        Gmres {
+                            opts: GmresOptions {
+                                tol: self.tol,
+                                ..self.gmres_opts
+                            },
+                            precond: PrecondSpec::Jacobi,
+                        }
+                        .prepare(Arc::clone(a))?,
+                    );
+                    *slot = Some(Arc::clone(&prepared));
+                    prepared
+                }
+            }
+        };
+        let sol = gmres.solve(b)?;
+        let rr = a.residual(&sol.x, b);
+        Ok(EngineSolve {
+            x: sol.x,
+            iterations: sol.report.iterations.map(|it| it + sweeps),
+            residual: sol.report.residual,
+            verified: Some(rr),
+            trail: *trail,
+        })
     }
 }
 
@@ -423,6 +700,13 @@ pub struct PreparedSolver {
     /// Right-hand sides per panel of the batched direct path (1 collapses
     /// it to task-per-RHS; ignored by the iterative engines).
     panel_width: usize,
+    /// Residual-verification policy every solve through this solver runs
+    /// under (the resilient engine self-verifies and ignores this).
+    verify: VerifyPolicy,
+    /// Degradation steps recorded while *preparing* this solver (regularized
+    /// re-factor, prepare-time GMRES fallback) — the prefix of every
+    /// [`SolveReport::degradation`] trail it emits.
+    prep_trail: DegradationTrail,
 }
 
 impl fmt::Debug for PreparedSolver {
@@ -436,8 +720,19 @@ impl fmt::Debug for PreparedSolver {
     }
 }
 
-/// `(x, iterations, residual)` of one engine solve.
-type EngineResult = Result<(Vec<f64>, Option<usize>, Option<f64>), LinalgError>;
+/// One engine solve: the solution plus its accounting.
+struct EngineSolve {
+    x: Vec<f64>,
+    iterations: Option<usize>,
+    residual: Option<f64>,
+    /// True relative residual, when the engine verified it itself (the
+    /// resilient ladder always does).
+    verified: Option<f64>,
+    /// Solve-time degradation steps (empty for every non-resilient engine).
+    trail: DegradationTrail,
+}
+
+type EngineResult = Result<EngineSolve, LinalgError>;
 
 impl PreparedSolver {
     /// Wraps an assembled [`SchurSolver`] — the constructor
@@ -446,9 +741,13 @@ impl PreparedSolver {
         matrix: Arc<CsrMatrix>,
         schur: Arc<SchurSolver>,
         setup_time: Duration,
+        verify: VerifyPolicy,
     ) -> Self {
         let shared_bytes = schur.shared_bytes();
         let workspace_bytes = schur.workspace_bytes();
+        // A preparation that contained per-shard breakdowns carries the
+        // first contained shard's ladder trail as its own.
+        let prep_trail = schur.degradation_trail();
         Self {
             matrix,
             engine: Engine::Sharded(schur),
@@ -456,7 +755,38 @@ impl PreparedSolver {
             shared_bytes,
             workspace_bytes,
             panel_width: 1,
+            verify,
+            prep_trail,
         }
+    }
+
+    /// Degradation steps recorded while preparing this solver (empty on the
+    /// clean path) — the prefix of every report trail it emits.
+    pub fn prep_degradation(&self) -> &DegradationTrail {
+        &self.prep_trail
+    }
+
+    /// The verification policy solves through this solver run under.
+    pub fn verify_policy(&self) -> VerifyPolicy {
+        self.verify
+    }
+
+    /// Test-support: rebinds the prepared engine to a different operator
+    /// handle, deliberately making the factor inconsistent with the matrix
+    /// it claims to solve — the fault-injection cache corruption.
+    pub(crate) fn rebind_matrix(mut self, matrix: Arc<CsrMatrix>) -> Self {
+        self.matrix = matrix;
+        self
+    }
+
+    /// This solver with its verification policy replaced — the way to turn
+    /// residual verification on for backends whose configuration does not
+    /// expose it (the iterative engines), or to tighten/loosen it after
+    /// preparation. Verification never mutates the solution, so changing
+    /// the policy never changes solve results, only their checking.
+    pub fn with_verify(mut self, verify: VerifyPolicy) -> Self {
+        self.verify = verify;
+        self
     }
 
     /// Name of the backend that prepared this solver.
@@ -573,34 +903,90 @@ impl PreparedSolver {
         }
     }
 
-    fn solve_one(&self, b: &[f64]) -> EngineResult {
+    /// Degraded blocks of the sharded engine behind this solver (0 for
+    /// monolithic backends).
+    fn shards_degraded(&self) -> usize {
         match &self.engine {
-            Engine::Direct(factor) => Ok((factor.solve(b), None, None)),
+            Engine::Sharded(schur) => schur.shards_degraded(),
+            _ => 0,
+        }
+    }
+
+    fn solve_one(&self, b: &[f64]) -> EngineResult {
+        let clean = |(x, iterations, residual)| EngineSolve {
+            x,
+            iterations,
+            residual,
+            verified: None,
+            trail: DegradationTrail::new(),
+        };
+        match &self.engine {
+            Engine::Direct(factor) => Ok(clean((factor.solve(b), None, None))),
             Engine::Sharded(schur) => {
                 let (mut xs, iterations, residual, _workers) =
                     schur.solve_many(std::slice::from_ref(&b.to_vec()), 1)?;
-                Ok((
+                Ok(clean((
                     xs.pop().expect("one right-hand side in, one solution out"),
                     iterations,
                     residual,
-                ))
+                )))
             }
             Engine::Cg { precond, opts } => {
                 let sol = solve_cg(&*self.matrix, b, &**precond, *opts)?;
-                Ok((sol.x, Some(sol.iterations), Some(sol.residual)))
+                Ok(clean((sol.x, Some(sol.iterations), Some(sol.residual))))
             }
             Engine::Gmres { precond, opts } => {
                 let sol = solve_gmres(&*self.matrix, b, &**precond, *opts)?;
-                Ok((sol.x, Some(sol.iterations), Some(sol.residual)))
+                Ok(clean((sol.x, Some(sol.iterations), Some(sol.residual))))
+            }
+            Engine::Resilient(res) => res.solve(&self.matrix, b),
+        }
+    }
+
+    /// Runs the [`VerifyPolicy`] over one solved right-hand side. The
+    /// resilient engine verifies itself (`already`), so only the policy
+    /// bookkeeping applies there.
+    fn verify_one(
+        &self,
+        b: &[f64],
+        x: &[f64],
+        iterations: Option<usize>,
+        already: Option<f64>,
+    ) -> Result<Option<f64>, LinalgError> {
+        let rr = match (already, self.verify) {
+            (Some(rr), _) => rr,
+            (None, VerifyPolicy::Off) => return Ok(None),
+            (None, _) => self.matrix.residual(x, b),
+        };
+        if let VerifyPolicy::Enforce { tol } = self.verify {
+            // NaN residuals must fail enforcement too.
+            if rr.is_nan() || rr > tol {
+                return Err(LinalgError::DidNotConverge {
+                    iterations: iterations.unwrap_or(0),
+                    residual: rr,
+                    restarts: 0,
+                });
             }
         }
+        Ok(Some(rr))
+    }
+
+    /// Merges the preparation trail with the deepest solve-time trail.
+    fn full_trail(&self, solve_trail: DegradationTrail) -> DegradationTrail {
+        let mut trail = self.prep_trail;
+        for step in solve_trail.steps() {
+            trail.push(*step);
+        }
+        trail
     }
 
     /// Solves `A x = b` for one right-hand side.
     ///
     /// # Errors
     ///
-    /// [`LinalgError::DidNotConverge`] from the iterative engines;
+    /// [`LinalgError::DidNotConverge`] from the iterative engines or a
+    /// failed [`VerifyPolicy::Enforce`] check;
+    /// [`LinalgError::NonFinite`] for a NaN/Inf in `b` or the solution;
     /// [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
     pub fn solve(&self, b: &[f64]) -> Result<BackendSolution, LinalgError> {
         if b.len() != self.dim() {
@@ -610,8 +996,17 @@ impl PreparedSolver {
                 found: b.len(),
             });
         }
+        check_finite(b, "rhs")?;
         let t0 = Instant::now();
-        let (x, iterations, residual) = self.solve_one(b)?;
+        let EngineSolve {
+            x,
+            iterations,
+            residual,
+            verified,
+            trail,
+        } = self.solve_one(b)?;
+        check_finite(&x, "solution")?;
+        let verified_residual = self.verify_one(b, &x, iterations, verified)?;
         let (shards, interface_dofs, shard_factor_bytes) = self.shard_info();
         let (shards_refactored, shards_reused) = self.reuse_info();
         Ok(BackendSolution {
@@ -633,6 +1028,9 @@ impl PreparedSolver {
                 shard_factor_bytes,
                 shards_refactored,
                 shards_reused,
+                verified_residual,
+                degradation: self.full_trail(trail),
+                shards_degraded: self.shards_degraded(),
             },
         })
     }
@@ -672,13 +1070,23 @@ impl PreparedSolver {
                     found: b.len(),
                 });
             }
+            check_finite(b, "rhs")?;
         }
         let t0 = Instant::now();
         if let Engine::Direct(factor) = &self.engine {
-            return Ok(self.solve_many_panels(factor, rhs, threads, t0));
+            let mut batch = self.solve_many_panels(factor, rhs, threads, t0);
+            for x in &batch.xs {
+                check_finite(x, "solution")?;
+            }
+            batch.report.verified_residual = self.verify_batch(rhs, &batch.xs)?;
+            return Ok(batch);
         }
         if let Engine::Sharded(schur) = &self.engine {
             let (xs, iterations, residual, workers) = schur.solve_many(rhs, threads)?;
+            for x in &xs {
+                check_finite(x, "solution")?;
+            }
+            let verified_residual = self.verify_batch(rhs, &xs)?;
             return Ok(BatchSolution {
                 report: SolveReport {
                     backend: self.engine.label(),
@@ -701,9 +1109,35 @@ impl PreparedSolver {
                     shard_factor_bytes: schur.shard_factor_bytes(),
                     shards_refactored: schur.shards_refactored(),
                     shards_reused: schur.shards_reused(),
+                    verified_residual,
+                    degradation: self.prep_trail,
+                    shards_degraded: schur.shards_degraded(),
                 },
                 xs,
             });
+        }
+        if let Engine::Resilient(res) = &self.engine {
+            // Clean fast path (unshifted factor only): the whole batch
+            // through the inner factor's panel-blocked solve — bitwise
+            // identical to the plain direct backend — then one verification
+            // sweep. Any tolerance miss, or a broken panel solve, sends the
+            // batch down the task-per-RHS ladder path below instead.
+            if res.shift == 0.0 {
+                if let Ok(mut batch) = res.direct.solve_many(rhs, threads) {
+                    let worst = rhs
+                        .iter()
+                        .zip(&batch.xs)
+                        .map(|(b, x)| self.matrix.residual(x, b))
+                        .fold(0.0f64, f64::max);
+                    if worst <= res.tol {
+                        batch.report.backend = self.engine.label();
+                        batch.report.setup_time = self.setup_time;
+                        batch.report.verified_residual = Some(worst);
+                        batch.report.degradation = self.prep_trail;
+                        return Ok(batch);
+                    }
+                }
+            }
         }
         let pool = WorkPool::current();
         let concurrency = threads.max(1).min(rhs.len().max(1)).min(pool.cap());
@@ -732,15 +1166,24 @@ impl PreparedSolver {
         let mut xs = Vec::with_capacity(rhs.len());
         let mut iterations: Option<usize> = None;
         let mut residual: Option<f64> = None;
-        for result in results {
-            let (x, it, res) = result?;
-            if let Some(it) = it {
+        let mut verified_worst: Option<f64> = None;
+        let mut deepest = DegradationTrail::new();
+        for (i, result) in results.into_iter().enumerate() {
+            let es = result?;
+            check_finite(&es.x, "solution")?;
+            if let Some(rr) = self.verify_one(&rhs[i], &es.x, es.iterations, es.verified)? {
+                verified_worst = Some(verified_worst.map_or(rr, |worst: f64| worst.max(rr)));
+            }
+            if es.trail.len() > deepest.len() {
+                deepest = es.trail;
+            }
+            if let Some(it) = es.iterations {
                 iterations = Some(iterations.unwrap_or(0) + it);
             }
-            if let Some(res) = res {
+            if let Some(res) = es.residual {
                 residual = Some(residual.map_or(res, |worst: f64| worst.max(res)));
             }
-            xs.push(x);
+            xs.push(es.x);
         }
         Ok(BatchSolution {
             xs,
@@ -762,8 +1205,40 @@ impl PreparedSolver {
                 shard_factor_bytes: 0,
                 shards_refactored: 0,
                 shards_reused: 0,
+                verified_residual: verified_worst,
+                degradation: self.full_trail(deepest),
+                shards_degraded: 0,
             },
         })
+    }
+
+    /// Runs the [`VerifyPolicy`] over a solved batch, recording the worst
+    /// relative residual.
+    fn verify_batch(&self, rhs: &[Vec<f64>], xs: &[Vec<f64>]) -> Result<Option<f64>, LinalgError> {
+        if matches!(self.verify, VerifyPolicy::Off) {
+            return Ok(None);
+        }
+        let mut worst: f64 = 0.0;
+        for (b, x) in rhs.iter().zip(xs) {
+            let rr = self.matrix.residual(x, b);
+            // `f64::max` would silently drop a NaN residual; pin it to ∞ so
+            // it survives the fold and fails enforcement.
+            worst = if rr.is_nan() {
+                f64::INFINITY
+            } else {
+                worst.max(rr)
+            };
+        }
+        if let VerifyPolicy::Enforce { tol } = self.verify {
+            if worst > tol {
+                return Err(LinalgError::DidNotConverge {
+                    iterations: 0,
+                    residual: worst,
+                    restarts: 0,
+                });
+            }
+        }
+        Ok(Some(worst))
     }
 
     /// The batched direct path: pool-distributed panels with per-worker
@@ -830,6 +1305,10 @@ impl PreparedSolver {
                 shard_factor_bytes: 0,
                 shards_refactored: 0,
                 shards_reused: 0,
+                // Filled by the `solve_many` wrapper after the panels land.
+                verified_residual: None,
+                degradation: self.prep_trail,
+                shards_degraded: 0,
             },
         }
     }
@@ -896,6 +1375,10 @@ pub struct DirectCholesky {
     /// Supernode detection tuning (width cap, relaxed-amalgamation
     /// budget). Ignored by the scalar kernel.
     pub supernodal: SupernodalOptions,
+    /// Residual-verification policy for every solve through the prepared
+    /// solver (default: [`VerifyPolicy::Off`]). Verification never mutates
+    /// the solution, so `Report` is bitwise-free telemetry.
+    pub verify: VerifyPolicy,
 }
 
 impl Default for DirectCholesky {
@@ -906,6 +1389,7 @@ impl Default for DirectCholesky {
             panel_width: 8,
             parallel_factor: true,
             supernodal: SupernodalOptions::default(),
+            verify: VerifyPolicy::Off,
         }
     }
 }
@@ -948,6 +1432,7 @@ impl SolverBackend for DirectCholesky {
 
     fn prepare(&self, a: Arc<CsrMatrix>) -> Result<PreparedSolver, LinalgError> {
         let t0 = Instant::now();
+        check_finite_matrix(&a)?;
         let perm = self.ordering.permutation(&a);
         let factor = match self.kernel {
             CholeskyKernel::Supernodal => {
@@ -977,6 +1462,8 @@ impl SolverBackend for DirectCholesky {
             shared_bytes,
             workspace_bytes,
             panel_width: self.panel_width.max(1),
+            verify: self.verify,
+            prep_trail: DegradationTrail::new(),
         })
     }
 
@@ -1004,6 +1491,7 @@ impl SolverBackend for DirectCholesky {
             ^ (self.supernodal.small_width as u64).rotate_left(56)
             ^ self.supernodal.chunk_work.rotate_left(16)
             ^ self.supernodal.kernel.fingerprint().rotate_left(4)
+            ^ self.verify.fingerprint().rotate_left(36)
     }
 }
 
@@ -1042,6 +1530,7 @@ impl SolverBackend for Cg {
 
     fn prepare(&self, a: Arc<CsrMatrix>) -> Result<PreparedSolver, LinalgError> {
         let t0 = Instant::now();
+        check_finite_matrix(&a)?;
         let n = a.nrows();
         let (precond, precond_bytes) = self.precond.build(&a);
         Ok(PreparedSolver {
@@ -1055,6 +1544,8 @@ impl SolverBackend for Cg {
             // The 5 CG work vectors, per concurrent solve.
             workspace_bytes: 5 * n * std::mem::size_of::<f64>(),
             panel_width: 1,
+            verify: VerifyPolicy::Off,
+            prep_trail: DegradationTrail::new(),
         })
     }
 
@@ -1101,6 +1592,7 @@ impl SolverBackend for Gmres {
 
     fn prepare(&self, a: Arc<CsrMatrix>) -> Result<PreparedSolver, LinalgError> {
         let t0 = Instant::now();
+        check_finite_matrix(&a)?;
         let n = a.nrows();
         let (precond, precond_bytes) = self.precond.build(&a);
         Ok(PreparedSolver {
@@ -1114,6 +1606,8 @@ impl SolverBackend for Gmres {
             // `restart + 1` Krylov vectors, per concurrent solve.
             workspace_bytes: (self.opts.restart + 1) * n * std::mem::size_of::<f64>(),
             panel_width: 1,
+            verify: VerifyPolicy::Off,
+            prep_trail: DegradationTrail::new(),
         })
     }
 
@@ -1122,6 +1616,182 @@ impl SolverBackend for Gmres {
             ^ (self.opts.restart as u64).rotate_left(16)
             ^ (self.opts.max_restarts as u64).rotate_left(24)
             ^ self.precond.fingerprint().rotate_left(32)
+    }
+}
+
+/// The degradation-ladder backend: direct Cholesky hardened with verified
+/// residuals, iterative refinement, diagonal-shift regularization and a
+/// GMRES bottom rung.
+///
+/// The ladder escalates in order and records every transition as a
+/// [`DegradationStep`] in [`SolveReport::degradation`]:
+///
+/// 1. **direct factor** of the operator ([`DirectCholesky`] — the clean
+///    path, bitwise identical to the plain direct backend);
+/// 2. **iterative refinement** reusing that factor when the verified
+///    residual misses `tol`;
+/// 3. **diagonal-shift regularized re-factor** (`A + δ·I`, escalating δ)
+///    when factorization rejects the operator as not positive definite —
+///    its solves refine against the *original* operator;
+/// 4. **GMRES** on the raw operator action.
+///
+/// A solve through this backend either meets `tol`, succeeds with the
+/// degradation recorded, or returns a typed [`LinalgError`] — it never
+/// panics on ill-conditioned, indefinite, singular or NaN-poisoned input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Resilient {
+    /// Configuration of the direct first rung.
+    pub inner: DirectCholesky,
+    /// Relative-residual tolerance the ladder enforces (and the iterative
+    /// rungs target).
+    pub tol: f64,
+    /// Refinement sweeps budget of the refinement rung.
+    pub max_refine_sweeps: usize,
+    /// Initial diagonal shift of the regularization rung, relative to the
+    /// largest absolute diagonal entry.
+    pub shift_rel: f64,
+    /// Multiplicative escalation between shift attempts.
+    pub shift_growth: f64,
+    /// Regularized re-factor attempts before falling to GMRES.
+    pub shift_attempts: usize,
+}
+
+impl Default for Resilient {
+    fn default() -> Self {
+        Self {
+            inner: DirectCholesky::default(),
+            tol: 1e-8,
+            max_refine_sweeps: 8,
+            shift_rel: 1e-8,
+            shift_growth: 1e4,
+            shift_attempts: 3,
+        }
+    }
+}
+
+impl Resilient {
+    /// The ladder at enforcement tolerance `tol`.
+    pub fn with_tol(tol: f64) -> Self {
+        Self {
+            tol,
+            ..Self::default()
+        }
+    }
+}
+
+/// A value-copy of `a` with `shift` added to every diagonal entry
+/// (inserting diagonal entries absent from the pattern, so regularization
+/// never hits an off-pattern panic). Shared with the fault-injection
+/// machinery, which uses large shifts to build deliberately-wrong factors.
+pub(crate) fn shifted_copy(a: &CsrMatrix, shift: f64) -> CsrMatrix {
+    let mut coo = crate::CooMatrix::new(a.nrows(), a.ncols());
+    for i in 0..a.nrows() {
+        let (cols, vals) = a.row(i);
+        for (&j, &v) in cols.iter().zip(vals) {
+            coo.push(i, j, v);
+        }
+    }
+    for i in 0..a.nrows().min(a.ncols()) {
+        coo.push(i, i, shift);
+    }
+    coo.to_csr()
+}
+
+impl SolverBackend for Resilient {
+    fn name(&self) -> &'static str {
+        "resilient"
+    }
+
+    fn prepare(&self, a: Arc<CsrMatrix>) -> Result<PreparedSolver, LinalgError> {
+        let t0 = Instant::now();
+        check_finite_matrix(&a)?;
+        let inner = DirectCholesky {
+            verify: VerifyPolicy::Off,
+            ..self.inner
+        };
+        let mut trail = DegradationTrail::new();
+        let direct = match inner.prepare(Arc::clone(&a)) {
+            Ok(prepared) => Some((Arc::new(prepared), 0.0)),
+            Err(err @ LinalgError::NotPositiveDefinite { .. }) => {
+                // Regularization rung: re-factor A + δ·I with escalating δ.
+                trail.push(DegradationStep {
+                    rung: Rung::Regularized,
+                    error: err,
+                });
+                let max_diag = a
+                    .diagonal()
+                    .iter()
+                    .fold(0.0f64, |m, d| m.max(d.abs()))
+                    .max(1.0);
+                let mut shift = self.shift_rel.max(f64::MIN_POSITIVE) * max_diag;
+                let mut last_err = err;
+                let mut found = None;
+                for _ in 0..self.shift_attempts {
+                    match inner.prepare(Arc::new(shifted_copy(&a, shift))) {
+                        Ok(prepared) => {
+                            found = Some((Arc::new(prepared), shift));
+                            break;
+                        }
+                        Err(e @ LinalgError::NotPositiveDefinite { .. }) => {
+                            last_err = e;
+                            shift *= self.shift_growth;
+                        }
+                        Err(other) => return Err(other),
+                    }
+                }
+                if found.is_none() {
+                    // Bottom rung at prepare time: hand back a GMRES solver
+                    // carrying the full trail (the old `Auto` fallback
+                    // discarded the Cholesky failure; the trail keeps it).
+                    trail.push(DegradationStep {
+                        rung: Rung::Gmres,
+                        error: last_err,
+                    });
+                    let mut prepared = Gmres::with_tol(self.tol).prepare(a)?;
+                    prepared.prep_trail = trail;
+                    prepared.setup_time = t0.elapsed();
+                    return Ok(prepared);
+                }
+                found
+            }
+            Err(other) => return Err(other),
+        };
+        let (direct, shift) = direct.expect("direct rung resolved above");
+        let shared_bytes = direct.solver_bytes();
+        // Refinement workspace: residual + correction vectors.
+        let workspace_bytes = 2 * a.nrows() * std::mem::size_of::<f64>();
+        Ok(PreparedSolver {
+            matrix: a,
+            engine: Engine::Resilient(ResilientEngine {
+                direct,
+                shift,
+                tol: self.tol,
+                refine: crate::RefineOptions {
+                    tol: self.tol,
+                    max_sweeps: self.max_refine_sweeps,
+                },
+                gmres_opts: GmresOptions {
+                    tol: self.tol,
+                    ..GmresOptions::default()
+                },
+                gmres: Mutex::new(None),
+            }),
+            setup_time: t0.elapsed(),
+            shared_bytes,
+            workspace_bytes,
+            panel_width: self.inner.panel_width.max(1),
+            verify: VerifyPolicy::Off, // the ladder self-verifies at `tol`
+            prep_trail: trail,
+        })
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        0x60 ^ self.inner.config_fingerprint().rotate_left(2)
+            ^ self.tol.to_bits().rotate_left(16)
+            ^ (self.max_refine_sweeps as u64).rotate_left(32)
+            ^ self.shift_rel.to_bits().rotate_left(40)
+            ^ self.shift_growth.to_bits().rotate_left(48)
+            ^ (self.shift_attempts as u64).rotate_left(56)
     }
 }
 
@@ -1155,15 +1825,16 @@ impl SolverBackend for Auto {
 
     fn prepare(&self, a: Arc<CsrMatrix>) -> Result<PreparedSolver, LinalgError> {
         if a.nrows() <= self.direct_limit {
-            match (DirectCholesky::default()).prepare(Arc::clone(&a)) {
-                Ok(prepared) => Ok(prepared),
-                // Not numerically SPD — fall back to GMRES, which only
-                // needs the operator action.
-                Err(LinalgError::NotPositiveDefinite { .. }) => {
-                    Gmres::with_tol(self.tol).prepare(a)
-                }
-                Err(e) => Err(e),
+            // Route through the degradation ladder: on a clean SPD operator
+            // this is exactly the direct factor (bitwise-identical solves),
+            // and when factorization rejects the operator the ladder records
+            // the triggering Cholesky error as the first `DegradationStep`
+            // instead of silently swapping in GMRES.
+            Resilient {
+                tol: self.tol,
+                ..Resilient::default()
             }
+            .prepare(a)
         } else {
             Cg {
                 opts: CgOptions {
@@ -1279,6 +1950,19 @@ impl FactorCache {
         backend: &dyn SolverBackend,
         a: &Arc<CsrMatrix>,
     ) -> Result<Arc<PreparedSolver>, LinalgError> {
+        self.prepare_with_status(backend, a)
+            .map(|(solver, _)| solver)
+    }
+
+    /// Like [`Self::prepare`], additionally reporting whether the solver
+    /// was served from the cache (`true`) or freshly prepared (`false`).
+    /// The self-heal path uses the flag to decide whether a failing solve
+    /// can blame a stale cache entry.
+    pub fn prepare_with_status(
+        &self,
+        backend: &dyn SolverBackend,
+        a: &Arc<CsrMatrix>,
+    ) -> Result<(Arc<PreparedSolver>, bool), LinalgError> {
         let key = CacheKey {
             backend_config: backend.config_fingerprint(),
             nrows: a.nrows(),
@@ -1320,7 +2004,7 @@ impl FactorCache {
             let mut entries = self.entries.lock().expect("factor cache poisoned");
             if let Some(solver) = lookup(&mut entries) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(solver);
+                return Ok((solver, true));
             }
         }
         // Prepare outside the lock: factorization is the expensive part.
@@ -1330,7 +2014,7 @@ impl FactorCache {
         // while we did; keep one entry and drop the duplicate work.
         if let Some(existing) = lookup(&mut entries) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(existing);
+            return Ok((existing, true));
         }
         entries.insert(
             0,
@@ -1341,7 +2025,98 @@ impl FactorCache {
         );
         entries.truncate(self.capacity);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        Ok(solver)
+        Ok((solver, false))
+    }
+
+    /// Batched solve through the cache with a one-shot stale-entry
+    /// self-heal.
+    ///
+    /// Prepares (or reuses) the solver for `(backend, a)` and runs the
+    /// batch. If a *cached* factor fails the solve — a typed error, or
+    /// degradation beyond what its own preparation recorded, i.e. a factor
+    /// that was healthy when cached but no longer solves its operator —
+    /// the entry is invalidated, the operator re-prepared from scratch,
+    /// and the batch retried exactly once. The heal is recorded as a
+    /// [`Rung::Rebuilt`] step in the returned report's degradation trail,
+    /// and the boolean flag reports whether it happened. A fresh prepare
+    /// that fails is never retried (nothing stale to heal) and, as always,
+    /// never enters the cache.
+    pub fn solve_many_healing(
+        &self,
+        backend: &dyn SolverBackend,
+        a: &Arc<CsrMatrix>,
+        rhs: &[Vec<f64>],
+        threads: usize,
+    ) -> Result<(BatchSolution, bool), LinalgError> {
+        let (solver, hit) = self.prepare_with_status(backend, a)?;
+        let first = solver.solve_many(rhs, threads);
+        let cause = match &first {
+            Err(err) => Some(*err),
+            // A cached factor that needs *more* recovery than its own
+            // preparation recorded has gone bad since it was cached.
+            Ok(batch) if batch.report.degradation.len() > solver.prep_degradation().len() => {
+                batch.report.degradation.last().map(|step| step.error)
+            }
+            Ok(_) => None,
+        };
+        let (Some(cause), true) = (cause, hit) else {
+            return first.map(|batch| (batch, false));
+        };
+        // Suspect cached entry: drop it, rebuild once, retry the batch.
+        self.invalidate(a);
+        let rebuilt = Arc::new(backend.prepare(Arc::clone(a))?);
+        let mut batch = rebuilt.solve_many(rhs, threads)?;
+        let mut trail = DegradationTrail::new();
+        trail.push(DegradationStep {
+            rung: Rung::Rebuilt,
+            error: cause,
+        });
+        for step in batch.report.degradation.steps() {
+            trail.push(*step);
+        }
+        batch.report.degradation = trail;
+        let mut entries = self.entries.lock().expect("factor cache poisoned");
+        let key = CacheKey {
+            backend_config: backend.config_fingerprint(),
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            nnz: a.nnz(),
+            matrix_fingerprint: matrix_fingerprint(a),
+        };
+        entries.insert(
+            0,
+            CacheEntry {
+                key,
+                solver: rebuilt,
+            },
+        );
+        entries.truncate(self.capacity);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok((batch, true))
+    }
+
+    /// Test-support: inserts `solver` keyed as the prepared factor of
+    /// `(backend, a)`, bypassing preparation. The fault-injection harness
+    /// uses this to plant a corrupted factor under a healthy operator's
+    /// key; production code never calls it.
+    #[doc(hidden)]
+    pub fn inject(
+        &self,
+        backend: &dyn SolverBackend,
+        a: &Arc<CsrMatrix>,
+        solver: Arc<PreparedSolver>,
+    ) {
+        let key = CacheKey {
+            backend_config: backend.config_fingerprint(),
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            nnz: a.nnz(),
+            matrix_fingerprint: matrix_fingerprint(a),
+        };
+        let mut entries = self.entries.lock().expect("factor cache poisoned");
+        entries.retain(|e| e.key != key);
+        entries.insert(0, CacheEntry { key, solver });
+        entries.truncate(self.capacity);
     }
 
     /// Looks up the cached prepared solver for `(backend, a)` without
@@ -1511,20 +2286,173 @@ mod tests {
         }
     }
 
-    #[test]
-    fn auto_falls_back_on_indefinite_operators() {
-        // Symmetric but indefinite: Cholesky must fail, Auto must still
-        // produce a working (GMRES) solver.
+    fn indefinite_2x2() -> Arc<CsrMatrix> {
+        // Symmetric but indefinite (eigenvalues -2 and 4): every Cholesky
+        // attempt — shifted or not — fails until the ladder reaches GMRES.
         let mut coo = CooMatrix::new(2, 2);
         coo.push(0, 0, 1.0);
         coo.push(0, 1, 3.0);
         coo.push(1, 0, 3.0);
         coo.push(1, 1, 1.0);
-        let a = Arc::new(coo.to_csr());
+        Arc::new(coo.to_csr())
+    }
+
+    #[test]
+    fn auto_falls_back_on_indefinite_operators() {
+        // Symmetric but indefinite: Cholesky must fail, Auto must still
+        // produce a working (GMRES) solver — and, unlike the old silent
+        // fallback, the triggering Cholesky error must be the first
+        // recorded degradation step.
+        let a = indefinite_2x2();
         let prepared = Auto::default().prepare(Arc::clone(&a)).unwrap();
         assert_eq!(prepared.backend(), "gmres");
+        let trail = prepared.prep_degradation();
+        let first = trail.steps().next().expect("fallback must be recorded");
+        assert_eq!(first.rung, Rung::Regularized);
+        assert!(matches!(
+            first.error,
+            LinalgError::NotPositiveDefinite { .. }
+        ));
+        assert_eq!(trail.last().unwrap().rung, Rung::Gmres);
         let sol = prepared.solve(&[1.0, 2.0]).unwrap();
         assert!(a.residual(&sol.x, &[1.0, 2.0]) < 1e-8);
+        // The solve report carries the preparation trail too.
+        assert_eq!(sol.report.degradation.len(), trail.len());
+    }
+
+    #[test]
+    fn resilient_matches_direct_bitwise_on_clean_operators() {
+        let a = spd(48);
+        let direct = DirectCholesky::default().prepare(Arc::clone(&a)).unwrap();
+        let res = Resilient::default().prepare(Arc::clone(&a)).unwrap();
+        assert_eq!(res.backend(), "resilient");
+        let loads: Vec<Vec<f64>> = (0..5)
+            .map(|k| (0..48).map(|i| ((i + 5 * k) % 9) as f64 - 4.0).collect())
+            .collect();
+        for b in &loads {
+            let xd = direct.solve(b).unwrap().x;
+            let sol = res.solve(b).unwrap();
+            let bits_d: Vec<u64> = xd.iter().map(|v| v.to_bits()).collect();
+            let bits_r: Vec<u64> = sol.x.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits_d, bits_r, "clean ladder solve must be bitwise direct");
+            assert!(sol.report.degradation.is_empty());
+            assert!(sol.report.verified_residual.unwrap() <= 1e-8);
+        }
+        let batch = res.solve_many(&loads, 4).unwrap();
+        let direct_batch = direct.solve_many(&loads, 4).unwrap();
+        for (x, xd) in batch.xs.iter().zip(&direct_batch.xs) {
+            assert_eq!(x, xd, "batched ladder solve must match the panel path");
+        }
+        assert!(batch.report.degradation.is_empty());
+        assert!(batch.report.verified_residual.is_some());
+    }
+
+    #[test]
+    fn verify_enforce_rejects_a_sloppy_solve() {
+        let a = spd(32);
+        let b = rhs(32);
+        // A loose CG solve passes report-only verification but fails
+        // enforcement at a tolerance it never reached.
+        let loose = Cg::with_tol(1e-3).prepare(Arc::clone(&a)).unwrap();
+        let reported = loose.solve(&b).unwrap();
+        assert!(reported.report.verified_residual.is_none());
+
+        let mut enforced = Cg::with_tol(1e-3).prepare(Arc::clone(&a)).unwrap();
+        enforced.verify = VerifyPolicy::Enforce { tol: 1e-12 };
+        assert!(matches!(
+            enforced.solve(&b),
+            Err(LinalgError::DidNotConverge { .. })
+        ));
+        enforced.verify = VerifyPolicy::Report;
+        let sol = enforced.solve(&b).unwrap();
+        let rr = sol.report.verified_residual.unwrap();
+        assert!(rr.is_finite() && rr > 1e-12);
+    }
+
+    #[test]
+    fn nonfinite_inputs_are_rejected_with_typed_errors() {
+        let mut coo = CooMatrix::new(4, 4);
+        for i in 0..4 {
+            coo.push(i, i, 4.0);
+        }
+        let mut poisoned = coo.to_csr();
+        poisoned.values_mut()[2] = f64::NAN;
+        let err = DirectCholesky::default()
+            .prepare(Arc::new(poisoned))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            LinalgError::NonFinite {
+                context: "operator",
+                index: 2
+            }
+        );
+
+        let a = spd(8);
+        let prepared = DirectCholesky::default().prepare(a).unwrap();
+        let mut b = rhs(8);
+        b[5] = f64::INFINITY;
+        assert_eq!(
+            prepared.solve(&b).unwrap_err(),
+            LinalgError::NonFinite {
+                context: "rhs",
+                index: 5
+            }
+        );
+    }
+
+    #[test]
+    fn failed_prepare_never_enters_the_cache() {
+        let cache = FactorCache::new();
+        let a = indefinite_2x2();
+        let err = cache
+            .prepare(&DirectCholesky::default(), &a)
+            .expect_err("indefinite operator must fail the direct prepare");
+        assert!(matches!(err, LinalgError::NotPositiveDefinite { .. }));
+        assert!(cache.is_empty(), "failed prepares must never be cached");
+        assert_eq!(cache.misses(), 0, "a failed prepare is not a cached miss");
+    }
+
+    #[test]
+    fn cache_self_heals_a_corrupted_entry() {
+        let cache = FactorCache::new();
+        let backend = Resilient::default();
+        let a = spd(24);
+        let loads: Vec<Vec<f64>> = vec![rhs(24)];
+
+        // Plant a factor of a *different* operator under `a`'s cache key —
+        // a cached entry that has silently gone bad.
+        let perturbed = Arc::new(shifted_copy(&a, 10.0));
+        let mut corrupt = backend.prepare(perturbed).unwrap();
+        corrupt.matrix = Arc::clone(&a);
+        cache.inject(&backend, &a, Arc::new(corrupt));
+        assert_eq!(cache.len(), 1);
+
+        let (batch, healed) = cache.solve_many_healing(&backend, &a, &loads, 2).unwrap();
+        assert!(healed, "a corrupted cached factor must trigger the heal");
+        assert_eq!(
+            batch.report.degradation.steps().next().unwrap().rung,
+            Rung::Rebuilt
+        );
+        assert!(a.residual(&batch.xs[0], &loads[0]) < 1e-8);
+
+        // The rebuilt entry replaced the corrupted one: the next call is a
+        // clean hit with no degradation.
+        let (batch, healed) = cache.solve_many_healing(&backend, &a, &loads, 2).unwrap();
+        assert!(!healed);
+        assert!(batch.report.degradation.is_empty());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn prepare_with_status_reports_cache_provenance() {
+        let cache = FactorCache::new();
+        let backend = DirectCholesky::default();
+        let a = spd(12);
+        let (_, hit) = cache.prepare_with_status(&backend, &a).unwrap();
+        assert!(!hit);
+        let (_, hit) = cache.prepare_with_status(&backend, &a).unwrap();
+        assert!(hit);
     }
 
     #[test]

@@ -220,9 +220,21 @@ where
     let mut p = z.clone();
     let mut rz = dot(&r, &z);
     let mut ap = vec![0.0; n];
+    // Last finite relative residual, for honest error reports: the initial
+    // iterate x = 0 has ‖b − Ax‖/‖b‖ = 1.
+    let mut last_rn = 1.0;
     for it in 0..opts.max_iter {
         a.apply_into(&p, &mut ap);
         let alpha = rz / dot(&p, &ap);
+        if !alpha.is_finite() {
+            // Breakdown: pᵀAp ≤ 0 (indefinite operator) or a poisoned
+            // value. Spinning to max_iter would only report NaN.
+            return Err(LinalgError::DidNotConverge {
+                iterations: it,
+                residual: last_rn,
+                restarts: 0,
+            });
+        }
         axpy(alpha, &p, &mut x);
         axpy(-alpha, &ap, &mut r);
         let rn = norm2(&r) / nb;
@@ -233,6 +245,14 @@ where
                 residual: rn,
             });
         }
+        if !rn.is_finite() {
+            return Err(LinalgError::DidNotConverge {
+                iterations: it + 1,
+                residual: last_rn,
+                restarts: 0,
+            });
+        }
+        last_rn = rn;
         precond.apply(&r, &mut z);
         let rz_new = dot(&r, &z);
         let beta = rz_new / rz;
@@ -243,7 +263,8 @@ where
     }
     Err(LinalgError::DidNotConverge {
         iterations: opts.max_iter,
-        residual: norm2(&r) / nb,
+        residual: last_rn,
+        restarts: 0,
     })
 }
 
@@ -307,6 +328,7 @@ where
     let m = opts.restart.max(1).min(n);
     let mut x = vec![0.0; n];
     let mut total_iters = 0usize;
+    let mut cycles = 0usize;
 
     let mut scratch = vec![0.0; n];
     // Preconditioned rhs norm for the relative stopping criterion (left
@@ -321,6 +343,14 @@ where
         let mut r = vec![0.0; n];
         precond.apply(&raw, &mut r);
         let beta = norm2(&r);
+        if !beta.is_finite() {
+            // A poisoned iterate cannot recover through more restarts.
+            return Err(LinalgError::DidNotConverge {
+                iterations: total_iters,
+                residual: beta,
+                restarts: cycles,
+            });
+        }
         if beta / nmb <= opts.tol {
             let rn = a.rel_residual(&x, b);
             return Ok(IterativeSolution {
@@ -340,6 +370,7 @@ where
         g[0] = beta;
         let mut k_used = 0usize;
         let mut converged = false;
+        cycles += 1;
 
         for j in 0..m {
             total_iters += 1;
@@ -409,7 +440,70 @@ where
     Err(LinalgError::DidNotConverge {
         iterations: total_iters,
         residual: rn,
+        restarts: cycles,
     })
+}
+
+/// Options for [`refine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefineOptions {
+    /// Target relative residual `‖b − Ax‖/‖b‖`.
+    pub tol: f64,
+    /// Maximum correction sweeps before giving up.
+    pub max_sweeps: usize,
+}
+
+impl Default for RefineOptions {
+    fn default() -> Self {
+        Self {
+            tol: 1e-12,
+            max_sweeps: 4,
+        }
+    }
+}
+
+/// Iterative refinement of a direct solve: repeatedly solves the correction
+/// equation `F dx = b − A x` with the supplied (possibly approximate or
+/// regularized) factor application `correct` and updates `x += dx`.
+///
+/// Returns `(sweeps_performed, final_relative_residual)`. Refinement never
+/// makes the iterate worse: a sweep whose update fails to strictly reduce
+/// the residual is rolled back and the loop stops (stall detection), so the
+/// caller can fall to the next rung of the degradation ladder with the best
+/// iterate found so far still in `x`.
+pub fn refine<A, F>(
+    a: &A,
+    b: &[f64],
+    x: &mut [f64],
+    correct: F,
+    opts: RefineOptions,
+) -> (usize, f64)
+where
+    A: LinearOperator + ?Sized,
+    F: Fn(&[f64]) -> Vec<f64>,
+{
+    let mut best = a.rel_residual(x, b);
+    let mut sweeps = 0usize;
+    let mut prev = vec![0.0; x.len()];
+    while sweeps < opts.max_sweeps && best > opts.tol && best.is_finite() {
+        let ax = a.apply(x);
+        let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+        let dx = correct(&r);
+        prev.copy_from_slice(x);
+        for (xi, di) in x.iter_mut().zip(&dx) {
+            *xi += di;
+        }
+        let rn = a.rel_residual(x, b);
+        if rn.is_nan() || rn >= best {
+            // Stalled or regressed (a NaN residual counts): keep the best
+            // iterate seen.
+            x.copy_from_slice(&prev);
+            break;
+        }
+        best = rn;
+        sweeps += 1;
+    }
+    (sweeps, best)
 }
 
 #[cfg(test)]
@@ -529,6 +623,113 @@ mod tests {
             },
         );
         assert!(matches!(res, Err(LinalgError::DidNotConverge { .. })));
+    }
+
+    #[test]
+    fn cg_breakdown_reports_finite_state() {
+        // A poisoned operator value turns alpha NaN on the first step; the
+        // old loop would spin to max_iter and report a NaN residual.
+        let mut a = spd_test_matrix(8);
+        a.values_mut()[3] = f64::NAN;
+        let res = solve_cg(
+            &a,
+            &[1.0; 8],
+            &IdentityPreconditioner,
+            CgOptions {
+                tol: 1e-12,
+                max_iter: 10_000,
+            },
+        );
+        match res {
+            Err(LinalgError::DidNotConverge {
+                iterations,
+                residual,
+                restarts,
+            }) => {
+                assert!(iterations < 10_000, "breakdown must exit early");
+                assert!(residual.is_finite(), "residual must be the last finite one");
+                assert_eq!(restarts, 0);
+            }
+            other => panic!("expected DidNotConverge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gmres_error_reports_restart_count() {
+        let a = spd_test_matrix(200);
+        let b = vec![1.0; 200];
+        let res = solve_gmres(
+            &a,
+            &b,
+            &IdentityPreconditioner,
+            GmresOptions {
+                tol: 1e-14,
+                restart: 4,
+                max_restarts: 3,
+            },
+        );
+        match res {
+            Err(LinalgError::DidNotConverge {
+                iterations,
+                restarts,
+                ..
+            }) => {
+                assert_eq!(restarts, 3);
+                assert_eq!(iterations, 12);
+            }
+            other => panic!("expected DidNotConverge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refinement_improves_a_perturbed_factor_solve() {
+        use crate::SparseCholesky;
+        let a = spd_test_matrix(50);
+        let x_true: Vec<f64> = (0..50).map(|i| ((i * 7) % 5) as f64 - 2.0).collect();
+        let b = a.spmv(&x_true);
+        // Factor a shifted operator — a deliberately wrong "factor" whose
+        // single solve leaves an O(shift) error that refinement removes.
+        let mut shifted = a.clone();
+        for i in 0..50 {
+            shifted.add_at(i, i, 0.05);
+        }
+        let factor = SparseCholesky::factor(&shifted).unwrap();
+        let mut x = factor.solve(&b);
+        let coarse = a.residual(&x, &b);
+        let (sweeps, rn) = refine(
+            &a,
+            &b,
+            &mut x,
+            |r| factor.solve(r),
+            RefineOptions {
+                tol: 1e-12,
+                max_sweeps: 40,
+            },
+        );
+        assert!(sweeps > 0, "refinement must engage");
+        assert!(rn < coarse * 1e-3, "refined {rn} vs coarse {coarse}");
+        assert!((a.residual(&x, &b) - rn).abs() < 1e-14);
+    }
+
+    #[test]
+    fn refinement_rolls_back_a_stalling_sweep() {
+        let a = spd_test_matrix(10);
+        let b = vec![1.0; 10];
+        // A "correction" that makes things worse: refinement must keep the
+        // initial iterate untouched and report zero sweeps.
+        let mut x = vec![0.25; 10];
+        let before = x.clone();
+        let r0 = a.residual(&x, &b);
+        let (sweeps, rn) = refine(
+            &a,
+            &b,
+            &mut x,
+            |r| r.iter().map(|v| v * 100.0).collect(),
+            RefineOptions::default(),
+        );
+        assert_eq!(sweeps, 0);
+        assert_eq!(x, before);
+        assert!((rn - r0).abs() < 1e-14);
     }
 
     #[test]

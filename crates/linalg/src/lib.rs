@@ -96,6 +96,7 @@ mod backend;
 mod cholesky;
 mod dense;
 mod error;
+pub mod fault;
 mod iterative;
 mod kernel;
 mod memory;
@@ -109,15 +110,17 @@ mod vecops;
 
 pub use backend::{
     default_solve_threads, matrix_fingerprint, Auto, BackendSolution, BatchSolution, Cg,
-    CholeskyKernel, DirectCholesky, FactorCache, Gmres, LinearOperator, PrecondSpec,
-    PreparedSolver, SolveReport, SolverBackend,
+    CholeskyKernel, DegradationStep, DegradationTrail, DirectCholesky, FactorCache, Gmres,
+    LinearOperator, PrecondSpec, PreparedSolver, Resilient, Rung, SolveReport, SolverBackend,
+    VerifyPolicy, MAX_DEGRADATION_STEPS,
 };
 pub use cholesky::SparseCholesky;
 pub use dense::{DenseLu, DenseMatrix};
 pub use error::LinalgError;
+pub use fault::FaultPlan;
 pub use iterative::{
-    solve_cg, solve_gmres, CgOptions, GmresOptions, IdentityPreconditioner, IterativeSolution,
-    JacobiPreconditioner, Preconditioner, SsorPreconditioner,
+    refine, solve_cg, solve_gmres, CgOptions, GmresOptions, IdentityPreconditioner,
+    IterativeSolution, JacobiPreconditioner, Preconditioner, RefineOptions, SsorPreconditioner,
 };
 #[cfg(all(feature = "simd", target_arch = "x86_64"))]
 pub use kernel::SimdKernel;

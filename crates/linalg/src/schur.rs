@@ -37,8 +37,8 @@ use std::time::Instant;
 
 use crate::backend::matrix_fingerprint;
 use crate::{
-    CooMatrix, CsrMatrix, DirectCholesky, FactorCache, LinalgError, MemoryFootprint,
-    PreparedSolver, ShardPlan, SolverBackend, WorkPool,
+    CooMatrix, CsrMatrix, DegradationTrail, DirectCholesky, FactorCache, LinalgError,
+    MemoryFootprint, PreparedSolver, Resilient, ShardPlan, SolverBackend, VerifyPolicy, WorkPool,
 };
 
 /// Domain-decomposition backend: `K` interior shards factored through an
@@ -55,6 +55,9 @@ pub struct Sharded {
     pub shards: usize,
     /// Backend used for every interior block and for the interface system.
     pub inner: DirectCholesky,
+    /// Verification policy of the assembled solver's full-system solves
+    /// (interior blocks verify through their own ladder when contained).
+    pub verify: VerifyPolicy,
     /// Memo of per-shard (and interface) factors, keyed by each block's own
     /// matrix fingerprint — shared across clones of this backend.
     cache: Arc<FactorCache>,
@@ -91,6 +94,7 @@ impl Sharded {
         Self {
             shards,
             inner,
+            verify: VerifyPolicy::Off,
             // Room for every shard factor plus the interface factor (and a
             // little slack), so one prepare never evicts its own blocks.
             cache: Arc::new(FactorCache::with_capacity(2 * shards.max(1) + 2)),
@@ -111,6 +115,10 @@ impl SolverBackend for Sharded {
 
     fn prepare(&self, a: Arc<CsrMatrix>) -> Result<PreparedSolver, LinalgError> {
         let t0 = Instant::now();
+        // Scan the whole operator before any block extraction, so a
+        // NonFinite error carries the *global* nnz index rather than a
+        // block-local one.
+        crate::backend::check_finite_matrix(&a)?;
         // Take the incremental route when the retained previous
         // preparation matches this one's configuration *and* pattern: the
         // plan is a pure function of (pattern, shard count), so it — and
@@ -143,14 +151,21 @@ impl SolverBackend for Sharded {
             shards_requested: self.shards,
             inner_fingerprint: self.inner.config_fingerprint(),
         });
-        Ok(PreparedSolver::from_sharded(a, schur, t0.elapsed()))
+        Ok(PreparedSolver::from_sharded(
+            a,
+            schur,
+            t0.elapsed(),
+            self.verify,
+        ))
     }
 
     fn config_fingerprint(&self) -> u64 {
         // The shard count changes the elimination order and therefore the
         // bits of the result, so it must split cache entries; the internal
         // cache identity must not (clones share semantics).
-        0x50 ^ (self.shards as u64).rotate_left(32) ^ self.inner.config_fingerprint().rotate_left(4)
+        0x50 ^ (self.shards as u64).rotate_left(32)
+            ^ self.inner.config_fingerprint().rotate_left(4)
+            ^ self.verify.fingerprint().rotate_left(44)
     }
 
     fn accepts_cached(&self, prepared: &PreparedSolver, a: &CsrMatrix) -> bool {
@@ -163,7 +178,8 @@ impl SolverBackend for Sharded {
         let Some(schur) = prepared.schur() else {
             return false;
         };
-        schur.inner_fingerprint() == self.inner.config_fingerprint()
+        prepared.verify_policy() == self.verify
+            && schur.inner_fingerprint() == self.inner.config_fingerprint()
             && *schur.plan() == ShardPlan::build(a, self.shards)
     }
 }
@@ -192,6 +208,10 @@ struct ShardBlock {
     /// the per-block dirty detection (equal fingerprints are confirmed by
     /// exact comparison before anything is reused).
     fingerprint: u64,
+    /// Whether this interior's direct factorization broke down and the
+    /// block was contained by falling down the resilience ladder
+    /// (regularized re-factor or GMRES) instead of aborting the prepare.
+    degraded: bool,
 }
 
 /// The per-block content fingerprint dirty detection compares: all three
@@ -222,6 +242,8 @@ pub(crate) struct SchurSolver {
     shards_refactored: usize,
     /// Shards reused intact from the previous preparation.
     shards_reused: usize,
+    /// Whether the interface system itself needed the ladder.
+    interface_degraded: bool,
 }
 
 /// Per-shard extraction of one operator under a plan: the interface
@@ -284,11 +306,11 @@ fn condense_interface(
     blocks: &[ShardBlock],
     inner: &DirectCholesky,
     cache: &FactorCache,
-) -> Result<Option<Arc<PreparedSolver>>, LinalgError> {
+) -> Result<(Option<Arc<PreparedSolver>>, bool), LinalgError> {
     let interface = plan.interface();
     let n_s = interface.len();
     if n_s == 0 {
-        return Ok(None);
+        return Ok((None, false));
     }
     let a_ss = a.extract(interface, iface_map, n_s);
     let clique_nnz: usize = blocks.iter().map(|b| b.cols.len() * b.cols.len()).sum();
@@ -308,12 +330,13 @@ fn condense_interface(
         }
     }
     let s = Arc::new(coo.to_csr());
-    Ok(Some(cache.prepare(inner, &s)?))
+    let (solver, degraded) = prepare_contained(inner, cache, &s)?;
+    Ok((Some(solver), degraded))
 }
 
-/// `(solver, interface-local coupled columns, dense clique contribution)`
-/// of one shard's concurrent preparation task.
-type ShardPrep = (Arc<PreparedSolver>, Vec<usize>, Vec<f64>);
+/// `(solver, interface-local coupled columns, dense clique contribution,
+/// ladder-contained?)` of one shard's concurrent preparation task.
+type ShardPrep = (Arc<PreparedSolver>, Vec<usize>, Vec<f64>, bool);
 
 /// `(solutions, summed iterations, worst residual, peak worker slots)` of
 /// one sharded batch solve.
@@ -346,7 +369,7 @@ impl SchurSolver {
             shard_prep_task(inner, cache, &interiors[k], &couplings[k], n_s)
         })?;
         let mut blocks: Vec<ShardBlock> = Vec::with_capacity(num_shards);
-        for (k, ((solver, cols, clique), (a_ks, a_sk))) in
+        for (k, ((solver, cols, clique, degraded), (a_ks, a_sk))) in
             prepped.into_iter().zip(couplings).enumerate()
         {
             let fingerprint = block_fingerprint(&interiors[k], &a_ks, &a_sk);
@@ -357,10 +380,12 @@ impl SchurSolver {
                 cols: cols.into(),
                 clique: clique.into(),
                 fingerprint,
+                degraded,
             });
         }
 
-        let interface_solver = condense_interface(a, &plan, &iface_map, &blocks, inner, cache)?;
+        let (interface_solver, interface_degraded) =
+            condense_interface(a, &plan, &iface_map, &blocks, inner, cache)?;
 
         Ok(Self {
             plan,
@@ -369,6 +394,7 @@ impl SchurSolver {
             inner_fingerprint: inner.config_fingerprint(),
             shards_refactored: num_shards,
             shards_reused: 0,
+            interface_degraded,
         })
     }
 
@@ -437,7 +463,7 @@ impl SchurSolver {
         for (k, (a_ks, a_sk)) in couplings.into_iter().enumerate() {
             if next_dirty.peek() == Some(&k) {
                 next_dirty.next();
-                let (solver, cols, clique) =
+                let (solver, cols, clique, degraded) =
                     repreps.next().expect("one preparation per dirty shard");
                 blocks.push(ShardBlock {
                     solver,
@@ -446,6 +472,7 @@ impl SchurSolver {
                     cols: cols.into(),
                     clique: clique.into(),
                     fingerprint: fingerprints[k],
+                    degraded,
                 });
             } else {
                 let p = &prev.blocks[k];
@@ -456,11 +483,13 @@ impl SchurSolver {
                     cols: Arc::clone(&p.cols),
                     clique: Arc::clone(&p.clique),
                     fingerprint: p.fingerprint,
+                    degraded: p.degraded,
                 });
             }
         }
 
-        let interface_solver = condense_interface(a, &plan, &iface_map, &blocks, inner, cache)?;
+        let (interface_solver, interface_degraded) =
+            condense_interface(a, &plan, &iface_map, &blocks, inner, cache)?;
 
         // Evict the superseded entries — the old factors of interiors that
         // actually changed, and the old interface system — so stale blocks
@@ -484,6 +513,7 @@ impl SchurSolver {
             inner_fingerprint: prev.inner_fingerprint,
             shards_refactored: dirty.len(),
             shards_reused: num_shards - dirty.len(),
+            interface_degraded,
         })
     }
 
@@ -521,6 +551,34 @@ impl SchurSolver {
     /// Shards reused intact from the previous preparation.
     pub(crate) fn shards_reused(&self) -> usize {
         self.shards_reused
+    }
+
+    /// Blocks that needed the resilience ladder: interiors whose direct
+    /// factorization broke down and were contained, plus one more if the
+    /// interface system itself degraded.
+    pub(crate) fn shards_degraded(&self) -> usize {
+        self.blocks.iter().filter(|b| b.degraded).count() + usize::from(self.interface_degraded)
+    }
+
+    /// The ladder trail of the first contained block (empty when every
+    /// block kept its clean direct factor) — surfaced as the preparation
+    /// trail of the wrapping [`PreparedSolver`].
+    pub(crate) fn degradation_trail(&self) -> DegradationTrail {
+        self.blocks
+            .iter()
+            .filter(|b| b.degraded)
+            .map(|b| *b.solver.prep_degradation())
+            .chain(
+                self.interface_degraded
+                    .then(|| {
+                        self.interface_solver
+                            .as_ref()
+                            .map(|s| *s.prep_degradation())
+                    })
+                    .flatten(),
+            )
+            .next()
+            .unwrap_or_default()
     }
 
     /// Largest per-shard solver footprint — the peak factor memory a
@@ -765,13 +823,13 @@ fn shard_prep_task(
 ) -> Result<ShardPrep, LinalgError> {
     let (a_ks, a_sk) = coupling;
     let n_k = interior.nrows();
-    let solver = cache.prepare(inner, interior)?;
+    let (solver, degraded) = prepare_contained(inner, cache, interior)?;
 
     // Interface DoFs this shard couples: exactly the non-empty rows of
     // `A_sk` (equivalently, by symmetry, the non-empty columns of `A_ks`).
     let cols: Vec<usize> = (0..n_s).filter(|&i| !a_sk.row(i).0.is_empty()).collect();
     if cols.is_empty() {
-        return Ok((solver, cols, Vec::new()));
+        return Ok((solver, cols, Vec::new(), degraded));
     }
     let mut pos = vec![usize::MAX; n_s];
     for (q, &j) in cols.iter().enumerate() {
@@ -807,7 +865,31 @@ fn shard_prep_task(
             clique[p * w + q] = kern.dot(vals, &eg);
         }
     }
-    Ok((solver, cols, clique))
+    Ok((solver, cols, clique, degraded))
+}
+
+/// Prepares one block through the cache, containing a factorization
+/// breakdown: a [`LinalgError::NotPositiveDefinite`] interior (or interface
+/// system) falls down the resilience ladder — regularized re-factor, then
+/// GMRES — instead of aborting the whole sharded prepare, so clean blocks
+/// keep their direct factors. Any other error (a poisoned block, a
+/// dimension bug) still aborts: the ladder cannot recover those.
+fn prepare_contained(
+    inner: &DirectCholesky,
+    cache: &FactorCache,
+    block: &Arc<CsrMatrix>,
+) -> Result<(Arc<PreparedSolver>, bool), LinalgError> {
+    match cache.prepare(inner, block) {
+        Ok(solver) => Ok((solver, false)),
+        Err(LinalgError::NotPositiveDefinite { .. }) => {
+            let ladder = Resilient {
+                inner: *inner,
+                ..Resilient::default()
+            };
+            Ok((cache.prepare(&ladder, block)?, true))
+        }
+        Err(other) => Err(other),
+    }
 }
 
 #[cfg(test)]
@@ -1094,7 +1176,12 @@ mod tests {
     }
 
     #[test]
-    fn indefinite_operators_are_rejected() {
+    fn indefinite_interior_is_contained_per_shard() {
+        // One negative diagonal entry makes exactly one interior block (or
+        // the interface) non-SPD. Pre-containment this aborted the whole
+        // prepare with `NotPositiveDefinite`; now the broken block falls
+        // down the resilience ladder while every clean shard keeps its
+        // direct factor, and the degradation is surfaced in the report.
         let mut coo = CooMatrix::new(80, 80);
         for i in 0..80 {
             coo.push(i, i, if i == 40 { -4.0 } else { 4.0 });
@@ -1104,7 +1191,41 @@ mod tests {
             }
         }
         let a = Arc::new(coo.to_csr());
-        let err = Sharded::new(2).prepare(a).unwrap_err();
-        assert!(matches!(err, LinalgError::NotPositiveDefinite { .. }));
+        let prepared = Sharded::new(2).prepare(Arc::clone(&a)).unwrap();
+        let schur = prepared.schur().expect("sharded engine");
+        assert!(
+            schur.shards_degraded() >= 1,
+            "the non-SPD block must be recorded as degraded"
+        );
+        assert!(
+            schur.shards_degraded() < schur.num_shards() + 1,
+            "containment must not drag every block down the ladder"
+        );
+        assert!(
+            !prepared.prep_degradation().is_empty(),
+            "the contained breakdown must appear in the preparation trail"
+        );
+        // The full indefinite (but nonsingular) system still solves: static
+        // condensation is exact for any invertible interior, and the
+        // degraded block's ladder solve targets 1e-8 — so the composed
+        // residual lands within a few orders of that.
+        let b: Vec<f64> = (0..80).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let sol = prepared.solve(&b).unwrap();
+        assert!(
+            a.residual(&sol.x, &b) < 1e-5,
+            "contained solve residual too large: {}",
+            a.residual(&sol.x, &b)
+        );
+        assert!(sol.report.shards_degraded >= 1);
+        assert!(!sol.report.degradation.is_empty());
+
+        // A clean operator through the same machinery reports zero degraded
+        // shards.
+        let clean = Arc::new(laplacian_2d(10, 8));
+        let prepared = Sharded::new(2).prepare(Arc::clone(&clean)).unwrap();
+        assert_eq!(prepared.schur().unwrap().shards_degraded(), 0);
+        let sol = prepared.solve(&loads(clean.nrows(), 1)[0]).unwrap();
+        assert_eq!(sol.report.shards_degraded, 0);
+        assert!(sol.report.degradation.is_empty());
     }
 }

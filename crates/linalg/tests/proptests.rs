@@ -10,9 +10,9 @@ use std::sync::{Arc, Mutex};
 use morestress_linalg::{
     nested_dissection, reverse_cuthill_mckee, solve_cg, solve_gmres, Auto, CgOptions,
     CholeskyKernel, CooMatrix, CsrMatrix, DenseKernel, DenseMatrix, DirectCholesky, FactorCache,
-    FillOrdering, GmresOptions, JacobiPreconditioner, KernelChoice, Permutation, ScalarKernel,
-    ShardPlan, Sharded, SolverBackend, SparseCholesky, SupernodalCholesky, SupernodalOptions,
-    TaskDag, WorkPool,
+    FaultPlan, FillOrdering, GmresOptions, JacobiPreconditioner, KernelChoice, LinalgError,
+    Permutation, ScalarKernel, ShardPlan, Sharded, SolverBackend, SparseCholesky,
+    SupernodalCholesky, SupernodalOptions, TaskDag, WorkPool,
 };
 use proptest::prelude::*;
 
@@ -196,6 +196,56 @@ proptest! {
             prepared.backend(),
             a.residual(&sol.x, &b)
         );
+    }
+
+    /// The resilient `Auto` ladder never panics and always returns a typed
+    /// result — on random SPD, indefinite, singular-pivot and NaN-poisoned
+    /// operators alike, at serial and saturated pool caps. Successful
+    /// solves are finite; failures are typed `LinalgError`s.
+    #[test]
+    fn resilient_auto_never_panics_on_hostile_operators(
+        a in spd_strategy(10),
+        b in prop::collection::vec(-3.0f64..3.0, 10),
+        fault in 0usize..4,
+        seed in 0u64..1_000_000) {
+        let mut m = a;
+        match fault {
+            1 => {
+                // Indefinite: drive one diagonal entry strongly negative
+                // (diag of spd_strategy(10) is at most 10·1 + 11).
+                let row = FaultPlan::new(seed).pick(10);
+                m.add_at(row, row, -60.0);
+            }
+            2 => {
+                let _ = FaultPlan::new(seed).break_pivot(&mut m);
+            }
+            3 => {
+                let _ = FaultPlan::new(seed).poison_value(&mut m);
+            }
+            _ => {} // clean SPD
+        }
+        let m = Arc::new(m);
+        for cap in [1usize, 8] {
+            let auto = Auto { direct_limit: 20_000, tol: 1e-8 };
+            let outcome = WorkPool::new(cap).install(|| {
+                auto.prepare(Arc::clone(&m)).and_then(|p| p.solve(&b))
+            });
+            match outcome {
+                Ok(sol) => {
+                    prop_assert!(sol.x.iter().all(|v| v.is_finite()),
+                        "fault {} cap {}: accepted solve must be finite", fault, cap);
+                }
+                Err(e) => {
+                    // Every failure is a typed error, and NaN poisoning in
+                    // particular is always rejected as NonFinite.
+                    if fault == 3 {
+                        prop_assert!(
+                            matches!(e, LinalgError::NonFinite { context: "operator", .. }),
+                            "fault 3 cap {}: got {:?}", cap, e);
+                    }
+                }
+            }
+        }
     }
 
     /// The batched multi-RHS path returns exactly what per-RHS solves do.
