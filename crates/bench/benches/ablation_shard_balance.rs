@@ -1,0 +1,259 @@
+//! Ablation: geometry-aware vs graph-searched shard planning on the
+//! reduced global operator. The global stage hands the sharded backend a
+//! [`PartitionHint`](morestress_linalg::PartitionHint) mapping every free
+//! DoF to its block-grid footprint, so the default planner cuts the
+//! operator along block boundaries (recursive weighted grid bisection)
+//! instead of searching the — dense, BFS-hostile — reduced sparsity
+//! graph. `Sharded::without_hint` pins the hardened graph fallback, giving
+//! the A/B: plan quality (interface size, shard-rows spread, 2× work
+//! balance), peak `shard_factor_bytes`, cold prepare, the incremental
+//! placement-move re-prepare, and factor wall time across worker caps, on
+//! the 6×6 and 12×12 arrays.
+//!
+//! The emitter asserts the acceptance bars inline: every sharded batch
+//! agrees with the monolithic `DirectCholesky` reference to ≤ 1e-8
+//! relative, and the geometric route's bits are invariant across pool
+//! caps {1, 2, 8, 33}. Records into `BENCH_PR9.json` (section
+//! `ablation_shard_balance`) for the `check_bench_json` CI gate; under
+//! `MORESTRESS_BENCH_QUICK=1` the arrays shrink so CI can run the emitter
+//! end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use morestress_bench::{fmt_bytes, median_ms, one_shot, quick_or, record_bench_entries, Scale};
+use morestress_core::{GlobalBc, GlobalSolution, GlobalStage, ReducedOrderModel, RomSolver};
+use morestress_linalg::{Sharded, WorkPool};
+use morestress_mesh::{BlockKind, BlockLayout, TsvGeometry};
+
+const SHARDS: usize = 4;
+/// Worker caps for the factor-wall sweep.
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+/// Pool caps for the bitwise-invariance assertion (33 > any worker count
+/// the plan can use — the oversubscribed edge).
+const POOL_CAPS: [usize; 4] = [1, 2, 8, 33];
+
+fn stage<'a>(
+    tsv: &'a ReducedOrderModel,
+    dummy: &'a ReducedOrderModel,
+    backend: &'a Sharded,
+) -> GlobalStage<'a> {
+    GlobalStage::new(tsv)
+        .with_dummy(dummy)
+        .expect("compatible ROMs")
+        .with_backend(backend)
+}
+
+/// Max relative (inf-norm-scaled) difference across the batch.
+fn max_rel_err(reference: &[GlobalSolution], candidate: &[GlobalSolution]) -> f64 {
+    let mut worst = 0.0f64;
+    for (r, c) in reference.iter().zip(candidate) {
+        let scale = r
+            .nodal_displacement()
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()))
+            .max(1e-30);
+        for (a, b) in r.nodal_displacement().iter().zip(c.nodal_displacement()) {
+            worst = worst.max((a - b).abs() / scale);
+        }
+    }
+    worst
+}
+
+fn assert_bitwise(label: &str, reference: &[GlobalSolution], candidate: &[GlobalSolution]) {
+    for (r, c) in reference.iter().zip(candidate) {
+        for (a, b) in r.nodal_displacement().iter().zip(c.nodal_displacement()) {
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "{label}: bits differ: {a:?} vs {b:?}"
+            );
+        }
+    }
+}
+
+fn bench_shard_balance(c: &mut Criterion) {
+    let scale = Scale::small();
+    let geom = TsvGeometry::paper_defaults(15.0);
+    let shot = one_shot(&geom, &scale, true).expect("one-shot stage");
+    let tsv = shot.sim.tsv_model();
+    let dummy = shot.sim.dummy_model().expect("dummy ROM built");
+    let bc = GlobalBc::ClampedTopBottom;
+    let loads: Vec<f64> = (0..quick_or(6, 2))
+        .map(|k| -250.0 + 40.0 * k as f64)
+        .collect();
+    let mut entries: Vec<(String, f64)> = vec![("loads".into(), loads.len() as f64)];
+
+    for array in [quick_or(6usize, 3), quick_or(12, 4)] {
+        let base = BlockLayout::uniform(array, array, BlockKind::Tsv);
+        let mut perturbed = base.clone();
+        perturbed.set_kind(0, 0, BlockKind::Dummy);
+
+        // Monolithic reference: the ≤ 1e-8 agreement bar for both routes.
+        let mono = GlobalStage::new(tsv)
+            .with_dummy(dummy)
+            .expect("compatible ROMs")
+            .with_solver(RomSolver::DirectCholesky)
+            .solve_many(&base, &loads, &bc)
+            .expect("monolithic solve");
+
+        for hinted in [true, false] {
+            let route = if hinted { "geo" } else { "graph" };
+            let tag = format!("{route}_{array}x{array}");
+            let make = || {
+                if hinted {
+                    Sharded::new(SHARDS)
+                } else {
+                    Sharded::new(SHARDS).without_hint()
+                }
+            };
+
+            // Cold: full prepare + batched solve.
+            let backend = make();
+            let t0 = std::time::Instant::now();
+            let cold = stage(tsv, dummy, &backend)
+                .solve_many(&base, &loads, &bc)
+                .expect("cold sharded solve");
+            let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let stats = cold[0].stats;
+            let plan = stats.plan_stats.expect("sharded solves report plan stats");
+            assert_eq!(
+                plan.geometric, hinted,
+                "{tag}: route selection must follow the hint switch"
+            );
+            let err = max_rel_err(&mono, &cold);
+            assert!(
+                err <= 1e-8,
+                "{tag}: sharded-vs-monolithic {err:.2e} exceeds 1e-8"
+            );
+
+            // Incremental placement move (corner block TSV → dummy),
+            // alternating so each repetition pays a real re-preparation.
+            let mut samples = Vec::with_capacity(3);
+            for _ in 0..3 {
+                stage(tsv, dummy, &backend)
+                    .solve_many(&base, &loads, &bc)
+                    .expect("base re-solve");
+                let t0 = std::time::Instant::now();
+                stage(tsv, dummy, &backend)
+                    .solve_many(&perturbed, &loads, &bc)
+                    .expect("incremental re-solve");
+                samples.push(t0.elapsed());
+            }
+            let incr_ms = median_ms(&mut samples);
+            // Warm floor: repeat the unperturbed solve — the retained
+            // preparation matches, so no shard re-factors.
+            let mut warm = Vec::with_capacity(3);
+            stage(tsv, dummy, &backend)
+                .solve_many(&base, &loads, &bc)
+                .expect("warm-up solve");
+            for _ in 0..3 {
+                let t0 = std::time::Instant::now();
+                stage(tsv, dummy, &backend)
+                    .solve_many(&base, &loads, &bc)
+                    .expect("warm solve");
+                warm.push(t0.elapsed());
+            }
+            let warm_ms = median_ms(&mut warm);
+
+            // Factor wall vs worker cap, fresh backend per measurement.
+            let mut factor_at = Vec::new();
+            for &workers in &WORKER_COUNTS {
+                let pool = WorkPool::new(workers);
+                let mut reps = Vec::with_capacity(3);
+                for _ in 0..3 {
+                    let fresh = make();
+                    let t0 = std::time::Instant::now();
+                    pool.install(|| {
+                        stage(tsv, dummy, &fresh)
+                            .solve_many(&base, &loads, &bc)
+                            .expect("capped cold solve")
+                    });
+                    reps.push(t0.elapsed());
+                }
+                let ms = median_ms(&mut reps);
+                factor_at.push(ms);
+                entries.push((format!("{tag}_cold_ms_{workers}w"), ms));
+            }
+
+            println!(
+                "shard balance {tag}: {} shards, {} interface DoFs, rows {}..{}, \
+                 balance {:.2}, factor {} | cold {cold_ms:.1} ms, incremental \
+                 {incr_ms:.1} ms, warm {warm_ms:.1} ms (re-prepare {:.1} ms) | \
+                 cold at 1/2/8 workers {:.1}/{:.1}/{:.1} ms | vs monolithic {err:.1e}",
+                plan.shards,
+                plan.interface_dofs,
+                plan.min_shard_rows,
+                plan.max_shard_rows,
+                plan.balance_ratio,
+                fmt_bytes(stats.shard_factor_bytes),
+                (incr_ms - warm_ms).max(0.0),
+                factor_at[0],
+                factor_at[1],
+                factor_at[2],
+            );
+            entries.extend([
+                (format!("{tag}_shards"), plan.shards as f64),
+                (format!("{tag}_interface_dofs"), plan.interface_dofs as f64),
+                (format!("{tag}_min_shard_rows"), plan.min_shard_rows as f64),
+                (format!("{tag}_max_shard_rows"), plan.max_shard_rows as f64),
+                (format!("{tag}_balance_ratio"), plan.balance_ratio),
+                (
+                    format!("{tag}_shard_factor_bytes"),
+                    stats.shard_factor_bytes as f64,
+                ),
+                (format!("{tag}_cold_solve_ms"), cold_ms),
+                (format!("{tag}_incr_solve_ms"), incr_ms),
+                (format!("{tag}_warm_solve_ms"), warm_ms),
+                (
+                    format!("{tag}_incr_prepare_ms"),
+                    (incr_ms - warm_ms).max(0.0),
+                ),
+                (format!("{tag}_max_rel_err"), err),
+            ]);
+
+            // Bitwise pool-cap invariance on the smaller array: the same
+            // plan, factors and solves at every cap — asserted, then
+            // recorded as a pass flag.
+            if array == quick_or(6, 3) {
+                for &cap in &POOL_CAPS {
+                    let pool = WorkPool::new(cap);
+                    let fresh = make();
+                    let capped = pool.install(|| {
+                        stage(tsv, dummy, &fresh)
+                            .solve_many(&base, &loads, &bc)
+                            .expect("capped solve")
+                    });
+                    assert_bitwise(&format!("{tag} cap {cap}"), &cold, &capped);
+                }
+                entries.push((format!("{tag}_pool_cap_bitwise"), 1.0));
+            }
+        }
+    }
+
+    record_bench_entries("BENCH_PR9.json", "ablation_shard_balance", entries);
+
+    // Criterion point: one placement move under the geometric planner
+    // (incremental re-prepare + batched solve), alternating layouts.
+    let array = quick_or(6usize, 3);
+    let base = BlockLayout::uniform(array, array, BlockKind::Tsv);
+    let mut perturbed = base.clone();
+    perturbed.set_kind(0, 0, BlockKind::Dummy);
+    let backend = Sharded::new(SHARDS);
+    stage(tsv, dummy, &backend)
+        .solve_many(&base, &loads, &bc)
+        .expect("warm-up solve");
+    let mut group = c.benchmark_group("ablation_shard_balance");
+    group.sample_size(10);
+    let mut flip = false;
+    group.bench_function("geometric_placement_move", |b| {
+        b.iter(|| {
+            let layout = if flip { &base } else { &perturbed };
+            flip = !flip;
+            stage(tsv, dummy, &backend)
+                .solve_many(layout, &loads, &bc)
+                .expect("incremental re-solve")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_balance);
+criterion_main!(benches);

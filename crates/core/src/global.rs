@@ -14,8 +14,8 @@ use std::time::{Duration, Instant};
 
 use morestress_fem::{DirichletBcs, ReducedSystem};
 use morestress_linalg::{
-    CgOptions, CsrMatrix, DegradationTrail, FactorCache, MemoryFootprint, PrecondSpec,
-    SolverBackend,
+    CgOptions, CsrMatrix, DegradationTrail, FactorCache, MemoryFootprint, PartitionHint,
+    PrecondSpec, SolverBackend,
 };
 use morestress_mesh::{BlockKind, BlockLayout};
 
@@ -316,6 +316,11 @@ pub struct GlobalStats {
     /// Structured history of every recovery the solve performed (ladder
     /// escalations, stale-cache rebuilds). Empty on the clean path.
     pub degradation: DegradationTrail,
+    /// Quality accounting of the shard partition behind a sharded solve —
+    /// per-shard rows and estimated factor work, balance ratio, interface
+    /// fraction, and whether the geometry-aware planner produced it.
+    /// `None` for monolithic backends and fully-constrained solves.
+    pub plan_stats: Option<morestress_linalg::ShardPlanStats>,
 }
 
 /// The solved global problem of one array.
@@ -656,6 +661,7 @@ impl<'a> GlobalStage<'a> {
                 shards_degraded: 0,
                 verified_residual: None,
                 degradation: DegradationTrail::new(),
+                plan_stats: None,
             };
             return Ok(delta_ts
                 .iter()
@@ -689,6 +695,23 @@ impl<'a> GlobalStage<'a> {
             Some(external) => external,
             None => &*self.backend,
         };
+        // Geometry hint for the sharded backend's partitioner: each free DoF
+        // maps to the inclusive block-grid footprint of its lattice node, so
+        // the planner can cut the reduced operator along block boundaries
+        // instead of searching the (dense) reduced sparsity graph. Backends
+        // that cannot use it ignore it.
+        let grid = [layout.nx(), layout.ny()];
+        let spans = reduced
+            .free_dofs
+            .iter()
+            .map(|&dof| {
+                let [cx, cy, _] = lattice.coords[dof / 3];
+                let sx = interp.block_span(0, cx, grid[0]);
+                let sy = interp.block_span(1, cy, grid[1]);
+                [sx[0], sx[1], sy[0], sy[1]]
+            })
+            .collect();
+        backend.set_partition_hint(Some(Arc::new(PartitionHint::new(grid, spans))));
         let batch = match self.cache {
             // The cache-backed path self-heals: a cached factor that fails
             // its solve (or needs more ladder recovery than its own
@@ -725,6 +748,7 @@ impl<'a> GlobalStage<'a> {
             shards_degraded: batch.report.shards_degraded,
             verified_residual: batch.report.verified_residual,
             degradation: batch.report.degradation,
+            plan_stats: batch.report.plan_stats,
         };
         Ok(batch
             .xs

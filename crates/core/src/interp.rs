@@ -131,6 +131,28 @@ impl InterpolationGrid {
         (0..n).map(|i| len * i as f64 / (n - 1) as f64).collect()
     }
 
+    /// The inclusive range of block-grid indices that touch lattice
+    /// coordinate `coord` along `axis`, in an array of `blocks` blocks.
+    ///
+    /// Adjacent blocks share their boundary interpolation-node planes, so
+    /// the global lattice along one axis has `blocks · (count − 1) + 1`
+    /// coordinates. A coordinate on a shared plane belongs to both
+    /// neighbouring blocks (clamped at the array edges); every other
+    /// coordinate belongs to exactly one block. This span is the geometric
+    /// coupling footprint the sharded backend's partition hint is built
+    /// from: two lattice nodes can share a stiffness entry only if their
+    /// block spans intersect on every axis.
+    pub fn block_span(&self, axis: usize, coord: usize, blocks: usize) -> [usize; 2] {
+        let stride = self.counts[axis] - 1;
+        if coord.is_multiple_of(stride) {
+            let plane = coord / stride;
+            [plane.saturating_sub(1), plane.min(blocks - 1)]
+        } else {
+            let b = coord / stride;
+            [b, b]
+        }
+    }
+
     /// Evaluates the tensor-product weights of **all surface nodes** (in
     /// [`InterpolationGrid::surface_nodes`] order) at a point on the block
     /// surface. `extents = (p, p, h)` are the block dimensions.
@@ -248,5 +270,26 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn degenerate_grid_rejected() {
         let _ = InterpolationGrid::new([1, 4, 4]);
+    }
+
+    #[test]
+    fn block_spans_cover_shared_planes_and_interiors() {
+        // counts = 3 → stride 2; a 4-block axis has coordinates 0..=8.
+        let g = InterpolationGrid::new([3, 3, 3]);
+        let blocks = 4;
+        // Array edges clamp to a single block.
+        assert_eq!(g.block_span(0, 0, blocks), [0, 0]);
+        assert_eq!(g.block_span(0, 8, blocks), [3, 3]);
+        // Shared planes belong to both neighbours.
+        assert_eq!(g.block_span(0, 2, blocks), [0, 1]);
+        assert_eq!(g.block_span(0, 4, blocks), [1, 2]);
+        assert_eq!(g.block_span(0, 6, blocks), [2, 3]);
+        // Strict-interior coordinates belong to exactly one block.
+        for (coord, b) in [(1, 0), (3, 1), (5, 2), (7, 3)] {
+            assert_eq!(g.block_span(0, coord, blocks), [b, b]);
+        }
+        // Spans intersect exactly between lattice neighbours: two interior
+        // coordinates of different blocks never intersect.
+        assert_ne!(g.block_span(0, 1, blocks)[1], g.block_span(0, 3, blocks)[0]);
     }
 }

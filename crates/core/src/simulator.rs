@@ -26,9 +26,12 @@ pub struct SimulatorOptions {
     pub threads: Option<usize>,
     /// When set, global solves run the sharded Schur-complement path
     /// ([`RomSolver::Sharded`]) with this interior shard count, overriding
-    /// `solver`. `Some(1)` pins the monolithic direct path through the
-    /// same code route — useful for A/B runs; `None` (the default) keeps
-    /// `solver` as configured.
+    /// `solver`. The global stage passes the block-grid geometry of each
+    /// free DoF down as a partition hint, so by default the shard plan is
+    /// cut along block boundaries (geometry-aware balanced partitioning)
+    /// rather than searched on the reduced sparsity graph. `Some(1)` pins
+    /// the monolithic direct path through the same code route — useful for
+    /// A/B runs; `None` (the default) keeps `solver` as configured.
     pub shards: Option<usize>,
     /// Also build the dummy-block ROM (needed for sub-modeling layouts).
     pub build_dummy: bool,

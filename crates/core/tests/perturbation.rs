@@ -224,6 +224,54 @@ fn pattern_change_takes_the_full_route() {
     }
 }
 
+/// PR 9: the incremental route composes with the geometry-aware default
+/// planner — a perturbed re-solve keeps the geometric plan (the hint is a
+/// pure function of the lattice shape, and a value-only swap leaves it
+/// unchanged), reuses clean shards, and is still bitwise the from-scratch
+/// answer under the same plan.
+#[test]
+fn incremental_route_keeps_the_geometric_plan() {
+    let shards = env_shards();
+    let sim = build_sim(shards);
+    let bc = GlobalBc::ClampedTopBottom;
+    let loads = [-250.0];
+    let base = BlockLayout::uniform(6, 6, BlockKind::Tsv);
+    let cold = sim
+        .solve_array_many(&base, &loads, &bc)
+        .expect("cold sharded solve");
+    let cold_plan = cold[0].stats.plan_stats.expect("plan stats surfaced");
+    if shards >= 2 {
+        assert!(
+            cold_plan.geometric,
+            "the pipeline's default sharded route must be the geometric planner"
+        );
+    }
+
+    let mut perturbed = base.clone();
+    perturbed.set_kind(5, 5, BlockKind::Dummy);
+    let incremental = sim
+        .resolve_perturbed_many(&perturbed, &loads, &bc)
+        .expect("incremental re-solve");
+    let incr_plan = incremental[0]
+        .stats
+        .plan_stats
+        .expect("plan stats surfaced");
+    assert_eq!(
+        incr_plan.geometric, cold_plan.geometric,
+        "a value-only swap must not change the planning route"
+    );
+    assert_eq!(incr_plan.shards, cold_plan.shards);
+    assert_eq!(incr_plan.interface_dofs, cold_plan.interface_dofs);
+    let scratch = scratch_solve(&sim, shards, &perturbed, &loads, &bc);
+    for (inc, full) in incremental.iter().zip(&scratch) {
+        assert_bitwise(
+            "geometric incremental displacement",
+            full.nodal_displacement(),
+            inc.nodal_displacement(),
+        );
+    }
+}
+
 /// `resolve_perturbed` (single-load convenience) agrees with the batched
 /// variant and with `solve_array` on a fresh simulator.
 #[test]

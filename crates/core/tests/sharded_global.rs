@@ -17,6 +17,7 @@ use morestress_core::{
     ReducedOrderModel, RomSolver, SimulatorOptions,
 };
 use morestress_fem::MaterialSet;
+use morestress_linalg::{ShardPlan, Sharded};
 use morestress_mesh::{BlockKind, BlockLayout, BlockResolution, TsvGeometry};
 
 /// Shard count under test: `MORESTRESS_SHARDS` when set (the CI matrix
@@ -172,6 +173,100 @@ fn simulator_shards_knob_routes_and_caches() {
             b.nodal_displacement(),
             "cold and warm sharded solves must agree bitwise"
         );
+    }
+}
+
+/// PR 9 acceptance: the default route through the pipeline is the
+/// geometry-aware planner. On the 6×6 reduced operator at K = 4 it must
+/// produce four non-singleton interior shards, keep the work balance
+/// within the 2× bound, and cut an interface no larger than the graph
+/// planner's 339-DoF record — all surfaced on `GlobalStats::plan_stats`.
+#[test]
+fn geometric_planner_is_the_default_route_on_6x6() {
+    let rom = build_rom(BlockKind::Tsv);
+    let layout = BlockLayout::uniform(6, 6, BlockKind::Tsv);
+    let loads = [-250.0, 75.0];
+    let reference = GlobalStage::new(&rom)
+        .with_solver(RomSolver::DirectCholesky)
+        .solve_many(&layout, &loads, &GlobalBc::ClampedTopBottom)
+        .expect("monolithic solve");
+    let batch = GlobalStage::new(&rom)
+        .with_solver(RomSolver::Sharded { shards: 4 })
+        .solve_many(&layout, &loads, &GlobalBc::ClampedTopBottom)
+        .expect("sharded solve");
+    let stats = batch[0].stats;
+    let plan = stats.plan_stats.expect("sharded solves report plan stats");
+    assert!(
+        plan.geometric,
+        "6×6 with a hint must take the geometric route"
+    );
+    assert_eq!(plan.shards, 4, "K = 4 quadrant decomposition");
+    assert!(
+        plan.min_shard_rows >= ShardPlan::MIN_SHARD_ROWS,
+        "no singleton/sub-floor shards: min rows {}",
+        plan.min_shard_rows
+    );
+    assert!(
+        plan.balance_ratio <= 2.0,
+        "max/mean interior work must stay within 2×, got {}",
+        plan.balance_ratio
+    );
+    assert!(
+        plan.interface_dofs <= 339,
+        "geometric interface ({} DoFs) must not exceed the graph planner's 339",
+        plan.interface_dofs
+    );
+    assert_eq!(plan.interface_dofs, stats.interface_dofs);
+    for (r, c) in reference.iter().zip(&batch) {
+        assert_rel_close(
+            "geometric-plan nodal displacement",
+            1e-8,
+            r.nodal_displacement(),
+            c.nodal_displacement(),
+        );
+    }
+}
+
+/// Regression for the graph-planner singleton defect: with the hint
+/// disabled (`Sharded::without_hint`), the fallback planner must never
+/// emit a shard below the minimum-rows floor on the 3×3 and 6×6 reduced
+/// operators — it merges sub-floor fragments instead.
+#[test]
+fn graph_fallback_never_emits_singleton_shards() {
+    let rom = build_rom(BlockKind::Tsv);
+    for n in [3usize, 6] {
+        let layout = BlockLayout::uniform(n, n, BlockKind::Tsv);
+        let loads = [-250.0];
+        let reference = GlobalStage::new(&rom)
+            .with_solver(RomSolver::DirectCholesky)
+            .solve_many(&layout, &loads, &GlobalBc::ClampedTopBottom)
+            .expect("monolithic solve");
+        let backend = Sharded::new(4).without_hint();
+        let batch = GlobalStage::new(&rom)
+            .with_backend(&backend)
+            .solve_many(&layout, &loads, &GlobalBc::ClampedTopBottom)
+            .expect("graph-planner solve");
+        let stats = batch[0].stats;
+        let plan = stats.plan_stats.expect("sharded solves report plan stats");
+        assert!(
+            !plan.geometric,
+            "{n}×{n}: without_hint must pin the graph planner"
+        );
+        if plan.shards >= 2 {
+            assert!(
+                plan.min_shard_rows >= ShardPlan::MIN_SHARD_ROWS,
+                "{n}×{n}: graph plan emitted a {}-row shard below the floor",
+                plan.min_shard_rows
+            );
+        }
+        for (r, c) in reference.iter().zip(&batch) {
+            assert_rel_close(
+                &format!("{n}×{n} graph-plan nodal displacement"),
+                1e-8,
+                r.nodal_displacement(),
+                c.nodal_displacement(),
+            );
+        }
     }
 }
 

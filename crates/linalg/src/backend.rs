@@ -32,9 +32,9 @@ use std::time::{Duration, Instant};
 use crate::schur::SchurSolver;
 use crate::{
     solve_cg, solve_gmres, CgOptions, CsrMatrix, DenseMatrix, FillOrdering, GmresOptions,
-    IdentityPreconditioner, JacobiPreconditioner, LinalgError, MemoryFootprint, Preconditioner,
-    SparseCholesky, SsorPreconditioner, SupernodalCholesky, SupernodalOptions, SupernodeStats,
-    WorkPool,
+    IdentityPreconditioner, JacobiPreconditioner, LinalgError, MemoryFootprint, PartitionHint,
+    Preconditioner, ShardPlanStats, SparseCholesky, SsorPreconditioner, SupernodalCholesky,
+    SupernodalOptions, SupernodeStats, WorkPool,
 };
 
 // ---------------------------------------------------------------------------
@@ -377,6 +377,11 @@ pub struct SolveReport {
     /// plus, when the interface system itself fell down the ladder, one
     /// more. 0 for monolithic backends and fully-clean sharded solves.
     pub shards_degraded: usize,
+    /// Quality accounting of the [`ShardPlan`](crate::ShardPlan) behind a
+    /// sharded solve — per-shard rows/estimated factor work, balance
+    /// ratio, interface fraction, and which planner route produced it.
+    /// `None` for monolithic backends.
+    pub plan_stats: Option<ShardPlanStats>,
 }
 
 /// One solved right-hand side with its report.
@@ -437,6 +442,15 @@ pub trait SolverBackend: fmt::Debug + Send + Sync {
     fn accepts_cached(&self, _prepared: &PreparedSolver, _a: &CsrMatrix) -> bool {
         false
     }
+
+    /// Supplies (or clears) the geometry [`PartitionHint`] the next
+    /// [`prepare`](SolverBackend::prepare) should partition under.
+    ///
+    /// Only the [`Sharded`](crate::Sharded) backend acts on it — the
+    /// default is a no-op, so callers that know the operator's block-grid
+    /// provenance (the ROM global stage) can hand it to whatever backend
+    /// they were configured with without downcasting.
+    fn set_partition_hint(&self, _hint: Option<Arc<PartitionHint>>) {}
 }
 
 /// A prepared direct factorization: the supernodal blocked kernel (the
@@ -860,6 +874,12 @@ impl PreparedSolver {
         }
     }
 
+    /// Quality accounting of the sharded engine's partition — balance,
+    /// interface share, planner route; `None` for monolithic backends.
+    pub fn plan_stats(&self) -> Option<ShardPlanStats> {
+        self.schur().map(|schur| schur.plan_stats())
+    }
+
     /// Interior shards behind this solver (1 for monolithic backends).
     pub fn shards(&self) -> usize {
         self.shard_info().0
@@ -1031,6 +1051,7 @@ impl PreparedSolver {
                 verified_residual,
                 degradation: self.full_trail(trail),
                 shards_degraded: self.shards_degraded(),
+                plan_stats: self.plan_stats(),
             },
         })
     }
@@ -1112,6 +1133,7 @@ impl PreparedSolver {
                     verified_residual,
                     degradation: self.prep_trail,
                     shards_degraded: schur.shards_degraded(),
+                    plan_stats: Some(schur.plan_stats()),
                 },
                 xs,
             });
@@ -1208,6 +1230,7 @@ impl PreparedSolver {
                 verified_residual: verified_worst,
                 degradation: self.full_trail(deepest),
                 shards_degraded: 0,
+                plan_stats: None,
             },
         })
     }
@@ -1309,6 +1332,7 @@ impl PreparedSolver {
                 verified_residual: None,
                 degradation: self.prep_trail,
                 shards_degraded: 0,
+                plan_stats: None,
             },
         }
     }

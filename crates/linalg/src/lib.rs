@@ -131,7 +131,7 @@ pub use ordering::{
 };
 pub use pool::{TaskDag, WorkPool};
 pub use schur::Sharded;
-pub use shard::ShardPlan;
+pub use shard::{PartitionHint, ShardPlan, ShardPlanStats};
 pub use sparse::{CooMatrix, CsrMatrix};
 pub use supernodal::{SupernodalCholesky, SupernodalOptions, SupernodeStats};
 pub use vecops::{axpy, dot, norm2, norm_inf, scale, sub};

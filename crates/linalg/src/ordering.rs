@@ -573,6 +573,80 @@ pub(crate) fn split_piece(
     Some(PieceSplit { below, sep, above })
 }
 
+/// Recursively bisects the `nbx × nby` weight grid into up to `k`
+/// axis-aligned rectangles `[x0, x1, y0, y1]` (inclusive bounds) of
+/// near-proportional total weight, for the geometric shard planner
+/// ([`ShardPlan::build_hinted`](crate::ShardPlan::build_hinted)).
+///
+/// Fully deterministic: each region splits along its longer side (ties
+/// prefer x), at the cut minimizing the deviation from the
+/// weight-proportional target (ties prefer the smaller index), and the
+/// lower sub-region — which receives `⌊k/2⌋` of the region's share — is
+/// emitted first. May return fewer than `k` rectangles when a region runs
+/// out of blocks to cut.
+pub(crate) fn bisect_weighted_grid(
+    weights: &[u64],
+    nbx: usize,
+    nby: usize,
+    k: usize,
+) -> Vec<[usize; 4]> {
+    assert_eq!(weights.len(), nbx * nby, "weight grid dimension mismatch");
+    let mut out = Vec::with_capacity(k);
+    if nbx == 0 || nby == 0 || k == 0 {
+        return out;
+    }
+    bisect_rect(weights, nbx, [0, nbx - 1, 0, nby - 1], k, &mut out);
+    out
+}
+
+/// Recursion step of [`bisect_weighted_grid`] over one inclusive rectangle.
+fn bisect_rect(weights: &[u64], nbx: usize, rect: [usize; 4], k: usize, out: &mut Vec<[usize; 4]>) {
+    let [x0, x1, y0, y1] = rect;
+    let (w, h) = (x1 - x0 + 1, y1 - y0 + 1);
+    let k = k.min(w * h);
+    if k <= 1 {
+        out.push(rect);
+        return;
+    }
+    let k1 = k / 2;
+    // Longer side first; a side of one block cannot be cut.
+    let along_x = if h == 1 {
+        true
+    } else if w == 1 {
+        false
+    } else {
+        w >= h
+    };
+    let lines: Vec<u64> = if along_x {
+        (x0..=x1)
+            .map(|x| (y0..=y1).map(|y| weights[y * nbx + x]).sum())
+            .collect()
+    } else {
+        (y0..=y1)
+            .map(|y| (x0..=x1).map(|x| weights[y * nbx + x]).sum())
+            .collect()
+    };
+    let total: u64 = lines.iter().sum();
+    let target = total as f64 * k1 as f64 / k as f64;
+    let mut best = (f64::INFINITY, 0usize);
+    let mut prefix = 0u64;
+    for (c, &line) in lines.iter().take(lines.len() - 1).enumerate() {
+        prefix += line;
+        let dev = (prefix as f64 - target).abs();
+        if dev < best.0 {
+            best = (dev, c);
+        }
+    }
+    let cut = best.1;
+    let (low, high) = if along_x {
+        ([x0, x0 + cut, y0, y1], [x0 + cut + 1, x1, y0, y1])
+    } else {
+        ([x0, x1, y0, y0 + cut], [x0, x1, y0 + cut + 1, y1])
+    };
+    bisect_rect(weights, nbx, low, k1, out);
+    bisect_rect(weights, nbx, high, k - k1, out);
+}
+
 /// BFS order of a (connected) piece, rooted at a pseudo-peripheral vertex
 /// so the reversed order approximates a local RCM band reduction.
 fn bfs_order(
@@ -743,6 +817,46 @@ pub fn bandwidth(a: &CsrMatrix) -> usize {
 mod tests {
     use super::*;
     use crate::CooMatrix;
+
+    #[test]
+    fn weighted_grid_bisection_covers_and_balances() {
+        // Uniform 4×4 grid, k=4: exact quadrants.
+        let rects = bisect_weighted_grid(&[1u64; 16], 4, 4, 4);
+        assert_eq!(
+            rects,
+            vec![[0, 1, 0, 1], [0, 1, 2, 3], [2, 3, 0, 1], [2, 3, 2, 3]]
+        );
+        // Any (grid, k): the rectangles tile the grid exactly.
+        for (nbx, nby, k) in [(6, 6, 4), (5, 3, 7), (1, 8, 3), (3, 1, 2), (2, 2, 9)] {
+            let weights: Vec<u64> = (0..nbx * nby).map(|i| 1 + (i as u64 % 3)).collect();
+            let rects = bisect_weighted_grid(&weights, nbx, nby, k);
+            assert!(!rects.is_empty() && rects.len() <= k);
+            let mut covered = vec![0usize; nbx * nby];
+            for &[x0, x1, y0, y1] in &rects {
+                assert!(x0 <= x1 && x1 < nbx && y0 <= y1 && y1 < nby);
+                for y in y0..=y1 {
+                    for x in x0..=x1 {
+                        covered[y * nbx + x] += 1;
+                    }
+                }
+            }
+            assert!(covered.iter().all(|&c| c == 1), "rectangles must tile");
+        }
+    }
+
+    #[test]
+    fn weighted_grid_bisection_follows_the_weights() {
+        // All weight in the left column: the k=2 cut isolates it.
+        let mut weights = vec![0u64; 16];
+        for y in 0..4 {
+            weights[y * 4] = 100;
+        }
+        weights[5] = 1;
+        let rects = bisect_weighted_grid(&weights, 4, 4, 2);
+        assert_eq!(rects, vec![[0, 0, 0, 3], [1, 3, 0, 3]]);
+        // Determinism.
+        assert_eq!(rects, bisect_weighted_grid(&weights, 4, 4, 2));
+    }
 
     #[test]
     fn permutation_validation() {

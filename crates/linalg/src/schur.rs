@@ -37,8 +37,9 @@ use std::time::Instant;
 
 use crate::backend::matrix_fingerprint;
 use crate::{
-    CooMatrix, CsrMatrix, DegradationTrail, DirectCholesky, FactorCache, LinalgError,
-    MemoryFootprint, PreparedSolver, Resilient, ShardPlan, SolverBackend, VerifyPolicy, WorkPool,
+    CsrMatrix, DegradationTrail, DirectCholesky, FactorCache, LinalgError, MemoryFootprint,
+    PartitionHint, PreparedSolver, Resilient, ShardPlan, ShardPlanStats, SolverBackend,
+    VerifyPolicy, WorkPool,
 };
 
 /// Domain-decomposition backend: `K` interior shards factored through an
@@ -69,6 +70,15 @@ pub struct Sharded {
     /// memory price of O(changed shards) re-preparation in placement and
     /// optimization loops.
     prev: Arc<Mutex<Option<PrevPrepared>>>,
+    /// Whether `prepare` may take the geometric planner route when a
+    /// [`PartitionHint`] has been supplied (`true` by default);
+    /// [`Sharded::without_hint`] turns it off for planner A/B comparisons.
+    use_hint: bool,
+    /// The caller-supplied geometry hint for the *next* preparation, shared
+    /// across clones (interior mutability because
+    /// [`SolverBackend::set_partition_hint`] takes `&self`, like the other
+    /// backend hooks).
+    hint: Arc<Mutex<Option<Arc<PartitionHint>>>>,
 }
 
 /// The retained base of the incremental route: the previous operator and
@@ -80,6 +90,21 @@ struct PrevPrepared {
     schur: Arc<SchurSolver>,
     shards_requested: usize,
     inner_fingerprint: u64,
+    /// The hint the preparation was planned under — compared by *content*
+    /// (not fingerprint) before the incremental route trusts the retained
+    /// plan, mirroring the exact-compare collision guard of the
+    /// [`FactorCache`].
+    hint: Option<Arc<PartitionHint>>,
+}
+
+/// Whether the retained preparation's hint and the currently-set hint
+/// describe the same geometry (pointer fast path, content compare after).
+fn hint_matches(prev: &Option<Arc<PartitionHint>>, now: &Option<Arc<PartitionHint>>) -> bool {
+    match (prev, now) {
+        (None, None) => true,
+        (Some(p), Some(n)) => Arc::ptr_eq(p, n) || p == n,
+        _ => false,
+    }
 }
 
 impl Sharded {
@@ -99,7 +124,31 @@ impl Sharded {
             // little slack), so one prepare never evicts its own blocks.
             cache: Arc::new(FactorCache::with_capacity(2 * shards.max(1) + 2)),
             prev: Arc::new(Mutex::new(None)),
+            use_hint: true,
+            hint: Arc::new(Mutex::new(None)),
         }
+    }
+
+    /// Disables the geometric (hint-driven) planner route: `prepare`
+    /// always partitions from the sparsity graph, ignoring any supplied
+    /// [`PartitionHint`]. This is the planner A/B lever — the
+    /// `ablation_shard_balance` bench drives both planners through the
+    /// otherwise-identical pipeline with it.
+    pub fn without_hint(mut self) -> Self {
+        self.use_hint = false;
+        self
+    }
+
+    /// The hint the next preparation will plan under (`None` when unset or
+    /// when the geometric route is disabled).
+    fn effective_hint(&self) -> Option<Arc<PartitionHint>> {
+        if !self.use_hint {
+            return None;
+        }
+        self.hint
+            .lock()
+            .expect("sharded hint state poisoned")
+            .clone()
     }
 
     /// The internal per-shard factor cache (hit/miss counters included).
@@ -121,11 +170,12 @@ impl SolverBackend for Sharded {
         crate::backend::check_finite_matrix(&a)?;
         // Take the incremental route when the retained previous
         // preparation matches this one's configuration *and* pattern: the
-        // plan is a pure function of (pattern, shard count), so it — and
-        // with it every elimination order — carries over unchanged, which
-        // is what makes per-shard reuse bitwise safe. Any mismatch
-        // (different config, different pattern, first call) falls through
-        // to the from-scratch route.
+        // plan is a pure function of (pattern, shard count, hint), so it —
+        // and with it every elimination order — carries over unchanged,
+        // which is what makes per-shard reuse bitwise safe. Any mismatch
+        // (different config, different pattern, different hint, first
+        // call) falls through to the from-scratch route.
+        let hint = self.effective_hint();
         let prev = self
             .prev
             .lock()
@@ -135,12 +185,13 @@ impl SolverBackend for Sharded {
             Some(p)
                 if p.shards_requested == self.shards
                     && p.inner_fingerprint == self.inner.config_fingerprint()
+                    && hint_matches(&p.hint, &hint)
                     && p.matrix.same_pattern(&a) =>
             {
                 SchurSolver::assemble_incremental(&p.schur, &a, &self.inner, &self.cache)?
             }
             _ => {
-                let plan = ShardPlan::build(&a, self.shards);
+                let plan = ShardPlan::build_hinted(&a, self.shards, hint.as_deref());
                 SchurSolver::assemble(&a, plan, &self.inner, &self.cache)?
             }
         };
@@ -150,6 +201,7 @@ impl SolverBackend for Sharded {
             schur: Arc::clone(&schur),
             shards_requested: self.shards,
             inner_fingerprint: self.inner.config_fingerprint(),
+            hint,
         });
         Ok(PreparedSolver::from_sharded(
             a,
@@ -160,18 +212,26 @@ impl SolverBackend for Sharded {
     }
 
     fn config_fingerprint(&self) -> u64 {
-        // The shard count changes the elimination order and therefore the
-        // bits of the result, so it must split cache entries; the internal
-        // cache identity must not (clones share semantics).
+        // The shard count and the partition hint change the elimination
+        // order and therefore the bits of the result, so both must split
+        // cache entries; the internal cache identity must not (clones
+        // share semantics).
+        let hint = self.effective_hint().map_or(0, |h| h.fingerprint());
         0x50 ^ (self.shards as u64).rotate_left(32)
             ^ self.inner.config_fingerprint().rotate_left(4)
             ^ self.verify.fingerprint().rotate_left(44)
+            ^ hint.rotate_left(20)
+    }
+
+    fn set_partition_hint(&self, hint: Option<Arc<PartitionHint>>) {
+        *self.hint.lock().expect("sharded hint state poisoned") = hint;
     }
 
     fn accepts_cached(&self, prepared: &PreparedSolver, a: &CsrMatrix) -> bool {
-        // Different requested shard counts key different cache entries,
-        // but on operators too small or too dense to separate they can
-        // degenerate to the *same* canonical plan — in which case the
+        // Different requested shard counts (or hints) key different cache
+        // entries, but they can degenerate to the *same* canonical plan —
+        // operators too small or too dense to separate, or a hint that
+        // merely re-derives the graph partition — in which case the
         // prepared solvers are interchangeable bit for bit. Trust an exact
         // plan comparison (plans are canonical), mirroring the exact
         // matrix comparison that guards fingerprint hits.
@@ -180,7 +240,8 @@ impl SolverBackend for Sharded {
         };
         prepared.verify_policy() == self.verify
             && schur.inner_fingerprint() == self.inner.config_fingerprint()
-            && *schur.plan() == ShardPlan::build(a, self.shards)
+            && *schur.plan()
+                == ShardPlan::build_hinted(a, self.shards, self.effective_hint().as_deref())
     }
 }
 
@@ -244,6 +305,10 @@ pub(crate) struct SchurSolver {
     shards_reused: usize,
     /// Whether the interface system itself needed the ladder.
     interface_degraded: bool,
+    /// Precomputed interface scatter maps (`None` for an empty interface),
+    /// carried forward by the incremental route so interface-only
+    /// perturbations skip the pattern-union rebuild.
+    iface_assembly: Option<Arc<InterfaceAssembly>>,
 }
 
 /// Per-shard extraction of one operator under a plan: the interface
@@ -293,12 +358,133 @@ fn extract_blocks(a: &CsrMatrix, plan: &ShardPlan) -> Extraction {
     }
 }
 
+/// Precomputed scatter maps of the serial interface accumulation
+/// `S = A_ss − Σ_k clique_k`: the CSR pattern of `S` (the union of the
+/// `A_ss` pattern and every shard clique's pattern) plus the destination
+/// slot of every source entry. Assembly is then one flat scatter-add in
+/// the canonical serial order — `A_ss` entries first, then each shard's
+/// clique in shard order, row-major within a clique — with no per-entry
+/// column search and no coordinate sort, which makes the interface
+/// rebuild of an incremental re-preparation (where `S` is *always*
+/// rebuilt) measurably cheaper.
+///
+/// The maps are pure *pattern* data: they depend only on the operator's
+/// sparsity and the plan (each shard's coupled-column set is the non-empty
+/// rows of its `A_sk`). The incremental route's precondition is exactly an
+/// unchanged pattern, so it reuses the previous preparation's maps as-is.
+#[derive(Debug)]
+struct InterfaceAssembly {
+    /// CSR row pointers of `S`.
+    row_ptr: Vec<usize>,
+    /// CSR column indices of `S` (sorted within each row).
+    col_idx: Vec<usize>,
+    /// Destination slot of each `A_ss` entry, in `A_ss` CSR entry order.
+    ass_slots: Vec<usize>,
+    /// Destination slots of each shard's dense clique, row-major over its
+    /// coupled columns (`cols.len()²` slots per shard, shard order).
+    clique_slots: Vec<Vec<usize>>,
+}
+
+impl InterfaceAssembly {
+    /// Builds the union pattern and the slot maps for `A_ss` and every
+    /// shard clique. Cost is one sort of the union pattern plus a binary
+    /// search per source entry — paid once per *pattern*, not per
+    /// assembly.
+    fn build(a_ss: &CsrMatrix, blocks: &[ShardBlock]) -> Self {
+        let n_s = a_ss.nrows();
+        let mut per_row: Vec<Vec<usize>> = vec![Vec::new(); n_s];
+        for i in 0..n_s {
+            per_row[i].extend_from_slice(a_ss.row(i).0);
+        }
+        for b in blocks {
+            for &i in b.cols.iter() {
+                per_row[i].extend_from_slice(&b.cols);
+            }
+        }
+        let mut row_ptr = Vec::with_capacity(n_s + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::new();
+        for cols in &mut per_row {
+            cols.sort_unstable();
+            cols.dedup();
+            col_idx.extend_from_slice(cols);
+            row_ptr.push(col_idx.len());
+        }
+        let slot = |i: usize, c: usize| -> usize {
+            let row = &col_idx[row_ptr[i]..row_ptr[i + 1]];
+            row_ptr[i]
+                + row
+                    .binary_search(&c)
+                    .expect("union pattern contains every source entry")
+        };
+        let mut ass_slots = Vec::with_capacity(a_ss.nnz());
+        for i in 0..n_s {
+            for &c in a_ss.row(i).0 {
+                ass_slots.push(slot(i, c));
+            }
+        }
+        let clique_slots = blocks
+            .iter()
+            .map(|b| {
+                let mut slots = Vec::with_capacity(b.cols.len() * b.cols.len());
+                for &i in b.cols.iter() {
+                    for &j in b.cols.iter() {
+                        slots.push(slot(i, j));
+                    }
+                }
+                slots
+            })
+            .collect();
+        Self {
+            row_ptr,
+            col_idx,
+            ass_slots,
+            clique_slots,
+        }
+    }
+
+    /// Scatters `A_ss` and subtracts every clique into a fresh values
+    /// array, in the canonical serial order.
+    fn assemble(&self, a_ss: &CsrMatrix, blocks: &[ShardBlock]) -> CsrMatrix {
+        let n_s = a_ss.nrows();
+        let mut values = vec![0.0f64; self.col_idx.len()];
+        let mut next = 0usize;
+        for i in 0..n_s {
+            for &v in a_ss.row(i).1 {
+                values[self.ass_slots[next]] += v;
+                next += 1;
+            }
+        }
+        for (b, slots) in blocks.iter().zip(&self.clique_slots) {
+            for (&s, &v) in slots.iter().zip(b.clique.iter()) {
+                values[s] -= v;
+            }
+        }
+        CsrMatrix::from_raw_trusted(n_s, n_s, self.row_ptr.clone(), self.col_idx.clone(), values)
+    }
+}
+
+impl MemoryFootprint for InterfaceAssembly {
+    fn heap_bytes(&self) -> usize {
+        self.row_ptr.heap_bytes()
+            + self.col_idx.heap_bytes()
+            + self.ass_slots.heap_bytes()
+            + self
+                .clique_slots
+                .iter()
+                .map(MemoryFootprint::heap_bytes)
+                .sum::<usize>()
+    }
+}
+
 /// Builds and factors the interface system `S = A_ss − Σ_k clique_k` from
 /// the fresh `A_ss` and every block's stored clique, accumulated serially
-/// in shard order: `A_ss` entries first, then each shard's clique
-/// (duplicates summed by `to_csr` in push order — fixed, so `S` is
-/// identical at every pool cap *and* between the from-scratch and
-/// incremental routes).
+/// in shard order through [`InterfaceAssembly`]'s precomputed scatter maps
+/// (`A_ss` entries first, then each shard's clique — a fixed order, so `S`
+/// is identical at every pool cap *and* between the from-scratch and
+/// incremental routes). `reuse` is the previous preparation's maps, valid
+/// exactly when the operator pattern is unchanged — the incremental
+/// route's precondition.
 fn condense_interface(
     a: &CsrMatrix,
     plan: &ShardPlan,
@@ -306,33 +492,27 @@ fn condense_interface(
     blocks: &[ShardBlock],
     inner: &DirectCholesky,
     cache: &FactorCache,
-) -> Result<(Option<Arc<PreparedSolver>>, bool), LinalgError> {
+    reuse: Option<Arc<InterfaceAssembly>>,
+) -> Result<CondensedInterface, LinalgError> {
     let interface = plan.interface();
     let n_s = interface.len();
     if n_s == 0 {
-        return Ok((None, false));
+        return Ok((None, false, None));
     }
     let a_ss = a.extract(interface, iface_map, n_s);
-    let clique_nnz: usize = blocks.iter().map(|b| b.cols.len() * b.cols.len()).sum();
-    let mut coo = CooMatrix::with_capacity(n_s, n_s, a_ss.nnz() + clique_nnz);
-    for i in 0..n_s {
-        let (cols, vals) = a_ss.row(i);
-        for (&c, &v) in cols.iter().zip(vals) {
-            coo.push(i, c, v);
-        }
-    }
-    for b in blocks {
-        let w = b.cols.len();
-        for (p, &i) in b.cols.iter().enumerate() {
-            for (q, &j) in b.cols.iter().enumerate() {
-                coo.push(i, j, -b.clique[p * w + q]);
-            }
-        }
-    }
-    let s = Arc::new(coo.to_csr());
+    let assembly = reuse.unwrap_or_else(|| Arc::new(InterfaceAssembly::build(&a_ss, blocks)));
+    let s = Arc::new(assembly.assemble(&a_ss, blocks));
     let (solver, degraded) = prepare_contained(inner, cache, &s)?;
-    Ok((Some(solver), degraded))
+    Ok((Some(solver), degraded, Some(assembly)))
 }
+
+/// `(interface factor, ladder-contained?, scatter maps)` of
+/// [`condense_interface`].
+type CondensedInterface = (
+    Option<Arc<PreparedSolver>>,
+    bool,
+    Option<Arc<InterfaceAssembly>>,
+);
 
 /// `(solver, interface-local coupled columns, dense clique contribution,
 /// ladder-contained?)` of one shard's concurrent preparation task.
@@ -384,8 +564,8 @@ impl SchurSolver {
             });
         }
 
-        let (interface_solver, interface_degraded) =
-            condense_interface(a, &plan, &iface_map, &blocks, inner, cache)?;
+        let (interface_solver, interface_degraded, iface_assembly) =
+            condense_interface(a, &plan, &iface_map, &blocks, inner, cache, None)?;
 
         Ok(Self {
             plan,
@@ -395,6 +575,7 @@ impl SchurSolver {
             shards_refactored: num_shards,
             shards_reused: 0,
             interface_degraded,
+            iface_assembly,
         })
     }
 
@@ -488,8 +669,18 @@ impl SchurSolver {
             }
         }
 
-        let (interface_solver, interface_degraded) =
-            condense_interface(a, &plan, &iface_map, &blocks, inner, cache)?;
+        // The scatter maps are pure pattern data and the pattern is
+        // unchanged (this route's precondition), so the previous maps
+        // apply verbatim.
+        let (interface_solver, interface_degraded, iface_assembly) = condense_interface(
+            a,
+            &plan,
+            &iface_map,
+            &blocks,
+            inner,
+            cache,
+            prev.iface_assembly.clone(),
+        )?;
 
         // Evict the superseded entries — the old factors of interiors that
         // actually changed, and the old interface system — so stale blocks
@@ -514,6 +705,7 @@ impl SchurSolver {
             shards_refactored: dirty.len(),
             shards_reused: num_shards - dirty.len(),
             interface_degraded,
+            iface_assembly,
         })
     }
 
@@ -535,6 +727,12 @@ impl SchurSolver {
     /// The canonical partition this solver was prepared under.
     pub(crate) fn plan(&self) -> &ShardPlan {
         &self.plan
+    }
+
+    /// Quality accounting of the prepared plan (balance, interface share,
+    /// planner route) — surfaced on `SolveReport::plan_stats`.
+    pub(crate) fn plan_stats(&self) -> ShardPlanStats {
+        self.plan.stats()
     }
 
     /// Inner-backend configuration fingerprint the blocks were prepared
@@ -627,8 +825,8 @@ impl SchurSolver {
     }
 
     /// Bytes of the shared prepared state: every shard factor, the
-    /// interface factor, the coupling blocks, and the stored cliques kept
-    /// for incremental re-assembly.
+    /// interface factor, the coupling blocks, the stored cliques kept for
+    /// incremental re-assembly, and the interface scatter maps.
     pub(crate) fn shared_bytes(&self) -> usize {
         self.blocks
             .iter()
@@ -644,6 +842,7 @@ impl SchurSolver {
                 .interface_solver
                 .as_ref()
                 .map_or(0, |s| s.solver_bytes())
+            + self.iface_assembly.as_ref().map_or(0, |m| m.heap_bytes())
             + self.plan.heap_bytes()
     }
 
@@ -896,6 +1095,7 @@ fn prepare_contained(
 mod tests {
     use super::*;
     use crate::test_operators::laplacian_2d;
+    use crate::CooMatrix;
 
     fn loads(n: usize, count: usize) -> Vec<Vec<f64>> {
         (0..count)
@@ -1173,6 +1373,142 @@ mod tests {
         cache.prepare(&Sharded::new(4), &big).unwrap();
         assert_eq!(cache.hits(), 0, "distinct plans must not alias");
         assert_eq!(cache.misses(), 2);
+    }
+
+    /// A `(bx·m+1) × (by·m+1)` point grid with 5-point coupling plus the
+    /// block spans of a `bx × by` grid of `m×m`-cell blocks — the shape of
+    /// the reduced global operator, with a hint the geometric planner can
+    /// act on (mirrors the helper in `shard::tests`).
+    fn hinted_grid(bx: usize, by: usize, m: usize) -> (CsrMatrix, PartitionHint) {
+        let (nx, ny) = (bx * m + 1, by * m + 1);
+        let idx = |x: usize, y: usize| y * nx + x;
+        let span1 = |c: usize, blocks: usize| -> [usize; 2] {
+            if c.is_multiple_of(m) {
+                let plane = c / m;
+                [plane.saturating_sub(1), plane.min(blocks - 1)]
+            } else {
+                [c / m, c / m]
+            }
+        };
+        let mut coo = CooMatrix::new(nx * ny, nx * ny);
+        let mut spans = Vec::with_capacity(nx * ny);
+        for y in 0..ny {
+            for x in 0..nx {
+                let v = idx(x, y);
+                coo.push(v, v, 4.0);
+                if x + 1 < nx {
+                    coo.push(v, idx(x + 1, y), -1.0);
+                    coo.push(idx(x + 1, y), v, -1.0);
+                }
+                if y + 1 < ny {
+                    coo.push(v, idx(x, y + 1), -1.0);
+                    coo.push(idx(x, y + 1), v, -1.0);
+                }
+                let sx = span1(x, bx);
+                let sy = span1(y, by);
+                spans.push([sx[0], sx[1], sy[0], sy[1]]);
+            }
+        }
+        (coo.to_csr(), PartitionHint::new([bx, by], spans))
+    }
+
+    #[test]
+    fn hinted_prepare_takes_the_geometric_route_and_matches() {
+        let (a, hint) = hinted_grid(4, 4, 4);
+        let a = Arc::new(a);
+        let rhs = loads(a.nrows(), 3);
+        let mono = DirectCholesky::default()
+            .prepare(Arc::clone(&a))
+            .unwrap()
+            .solve_many(&rhs, 4)
+            .unwrap();
+        let backend = Sharded::new(4);
+        backend.set_partition_hint(Some(Arc::new(hint)));
+        let prepared = backend.prepare(Arc::clone(&a)).unwrap();
+        let schur = prepared.schur().expect("sharded engine");
+        let stats = schur.plan_stats();
+        assert!(stats.geometric, "hint must route geometrically");
+        assert_eq!(stats.shards, 4);
+        assert!(stats.min_shard_rows >= ShardPlan::MIN_SHARD_ROWS);
+        assert!(stats.balance_ratio <= 2.0);
+        // Agreement with the monolithic solve, and bitwise cap invariance.
+        let scale = mono
+            .xs
+            .iter()
+            .flatten()
+            .fold(0.0f64, |m, v| m.max(v.abs()))
+            .max(1e-30);
+        let b1 = prepared.solve_many(&rhs, 1).unwrap();
+        let b8 = prepared.solve_many(&rhs, 8).unwrap();
+        for ((x, y), z) in mono.xs.iter().zip(&b1.xs).zip(&b8.xs) {
+            assert_eq!(y, z, "geometric sharded solve must be cap-invariant");
+            for (p, q) in x.iter().zip(y) {
+                assert!((p - q).abs() <= 1e-10 * scale);
+            }
+        }
+    }
+
+    #[test]
+    fn hinted_incremental_reuses_clean_shards_and_stays_bitwise() {
+        let (a, hint) = hinted_grid(4, 4, 4);
+        let a = Arc::new(a);
+        let hint = Arc::new(hint);
+        let rhs = loads(a.nrows(), 3);
+        let backend = Sharded::new(4);
+        backend.set_partition_hint(Some(Arc::clone(&hint)));
+        let first = backend.prepare(Arc::clone(&a)).unwrap();
+        let schur = first.schur().expect("sharded engine");
+        assert!(schur.plan_stats().geometric);
+        let k = schur.num_shards();
+        // Perturb one interior diagonal: incremental route, one dirty shard.
+        let row = schur.plan().shard_rows(0)[0];
+        let mut b = (*a).clone();
+        b.add_at(row, row, 1.0);
+        let b = Arc::new(b);
+        let second = backend.prepare(Arc::clone(&b)).unwrap();
+        let schur2 = second.schur().unwrap();
+        assert!(schur2.plan_stats().geometric, "plan carries over");
+        assert_eq!(schur2.shards_refactored(), 1);
+        assert_eq!(schur2.shards_reused(), k - 1);
+        // Bitwise oracle: a fresh backend under the same hint, from scratch.
+        let scratch_backend = Sharded::new(4);
+        scratch_backend.set_partition_hint(Some(Arc::clone(&hint)));
+        let scratch = scratch_backend.prepare(Arc::clone(&b)).unwrap();
+        let xi = second.solve_many(&rhs, 4).unwrap();
+        let xs = scratch.solve_many(&rhs, 4).unwrap();
+        for (x, y) in xi.xs.iter().zip(&xs.xs) {
+            assert_eq!(x, y, "hinted incremental bits must match scratch");
+        }
+    }
+
+    #[test]
+    fn hint_change_forces_the_full_route() {
+        let (a, hint) = hinted_grid(4, 4, 4);
+        let a = Arc::new(a);
+        let backend = Sharded::new(4);
+        backend.set_partition_hint(Some(Arc::new(hint)));
+        let first = backend.prepare(Arc::clone(&a)).unwrap();
+        assert!(first.schur().unwrap().plan_stats().geometric);
+        // Dropping the hint is a configuration change: same matrix, but the
+        // plan must be rebuilt from the graph — never reused incrementally.
+        backend.set_partition_hint(None);
+        let second = backend.prepare(Arc::clone(&a)).unwrap();
+        let schur = second.schur().unwrap();
+        assert!(!schur.plan_stats().geometric);
+        assert_eq!(schur.shards_refactored(), schur.num_shards());
+        assert_eq!(schur.shards_reused(), 0);
+    }
+
+    #[test]
+    fn without_hint_pins_the_graph_planner() {
+        let (a, hint) = hinted_grid(4, 4, 4);
+        let a = Arc::new(a);
+        let backend = Sharded::new(4).without_hint();
+        backend.set_partition_hint(Some(Arc::new(hint)));
+        let prepared = backend.prepare(Arc::clone(&a)).unwrap();
+        let schur = prepared.schur().expect("sharded engine");
+        assert!(!schur.plan_stats().geometric, "hint must be ignored");
+        assert_eq!(*schur.plan(), ShardPlan::build(&a, 4));
     }
 
     #[test]

@@ -11,7 +11,7 @@ use morestress_linalg::{
     nested_dissection, reverse_cuthill_mckee, solve_cg, solve_gmres, Auto, CgOptions,
     CholeskyKernel, CooMatrix, CsrMatrix, DenseKernel, DenseMatrix, DirectCholesky, FactorCache,
     FaultPlan, FillOrdering, GmresOptions, JacobiPreconditioner, KernelChoice, LinalgError,
-    Permutation, ScalarKernel, ShardPlan, Sharded, SolverBackend, SparseCholesky,
+    PartitionHint, Permutation, ScalarKernel, ShardPlan, Sharded, SolverBackend, SparseCholesky,
     SupernodalCholesky, SupernodalOptions, TaskDag, WorkPool,
 };
 use proptest::prelude::*;
@@ -46,6 +46,42 @@ fn spd_strategy(n: usize) -> impl Strategy<Value = CsrMatrix> {
         }
         coo.to_csr()
     })
+}
+
+/// A 5-point lattice of `bx × by` blocks with `m + 1` nodes per block edge
+/// (shared boundary columns), plus the exact geometric [`PartitionHint`]
+/// describing it — the shape the global stage hands the sharded backend.
+fn hinted_lattice(bx: usize, by: usize, m: usize) -> (CsrMatrix, PartitionHint) {
+    let (nx, ny) = (bx * m + 1, by * m + 1);
+    let idx = |x: usize, y: usize| y * nx + x;
+    let span1 = |c: usize, blocks: usize| -> [usize; 2] {
+        if c.is_multiple_of(m) {
+            let plane = c / m;
+            [plane.saturating_sub(1), plane.min(blocks - 1)]
+        } else {
+            [c / m, c / m]
+        }
+    };
+    let mut coo = CooMatrix::new(nx * ny, nx * ny);
+    let mut spans = Vec::with_capacity(nx * ny);
+    for y in 0..ny {
+        for x in 0..nx {
+            let v = idx(x, y);
+            coo.push(v, v, 4.0);
+            if x + 1 < nx {
+                coo.push(v, idx(x + 1, y), -1.0);
+                coo.push(idx(x + 1, y), v, -1.0);
+            }
+            if y + 1 < ny {
+                coo.push(v, idx(x, y + 1), -1.0);
+                coo.push(idx(x, y + 1), v, -1.0);
+            }
+            let sx = span1(x, bx);
+            let sy = span1(y, by);
+            spans.push([sx[0], sx[1], sy[0], sy[1]]);
+        }
+    }
+    (coo.to_csr(), PartitionHint::new([bx, by], spans))
 }
 
 proptest! {
@@ -698,6 +734,77 @@ proptest! {
                     "incremental bits must match from-scratch bits");
             }
         }
+    }
+
+    /// PR-9 planner invariants on random block-grid lattices, both routes:
+    /// plans are deterministic, interior shards are never coupled to each
+    /// other (every off-diagonal entry stays within a shard or touches the
+    /// interface), any plan that splits respects the minimum-rows floor,
+    /// and the geometric route honors the 2× work-balance bound.
+    #[test]
+    fn shard_planner_invariants_on_hinted_lattices(
+        bx in 2usize..5,
+        by in 2usize..5,
+        m in 2usize..4,
+        shards in 2usize..6)
+    {
+        let (a, hint) = hinted_lattice(bx, by, m);
+        let n = a.nrows();
+        let geo = ShardPlan::build_hinted(&a, shards, Some(&hint));
+        let graph = ShardPlan::build(&a, shards);
+        // Determinism, per route.
+        prop_assert!(geo == ShardPlan::build_hinted(&a, shards, Some(&hint)),
+            "geometric plans must be deterministic");
+        prop_assert!(graph == ShardPlan::build(&a, shards),
+            "graph plans must be deterministic");
+        for (route, plan) in [("geometric", &geo), ("graph", &graph)] {
+            let stats = plan.stats();
+            // No inter-shard edges: off-diagonal entries either stay inside
+            // one shard or touch the interface.
+            for row in 0..n {
+                let Some(k) = plan.owner(row) else { continue };
+                let (cols, _) = a.row(row);
+                for &col in cols {
+                    if let Some(k2) = plan.owner(col) {
+                        prop_assert_eq!(k, k2,
+                            "{} plan couples shard {} to shard {}", route, k, k2);
+                    }
+                }
+            }
+            // Any plan that actually splits respects the rows floor.
+            if plan.num_shards() >= 2 {
+                prop_assert!(stats.min_shard_rows >= ShardPlan::MIN_SHARD_ROWS,
+                    "{} plan emitted a {}-row shard", route, stats.min_shard_rows);
+            }
+        }
+        // The geometric route only accepts balanced region counts.
+        if geo.stats().geometric {
+            prop_assert!(geo.stats().balance_ratio <= 2.0 + 1e-12,
+                "geometric balance {} exceeds the 2x bound", geo.stats().balance_ratio);
+        }
+    }
+
+    /// A hint whose span table does not cover the operator (a length
+    /// mismatch) is ignored gracefully: the plan falls back to the graph
+    /// route and equals the unhinted plan exactly.
+    #[test]
+    fn mismatched_hints_are_ignored_gracefully(
+        bx in 2usize..5,
+        by in 2usize..5,
+        m in 2usize..4,
+        shards in 2usize..6,
+        drop in 1usize..4)
+    {
+        let (a, hint) = hinted_lattice(bx, by, m);
+        let truncated: Vec<[usize; 4]> = (0..hint.num_rows().saturating_sub(drop))
+            .map(|_| [0, bx - 1, 0, by - 1])
+            .collect();
+        let bad = PartitionHint::new([bx, by], truncated);
+        let hinted = ShardPlan::build_hinted(&a, shards, Some(&bad));
+        let unhinted = ShardPlan::build(&a, shards);
+        prop_assert!(hinted == unhinted,
+            "a mismatched hint must fall back to the graph planner");
+        prop_assert!(!hinted.stats().geometric);
     }
 
     /// A `FactorCache` is usable from many pool workers concurrently: all
