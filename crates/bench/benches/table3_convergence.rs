@@ -7,7 +7,6 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use morestress_bench::{Scale, DELTA_T};
 use morestress_core::{
     GlobalBc, InterpolationGrid, LocalStage, LocalStageOptions, MoreStressSimulator,
-    SimulatorOptions,
 };
 use morestress_fem::MaterialSet;
 use morestress_mesh::{BlockKind, BlockLayout, TsvGeometry};
@@ -29,14 +28,12 @@ fn bench_table3(c: &mut Criterion) {
                     .expect("local stage")
             })
         });
-        let sim = MoreStressSimulator::build(
-            &geom,
-            &scale.res,
-            interp,
-            &mats,
-            &SimulatorOptions::default(),
-        )
-        .expect("simulator");
+        let sim = MoreStressSimulator::builder(&geom)
+            .resolution(scale.res)
+            .interpolation_grid(interp)
+            .materials(mats.clone())
+            .build()
+            .expect("simulator");
         group.bench_with_input(BenchmarkId::new("global_stage", m), &sim, |b, sim| {
             b.iter(|| {
                 sim.solve_array(&layout, DELTA_T, &GlobalBc::ClampedTopBottom)

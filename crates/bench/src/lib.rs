@@ -21,9 +21,7 @@ use std::time::{Duration, Instant};
 use morestress_chiplet::{
     standard_locations, ChipletGeometry, ChipletModel, ChipletResolution, Submodel,
 };
-use morestress_core::{
-    GlobalBc, InterpolationGrid, MoreStressSimulator, RomError, SimulatorOptions,
-};
+use morestress_core::{GlobalBc, MoreStressSimulator, RomError};
 use morestress_fem::{
     normalized_mae, sample_von_mises, solve_thermal_stress, DirichletBcs, LinearSolver,
     MaterialSet, PlaneGrid, ScalarField2d,
@@ -153,16 +151,12 @@ pub struct OneShot {
 pub fn one_shot(geom: &TsvGeometry, scale: &Scale, build_dummy: bool) -> Result<OneShot, RomError> {
     let mats = MaterialSet::tsv_defaults();
     let t0 = Instant::now();
-    let sim = MoreStressSimulator::build(
-        geom,
-        &scale.res,
-        InterpolationGrid::new(scale.interp),
-        &mats,
-        &SimulatorOptions {
-            build_dummy,
-            ..SimulatorOptions::default()
-        },
-    )?;
+    let sim = MoreStressSimulator::builder(geom)
+        .resolution(scale.res)
+        .interpolation(scale.interp)
+        .materials(mats.clone())
+        .build_dummy(build_dummy)
+        .build()?;
     let local_stage_time = t0.elapsed();
     let t0 = Instant::now();
     let superpos = SuperpositionSolver::build(geom, &scale.res, &mats).map_err(RomError::Fem)?;
@@ -396,13 +390,11 @@ pub fn table3_series(geom: &TsvGeometry, scale: &Scale) -> Result<Vec<Convergenc
     let mut out = Vec::new();
     for &m in &scale.table3_orders {
         let t0 = Instant::now();
-        let sim = MoreStressSimulator::build(
-            geom,
-            &scale.res,
-            InterpolationGrid::new([m, m, m]),
-            &mats,
-            &SimulatorOptions::default(),
-        )?;
+        let sim = MoreStressSimulator::builder(geom)
+            .resolution(scale.res)
+            .interpolation([m, m, m])
+            .materials(mats.clone())
+            .build()?;
         let local_time = t0.elapsed();
         let t0 = Instant::now();
         let solution = sim.solve_array(&layout, DELTA_T, &GlobalBc::ClampedTopBottom)?;
@@ -610,6 +602,16 @@ pub fn record_bench_entries(file: &str, section: &str, entries: Vec<(String, f64
     entries.push(("git_commit".to_string(), git_commit_number()));
     sections.push((section.to_string(), entries));
     sections.sort_by(|a, b| a.0.cmp(&b.0));
+    if let Err(e) = std::fs::write(&path, format_bench_sections(&sections)) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+/// Serializes sections into the two-level `{section: {key: number}}` text
+/// that [`parse_bench_json`] reads back — shared by
+/// [`record_bench_entries`] and the campaign results writer. Section
+/// order is preserved as given.
+pub fn format_bench_sections(sections: &[BenchSection]) -> String {
     let mut out = String::from("{\n");
     for (si, (name, kvs)) in sections.iter().enumerate() {
         out.push_str(&format!("  \"{name}\": {{\n"));
@@ -621,9 +623,7 @@ pub fn record_bench_entries(file: &str, section: &str, entries: Vec<(String, f64
         out.push_str(&format!("  }}{comma}\n"));
     }
     out.push_str("}\n");
-    if let Err(e) = std::fs::write(&path, out) {
-        eprintln!("warning: could not write {}: {e}", path.display());
-    }
+    out
 }
 
 /// Parses the two-level `{section: {key: number}}` format written by

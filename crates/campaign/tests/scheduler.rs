@@ -1,0 +1,200 @@
+//! Scheduler contract: deterministic results regardless of pool cap and
+//! admission order, shared factor caches across same-model campaigns,
+//! and per-job fault containment (typed failures and panics alike).
+
+use morestress_campaign::{
+    AdmissionOrder, ArraySpec, CampaignReport, CampaignRunner, CampaignSpec, JobOutcome, SolverSpec,
+};
+use morestress_linalg::{FaultPlan, WorkPool};
+use morestress_mesh::TsvGeometry;
+
+fn base_spec(name: &str) -> CampaignSpec {
+    CampaignSpec {
+        name: name.to_string(),
+        materials: Vec::new(),
+        geometry: TsvGeometry::paper_defaults(15.0),
+        loads: vec![-250.0, 85.0],
+        arrays: vec![
+            ArraySpec {
+                tsv_num_x: 2,
+                tsv_num_y: 1,
+                dummy_tsv_num_x: 0,
+                dummy_tsv_num_y: 0,
+            },
+            ArraySpec {
+                tsv_num_x: 1,
+                tsv_num_y: 2,
+                dummy_tsv_num_x: 0,
+                dummy_tsv_num_y: 0,
+            },
+        ],
+        solver: SolverSpec::default(),
+    }
+}
+
+/// The scheduling-independent projection of a run: everything except
+/// wall times and cache tallies must be identical across pool caps and
+/// admission orders.
+fn deterministic_core(reports: &[CampaignReport]) -> Vec<(String, usize, usize, u64, Vec<u64>)> {
+    reports
+        .iter()
+        .flat_map(|r| r.jobs.iter())
+        .map(|job| {
+            let outcome = match &job.outcome {
+                JobOutcome::Solved {
+                    checksum,
+                    peak_displacement,
+                    peak_von_mises,
+                    stats,
+                } => vec![
+                    1,
+                    *checksum,
+                    peak_displacement.to_bits(),
+                    peak_von_mises.to_bits(),
+                    stats.total_dofs as u64,
+                    stats.free_dofs as u64,
+                    stats.shards as u64,
+                ],
+                JobOutcome::Failed { error } => {
+                    vec![0, error.len() as u64]
+                }
+            };
+            (
+                job.campaign.clone(),
+                job.array_index,
+                job.load_index,
+                job.load.to_bits(),
+                outcome,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn results_are_identical_across_pool_caps_and_admission_orders() {
+    let specs = [base_spec("alpha"), {
+        let mut spec = base_spec("beta");
+        spec.loads = vec![-100.0, 42.0, 7.5];
+        spec.arrays.truncate(1);
+        spec
+    }];
+
+    let run = |cap: usize, order: AdmissionOrder| {
+        WorkPool::new(cap).install(|| {
+            CampaignRunner::new()
+                .admission(order)
+                .run(&specs)
+                .expect("campaigns run")
+        })
+    };
+
+    let baseline = run(1, AdmissionOrder::Sequential);
+    assert_eq!(baseline.len(), 2);
+    assert_eq!(baseline[0].solved() + baseline[1].solved(), 7);
+    let core = deterministic_core(&baseline);
+    // Canonical report order, independent of everything.
+    assert_eq!(core[0].0, "alpha");
+    assert!(core
+        .windows(2)
+        .all(|w| w[0].0 < w[1].0 || (w[0].1, w[0].2) < (w[1].1, w[1].2)));
+
+    for (cap, order) in [
+        (2, AdmissionOrder::RoundRobin),
+        (8, AdmissionOrder::RoundRobin),
+        (8, AdmissionOrder::Sequential),
+    ] {
+        let reports = run(cap, order);
+        assert_eq!(
+            deterministic_core(&reports),
+            core,
+            "cap {cap}, {order:?} must reproduce the serial run bitwise"
+        );
+    }
+}
+
+#[test]
+fn same_model_campaigns_share_one_factor_cache() {
+    let first = base_spec("first");
+    let mut second = base_spec("second");
+    second.loads = vec![-150.0, 60.0]; // different loads, same model + lattices
+
+    // Serial admission makes the cache tallies exact: the two campaigns
+    // cover 2 distinct lattices x 4 solves each = 2 misses, 6 hits —
+    // *across* campaigns, provable only if they share one cache.
+    let reports = WorkPool::new(1).install(|| {
+        CampaignRunner::new()
+            .admission(AdmissionOrder::Sequential)
+            .run(&[first, second])
+            .expect("campaigns run")
+    });
+    assert_eq!(reports[0].solved(), 4);
+    assert_eq!(reports[1].solved(), 4);
+    for report in &reports {
+        assert_eq!(report.cache_misses, 2, "one miss per distinct lattice");
+        assert_eq!(report.cache_hits, 6, "every other solve reuses a factor");
+    }
+}
+
+#[test]
+fn poisoned_load_fails_one_job_not_the_campaign() {
+    let mut spec = base_spec("poisoned");
+    spec.arrays.truncate(1);
+    spec.loads = vec![-250.0, -100.0, 42.0, 85.0];
+    // Deterministic fault-site selection, same idiom as the PR 8 suite.
+    let victim = FaultPlan::new(0xC0FFEE).pick(spec.loads.len());
+    spec.loads[victim] = f64::NAN;
+
+    let reports =
+        WorkPool::new(8).install(|| CampaignRunner::new().run(&[spec]).expect("campaign runs"));
+    let report = &reports[0];
+    assert_eq!(report.solved(), 3);
+    assert_eq!(report.failed(), 1);
+    for job in &report.jobs {
+        match &job.outcome {
+            JobOutcome::Failed { error } => {
+                assert_eq!(job.load_index, victim);
+                assert!(error.contains("not finite"), "typed failure, got: {error}");
+            }
+            JobOutcome::Solved { .. } => assert_ne!(job.load_index, victim),
+        }
+    }
+}
+
+#[test]
+fn panicking_job_is_contained_with_its_message() {
+    let mut spec = base_spec("panicky");
+    spec.loads = vec![-250.0];
+    // An empty array: `BlockLayout::uniform(0, 0, ..)` asserts inside the
+    // job — the panic must become that job's Failed outcome, not sink
+    // the run (scope_workers would otherwise rethrow it).
+    spec.arrays.push(ArraySpec {
+        tsv_num_x: 0,
+        tsv_num_y: 0,
+        dummy_tsv_num_x: 0,
+        dummy_tsv_num_y: 0,
+    });
+
+    let reports = WorkPool::new(2).install(|| {
+        CampaignRunner::new()
+            .run(&[spec])
+            .expect("campaign completes")
+    });
+    let report = &reports[0];
+    assert_eq!(report.solved(), 2);
+    assert_eq!(report.failed(), 1);
+    let failed = report
+        .jobs
+        .iter()
+        .find(|j| !j.outcome.is_solved())
+        .expect("the empty array fails");
+    assert_eq!(failed.array_index, 2);
+    match &failed.outcome {
+        JobOutcome::Failed { error } => {
+            assert!(
+                error.contains("panic") && error.contains("non-empty"),
+                "panic payload surfaced: {error}"
+            );
+        }
+        JobOutcome::Solved { .. } => unreachable!(),
+    }
+}

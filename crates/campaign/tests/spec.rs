@@ -1,0 +1,197 @@
+//! Spec-parser contract: the checked-in example parses, `to_yaml`
+//! round-trips exactly, and malformed documents are rejected with typed
+//! errors that point at the offending 1-based line.
+
+use morestress_campaign::{
+    CampaignSpec, ResolutionChoice, SolverChoice, SpecErrorKind, VerifyChoice, YamlErrorKind,
+};
+
+fn example_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/campaign.yml")
+}
+
+#[test]
+fn checked_in_example_parses_and_round_trips() {
+    let spec = CampaignSpec::from_file(example_path()).expect("examples/campaign.yml parses");
+    assert_eq!(spec.name, "paper-tsv-arrays");
+    assert_eq!(spec.materials.len(), 3);
+    assert_eq!(spec.geometry.pitch, 15.0);
+    assert_eq!(spec.geometry.liner, 0.5);
+    assert_eq!(spec.loads, vec![-250.0, -100.0, 85.0]);
+    assert_eq!(spec.arrays.len(), 2);
+    assert_eq!(spec.arrays[0].dummy_tsv_num_x, 1);
+    assert_eq!(spec.arrays[1].tsv_num_x, 4);
+    assert_eq!(spec.arrays[1].dummy_tsv_num_y, 0);
+    assert_eq!(spec.solver.interp_num, [3, 3, 3]);
+    assert_eq!(spec.solver.resolution, ResolutionChoice::Coarse);
+    assert_eq!(spec.solver.global_solver, SolverChoice::Direct);
+    assert_eq!(spec.solver.verify, VerifyChoice::Report);
+    assert!(spec.arrays[0].needs_dummy() && !spec.arrays[1].needs_dummy());
+
+    // Exact round-trip: parse(to_yaml(spec)) == spec, bit for bit.
+    let reparsed = CampaignSpec::parse(&spec.to_yaml()).expect("canonical form parses");
+    assert_eq!(reparsed, spec);
+    // And the canonical form is a fixed point.
+    assert_eq!(reparsed.to_yaml(), spec.to_yaml());
+}
+
+#[test]
+fn layout_places_tsv_core_inside_dummy_margins() {
+    let spec = CampaignSpec::from_file(example_path()).unwrap();
+    let layout = spec.arrays[0].layout(); // 3x3 core + 1-ring margins
+    assert_eq!((layout.nx(), layout.ny()), (5, 5));
+    assert_eq!(layout.count(morestress_mesh::BlockKind::Tsv), 9);
+    assert_eq!(
+        layout.kind(0, 0),
+        morestress_mesh::BlockKind::Dummy,
+        "corner is margin"
+    );
+    assert_eq!(
+        layout.kind(2, 2),
+        morestress_mesh::BlockKind::Tsv,
+        "center is core"
+    );
+}
+
+/// A minimal valid document the malformed-input tests mutate.
+const MINIMAL: &str = "\
+name: demo
+geometry:
+  height: 50
+  pitch: 15
+  diameter: 5
+  thickness: 0.5
+loads:
+  - -100
+tsv_array:
+  - tsv_num_x: 2
+    tsv_num_y: 2
+";
+
+#[test]
+fn minimal_document_parses_with_solver_defaults() {
+    let spec = CampaignSpec::parse(MINIMAL).expect("minimal spec parses");
+    assert_eq!(spec.solver.interp_num, [3, 3, 3]);
+    assert_eq!(spec.solver.global_solver, SolverChoice::Direct);
+    assert_eq!(spec.solver.verify, VerifyChoice::Off);
+    assert!(spec.materials.is_empty());
+}
+
+#[test]
+fn bad_indent_is_rejected_with_line() {
+    // Line 4: `pitch` indented deeper than its siblings.
+    let text = MINIMAL.replace("\n  pitch:", "\n    pitch:");
+    let err = CampaignSpec::parse(&text).unwrap_err();
+    assert_eq!(err.line, 4);
+    assert_eq!(err.kind, SpecErrorKind::Yaml(YamlErrorKind::BadIndent));
+}
+
+#[test]
+fn tab_indentation_is_rejected_with_line() {
+    let text = MINIMAL.replace("\n  height:", "\n\theight:");
+    let err = CampaignSpec::parse(&text).unwrap_err();
+    assert_eq!(err.line, 3);
+    assert_eq!(err.kind, SpecErrorKind::Yaml(YamlErrorKind::Tab));
+}
+
+#[test]
+fn duplicate_key_is_rejected_with_line() {
+    let text = MINIMAL.replace("\n  pitch: 15", "\n  pitch: 15\n  pitch: 16");
+    let err = CampaignSpec::parse(&text).unwrap_err();
+    assert_eq!(err.line, 5);
+    assert_eq!(
+        err.kind,
+        SpecErrorKind::Yaml(YamlErrorKind::DuplicateKey("pitch".to_string()))
+    );
+}
+
+#[test]
+fn unknown_keys_are_rejected_with_line() {
+    // Top level (after line 1), inside geometry (line 4), inside solver.
+    let top = format!("{MINIMAL}frobnicate: 3\n");
+    let err = CampaignSpec::parse(&top).unwrap_err();
+    assert_eq!(err.line, 12);
+    assert_eq!(
+        err.kind,
+        SpecErrorKind::UnknownKey("frobnicate".to_string())
+    );
+
+    let geo = MINIMAL.replace("\n  pitch: 15", "\n  pich: 15");
+    let err = CampaignSpec::parse(&geo).unwrap_err();
+    assert_eq!(err.line, 4);
+    assert_eq!(err.kind, SpecErrorKind::UnknownKey("pich".to_string()));
+
+    let solver = format!("{MINIMAL}solver:\n  solvr: direct\n");
+    let err = CampaignSpec::parse(&solver).unwrap_err();
+    assert_eq!(err.line, 13);
+    assert_eq!(err.kind, SpecErrorKind::UnknownKey("solvr".to_string()));
+}
+
+#[test]
+fn non_finite_numbers_are_rejected_with_line() {
+    // `nan` and overflow-to-infinity literals both parse as f64 — and
+    // both must be refused with the line they sit on.
+    for bad in ["nan", "-inf", "1e999"] {
+        let text = MINIMAL.replace("  - -100", &format!("  - {bad}"));
+        let err = CampaignSpec::parse(&text).unwrap_err();
+        assert_eq!(err.line, 8, "load literal `{bad}`");
+        assert_eq!(err.kind, SpecErrorKind::NonFinite(bad.to_string()));
+    }
+    let text = MINIMAL.replace("  height: 50", "  height: tall");
+    let err = CampaignSpec::parse(&text).unwrap_err();
+    assert_eq!(err.line, 3);
+    assert_eq!(err.kind, SpecErrorKind::NonFinite("tall".to_string()));
+}
+
+#[test]
+fn missing_required_keys_are_rejected() {
+    let text = MINIMAL.replace("name: demo\n", "");
+    let err = CampaignSpec::parse(&text).unwrap_err();
+    assert_eq!(err.kind, SpecErrorKind::MissingKey("name"));
+
+    let text = MINIMAL.replace("  diameter: 5\n", "");
+    let err = CampaignSpec::parse(&text).unwrap_err();
+    assert_eq!(err.kind, SpecErrorKind::MissingKey("diameter"));
+}
+
+#[test]
+fn domain_violations_are_rejected() {
+    // Geometry that cannot mesh: via wider than the block pitch.
+    let text = MINIMAL.replace("  diameter: 5", "  diameter: 99");
+    let err = CampaignSpec::parse(&text).unwrap_err();
+    assert!(matches!(err.kind, SpecErrorKind::BadValue(_)), "{err}");
+
+    // Physically impossible Poisson ratio must fail *here*, with a line,
+    // not panic later inside `Material::new`.
+    let text = format!(
+        "{MINIMAL}materials:\n  - name: Cu\n    young_modulus: 110000\n    \
+         poisson_ratio: 0.6\n    thermal_expansion_coefficient: 1.7e-5\n"
+    );
+    let err = CampaignSpec::parse(&text).unwrap_err();
+    assert!(matches!(err.kind, SpecErrorKind::BadValue(_)), "{err}");
+
+    // Unknown material name.
+    let text = format!(
+        "{MINIMAL}materials:\n  - name: unobtanium\n    young_modulus: 1\n    \
+         poisson_ratio: 0.3\n    thermal_expansion_coefficient: 1e-6\n"
+    );
+    let err = CampaignSpec::parse(&text).unwrap_err();
+    assert_eq!(err.line, 13);
+    assert!(matches!(err.kind, SpecErrorKind::BadValue(_)), "{err}");
+
+    // Zero-size array.
+    let text = MINIMAL.replace("tsv_num_x: 2", "tsv_num_x: 0");
+    let err = CampaignSpec::parse(&text).unwrap_err();
+    assert!(matches!(err.kind, SpecErrorKind::BadValue(_)), "{err}");
+}
+
+#[test]
+fn scalars_where_blocks_belong_are_rejected() {
+    let text = MINIMAL.replace(
+        "geometry:\n  height: 50\n  pitch: 15\n  diameter: 5\n  thickness: 0.5",
+        "geometry: compact",
+    );
+    let err = CampaignSpec::parse(&text).unwrap_err();
+    assert_eq!(err.line, 2);
+    assert!(matches!(err.kind, SpecErrorKind::WrongShape(_)), "{err}");
+}

@@ -31,19 +31,12 @@
 //! # Quickstart
 //!
 //! ```
-//! use morestress_core::{GlobalBc, InterpolationGrid, MoreStressSimulator, SimulatorOptions};
-//! use morestress_fem::MaterialSet;
-//! use morestress_mesh::{BlockKind, BlockLayout, BlockResolution, TsvGeometry};
+//! use morestress_core::{GlobalBc, MoreStressSimulator};
+//! use morestress_mesh::{BlockKind, BlockLayout, TsvGeometry};
 //!
 //! # fn main() -> Result<(), morestress_core::RomError> {
 //! let geom = TsvGeometry::paper_defaults(15.0);
-//! let sim = MoreStressSimulator::build(
-//!     &geom,
-//!     &BlockResolution::coarse(),
-//!     InterpolationGrid::new([3, 3, 3]),
-//!     &MaterialSet::tsv_defaults(),
-//!     &SimulatorOptions::default(),
-//! )?;
+//! let sim = MoreStressSimulator::builder(&geom).build()?;
 //! // Solve a 4×4 standalone array under the paper's thermal load.
 //! let layout = BlockLayout::uniform(4, 4, BlockKind::Tsv);
 //! let solution = sim.solve_array(&layout, -250.0, &GlobalBc::ClampedTopBottom)?;
@@ -70,4 +63,4 @@ pub use interp::{lagrange_weights, InterpolationGrid};
 pub use local::{LocalStage, LocalStageOptions, LocalStageStats};
 pub use model::ReducedOrderModel;
 pub use reconstruct::sample_array_von_mises;
-pub use simulator::{MoreStressSimulator, SimulatorOptions};
+pub use simulator::{MoreStressSimulator, SimulatorBuilder, SimulatorOptions};

@@ -3,7 +3,9 @@
 use std::path::PathBuf;
 
 use morestress_fem::{MaterialSet, ScalarField2d};
-use morestress_linalg::{FactorCache, Sharded, SolverBackend};
+use morestress_linalg::{
+    DirectCholesky, FactorCache, FillOrdering, KernelChoice, Sharded, SolverBackend, VerifyPolicy,
+};
 use morestress_mesh::{BlockKind, BlockLayout, BlockResolution, TsvGeometry};
 
 use crate::model::build_or_load_cached;
@@ -65,12 +67,42 @@ pub struct MoreStressSimulator {
     factor_cache: FactorCache,
 }
 
+/// Optional tuning of the direct-Cholesky family of backends, collected by
+/// [`SimulatorBuilder`]. Every field left `None` keeps the backend's own
+/// default, so an empty tuning resolves to the exact same backend (same
+/// bits, same cache fingerprints) as the untuned constructors.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct BackendTuning {
+    verify: Option<VerifyPolicy>,
+    ordering: Option<FillOrdering>,
+    kernel: Option<KernelChoice>,
+}
+
+impl BackendTuning {
+    fn apply(&self, mut config: DirectCholesky) -> DirectCholesky {
+        if let Some(ordering) = self.ordering {
+            config.ordering = ordering;
+        }
+        if let Some(kernel) = self.kernel {
+            config.supernodal.kernel = kernel;
+        }
+        if let Some(verify) = self.verify {
+            config.verify = verify;
+        }
+        config
+    }
+}
+
 /// Resolves the configured solver (with the optional shard-count
 /// override) into the one hoisted backend, keeping a second handle to the
-/// sharded backend for diagnostics.
+/// sharded backend for diagnostics. The tuning overrides apply to the
+/// direct-Cholesky family ([`RomSolver::DirectCholesky`] and
+/// [`RomSolver::Sharded`]); the iterative selections keep their own
+/// configuration.
 fn resolve_backend(
     solver: RomSolver,
     shards: Option<usize>,
+    tuning: &BackendTuning,
 ) -> (Box<dyn SolverBackend>, Option<Sharded>) {
     let resolved = match shards {
         Some(shards) => RomSolver::Sharded { shards },
@@ -78,19 +110,273 @@ fn resolve_backend(
     };
     match resolved {
         RomSolver::Sharded { shards } => {
-            let backend = Sharded::new(shards.max(1));
+            let mut backend =
+                Sharded::with_inner(shards.max(1), tuning.apply(DirectCholesky::default()));
+            if let Some(verify) = tuning.verify {
+                backend.verify = verify;
+            }
             (Box::new(backend.clone()), Some(backend))
         }
+        RomSolver::DirectCholesky => (Box::new(tuning.apply(DirectCholesky::default())), None),
         other => (other.backend(), None),
     }
 }
 
+/// One coherent front door over the simulator stack's knob sprawl.
+///
+/// Before this builder, configuring a simulator meant assembling a
+/// [`SimulatorOptions`] (itself holding a [`LocalStageOptions`]), choosing
+/// a [`RomSolver`] variant, and — for verification, ordering or kernel
+/// tuning — constructing `morestress-linalg` backend structs by hand. The
+/// builder collapses all of it into one chain:
+///
+/// ```
+/// use morestress_core::MoreStressSimulator;
+/// use morestress_fem::MaterialSet;
+/// use morestress_mesh::{BlockResolution, TsvGeometry};
+///
+/// # fn main() -> Result<(), morestress_core::RomError> {
+/// let sim = MoreStressSimulator::builder(&TsvGeometry::paper_defaults(15.0))
+///     .resolution(BlockResolution::coarse())
+///     .interpolation([2, 2, 2])
+///     .materials(MaterialSet::tsv_defaults())
+///     .shards(4)
+///     .build()?;
+/// # let _ = sim;
+/// # Ok(())
+/// # }
+/// ```
+///
+/// Defaults (geometry aside, which is always explicit):
+/// [`BlockResolution::coarse`], `[3, 3, 3]` interpolation,
+/// [`MaterialSet::tsv_defaults`], the default [`RomSolver`] (GMRES, the
+/// paper's choice), no shard/thread overrides, no dummy-block model, no
+/// on-disk ROM cache. An untuned builder produces a simulator **bitwise
+/// identical** to the deprecated [`MoreStressSimulator::build`] path with
+/// default options (pinned by the `builder_equivalence` test suite).
+///
+/// The [`verify`](Self::verify), [`ordering`](Self::ordering) and
+/// [`kernel`](Self::kernel) overrides tune the direct-Cholesky backend
+/// family (plain [`RomSolver::DirectCholesky`] and the sharded route,
+/// including each shard's inner factorization); the iterative selections
+/// (`Gmres`, `Cg`, `Auto`) keep their own configuration and ignore them.
+#[derive(Debug, Clone)]
+pub struct SimulatorBuilder {
+    geom: TsvGeometry,
+    res: BlockResolution,
+    interp: InterpolationGrid,
+    materials: MaterialSet,
+    opts: SimulatorOptions,
+    tuning: BackendTuning,
+    models: Option<(ReducedOrderModel, Option<ReducedOrderModel>)>,
+}
+
+impl SimulatorBuilder {
+    /// Starts a builder for the given TSV geometry with the defaults
+    /// listed in the [type docs](SimulatorBuilder).
+    pub fn new(geom: &TsvGeometry) -> Self {
+        Self {
+            geom: *geom,
+            res: BlockResolution::coarse(),
+            interp: InterpolationGrid::new([3, 3, 3]),
+            materials: MaterialSet::tsv_defaults(),
+            opts: SimulatorOptions::default(),
+            tuning: BackendTuning::default(),
+            models: None,
+        }
+    }
+
+    /// Starts a builder around pre-built ROMs (e.g. loaded from disk):
+    /// [`build`](Self::build) skips the local stage and wraps the given
+    /// models. Geometry, resolution, interpolation and material setters
+    /// are irrelevant on this route (the models carry their own).
+    pub fn from_models(rom_tsv: ReducedOrderModel, rom_dummy: Option<ReducedOrderModel>) -> Self {
+        let mut builder = Self::new(rom_tsv.geometry());
+        builder.models = Some((rom_tsv, rom_dummy));
+        builder
+    }
+
+    /// Unit-block mesh resolution (default: [`BlockResolution::coarse`]).
+    pub fn resolution(mut self, res: BlockResolution) -> Self {
+        self.res = res;
+        self
+    }
+
+    /// Interpolation nodes per axis (default: `[3, 3, 3]`).
+    pub fn interpolation(mut self, counts: [usize; 3]) -> Self {
+        self.interp = InterpolationGrid::new(counts);
+        self
+    }
+
+    /// Interpolation grid, when one is already at hand.
+    pub fn interpolation_grid(mut self, interp: InterpolationGrid) -> Self {
+        self.interp = interp;
+        self
+    }
+
+    /// Material registry (default: [`MaterialSet::tsv_defaults`]).
+    pub fn materials(mut self, materials: MaterialSet) -> Self {
+        self.materials = materials;
+        self
+    }
+
+    /// Global-stage solver selection (default: the paper's GMRES).
+    pub fn solver(mut self, solver: RomSolver) -> Self {
+        self.opts.solver = solver;
+        self
+    }
+
+    /// Runs the global stage sharded with this interior shard count
+    /// (overrides [`solver`](Self::solver); see
+    /// [`SimulatorOptions::shards`]).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.opts.shards = Some(shards);
+        self
+    }
+
+    /// Worker-slot cap for batched global solves — a cap override on the
+    /// shared [`WorkPool`](morestress_linalg::WorkPool), never a spawn
+    /// count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.opts.threads = Some(threads);
+        self
+    }
+
+    /// Worker-slot cap for the one-shot local stage's n+1 solves
+    /// (default: the current pool cap).
+    pub fn local_threads(mut self, threads: usize) -> Self {
+        self.opts.local = LocalStageOptions { threads };
+        self
+    }
+
+    /// Residual-verification policy for every global solve (direct-family
+    /// backends; see the [type docs](SimulatorBuilder)). Verification
+    /// never mutates solutions, so `Report` is bitwise-free telemetry.
+    pub fn verify(mut self, policy: VerifyPolicy) -> Self {
+        self.tuning.verify = Some(policy);
+        self
+    }
+
+    /// Fill-reducing ordering override for the direct factorization
+    /// (default: [`FillOrdering::Auto`]).
+    pub fn ordering(mut self, ordering: FillOrdering) -> Self {
+        self.tuning.ordering = Some(ordering);
+        self
+    }
+
+    /// Dense-microkernel override for the direct factorization (default:
+    /// [`KernelChoice::Blocked`]). The resolved kernel is part of the
+    /// factor-cache fingerprint, so mixing kernels never aliases cached
+    /// factors.
+    pub fn kernel(mut self, kernel: KernelChoice) -> Self {
+        self.tuning.kernel = Some(kernel);
+        self
+    }
+
+    /// Also build the dummy-block ROM (needed for layouts with dummy
+    /// blocks — sub-modeling pads, keep-out zones).
+    pub fn build_dummy(mut self, build_dummy: bool) -> Self {
+        self.opts.build_dummy = build_dummy;
+        self
+    }
+
+    /// Caches built ROMs at `<stem>-tsv.rom` / `<stem>-dummy.rom` and
+    /// reloads them when geometry/resolution/grid match.
+    pub fn cache_stem(mut self, stem: impl Into<PathBuf>) -> Self {
+        self.opts.cache_stem = Some(stem.into());
+        self
+    }
+
+    /// Bulk-imports a legacy [`SimulatorOptions`] — the migration bridge
+    /// the deprecated constructors delegate through.
+    pub fn options(mut self, opts: &SimulatorOptions) -> Self {
+        self.opts = opts.clone();
+        self
+    }
+
+    /// Runs the one-shot local stage(s) — or wraps the pre-built models of
+    /// [`from_models`](Self::from_models) — and assembles the simulator
+    /// with its hoisted solver backend and factor cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates local-stage failures; [`RomError::Mismatch`] if
+    /// pre-built TSV and dummy models are incompatible.
+    pub fn build(self) -> Result<MoreStressSimulator, RomError> {
+        let (rom_tsv, rom_dummy) = match self.models {
+            Some((rom_tsv, rom_dummy)) => {
+                if let Some(dummy) = &rom_dummy {
+                    rom_tsv.check_compatible(dummy)?;
+                }
+                (rom_tsv, rom_dummy)
+            }
+            None => {
+                let cache = |suffix: &str| {
+                    self.opts.cache_stem.as_ref().map(|stem| {
+                        let mut path = stem.clone();
+                        let name = path
+                            .file_name()
+                            .map(|s| s.to_string_lossy().into_owned())
+                            .unwrap_or_else(|| "rom".to_string());
+                        path.set_file_name(format!("{name}-{suffix}.rom"));
+                        path
+                    })
+                };
+                let rom_tsv = build_or_load_cached(
+                    &self.geom,
+                    &self.res,
+                    self.interp,
+                    &self.materials,
+                    BlockKind::Tsv,
+                    &self.opts.local,
+                    cache("tsv").as_deref(),
+                )?;
+                let rom_dummy = if self.opts.build_dummy {
+                    Some(build_or_load_cached(
+                        &self.geom,
+                        &self.res,
+                        self.interp,
+                        &self.materials,
+                        BlockKind::Dummy,
+                        &self.opts.local,
+                        cache("dummy").as_deref(),
+                    )?)
+                } else {
+                    None
+                };
+                (rom_tsv, rom_dummy)
+            }
+        };
+        let (backend, sharded) = resolve_backend(self.opts.solver, self.opts.shards, &self.tuning);
+        Ok(MoreStressSimulator {
+            rom_tsv,
+            rom_dummy,
+            threads: self.opts.threads,
+            backend,
+            sharded,
+            factor_cache: FactorCache::new(),
+        })
+    }
+}
+
 impl MoreStressSimulator {
+    /// Starts a [`SimulatorBuilder`] — the one front door over geometry,
+    /// resolution, interpolation, materials, solver, shards, threads,
+    /// verification and ordering/kernel tuning.
+    pub fn builder(geom: &TsvGeometry) -> SimulatorBuilder {
+        SimulatorBuilder::new(geom)
+    }
+
     /// Runs the one-shot local stage(s) for the given configuration.
     ///
     /// # Errors
     ///
     /// Propagates local-stage failures.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use MoreStressSimulator::builder(..) — the one coherent front door over the \
+                solver/shards/threads/verify knobs"
+    )]
     pub fn build(
         geom: &TsvGeometry,
         res: &BlockResolution,
@@ -98,48 +384,12 @@ impl MoreStressSimulator {
         materials: &MaterialSet,
         opts: &SimulatorOptions,
     ) -> Result<Self, RomError> {
-        let cache = |suffix: &str| {
-            opts.cache_stem.as_ref().map(|stem| {
-                let mut path = stem.clone();
-                let name = path
-                    .file_name()
-                    .map(|s| s.to_string_lossy().into_owned())
-                    .unwrap_or_else(|| "rom".to_string());
-                path.set_file_name(format!("{name}-{suffix}.rom"));
-                path
-            })
-        };
-        let rom_tsv = build_or_load_cached(
-            geom,
-            res,
-            interp,
-            materials,
-            BlockKind::Tsv,
-            &opts.local,
-            cache("tsv").as_deref(),
-        )?;
-        let rom_dummy = if opts.build_dummy {
-            Some(build_or_load_cached(
-                geom,
-                res,
-                interp,
-                materials,
-                BlockKind::Dummy,
-                &opts.local,
-                cache("dummy").as_deref(),
-            )?)
-        } else {
-            None
-        };
-        let (backend, sharded) = resolve_backend(opts.solver, opts.shards);
-        Ok(Self {
-            rom_tsv,
-            rom_dummy,
-            threads: opts.threads,
-            backend,
-            sharded,
-            factor_cache: FactorCache::new(),
-        })
+        SimulatorBuilder::new(geom)
+            .resolution(*res)
+            .interpolation_grid(interp)
+            .materials(materials.clone())
+            .options(opts)
+            .build()
     }
 
     /// Wraps pre-built ROMs (e.g. loaded from disk).
@@ -147,23 +397,19 @@ impl MoreStressSimulator {
     /// # Errors
     ///
     /// [`RomError::Mismatch`] if the two ROMs are incompatible.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SimulatorBuilder::from_models(..), which accepts the same models plus every \
+                builder knob"
+    )]
     pub fn from_models(
         rom_tsv: ReducedOrderModel,
         rom_dummy: Option<ReducedOrderModel>,
         solver: RomSolver,
     ) -> Result<Self, RomError> {
-        if let Some(dummy) = &rom_dummy {
-            rom_tsv.check_compatible(dummy)?;
-        }
-        let (backend, sharded) = resolve_backend(solver, None);
-        Ok(Self {
-            rom_tsv,
-            rom_dummy,
-            threads: None,
-            backend,
-            sharded,
-            factor_cache: FactorCache::new(),
-        })
+        SimulatorBuilder::from_models(rom_tsv, rom_dummy)
+            .solver(solver)
+            .build()
     }
 
     /// The TSV-block reduced-order model.
@@ -318,19 +564,19 @@ mod tests {
         let _ = std::fs::create_dir_all(&dir);
         let stem = dir.join("unit");
         let geom = TsvGeometry::paper_defaults(15.0);
-        let opts = SimulatorOptions {
-            build_dummy: true,
-            cache_stem: Some(stem.clone()),
-            ..SimulatorOptions::default()
+        let build = || {
+            MoreStressSimulator::builder(&geom)
+                .interpolation([2, 2, 2])
+                .build_dummy(true)
+                .cache_stem(stem.clone())
+                .build()
+                .unwrap()
         };
-        let res = BlockResolution::coarse();
-        let interp = InterpolationGrid::new([2, 2, 2]);
-        let mats = MaterialSet::tsv_defaults();
-        let first = MoreStressSimulator::build(&geom, &res, interp, &mats, &opts).unwrap();
+        let first = build();
         assert!(dir.join("unit-tsv.rom").exists());
         assert!(dir.join("unit-dummy.rom").exists());
         // Second build loads from cache and must agree exactly.
-        let second = MoreStressSimulator::build(&geom, &res, interp, &mats, &opts).unwrap();
+        let second = build();
         let (a, b) = (
             first.tsv_model().element_stiffness(),
             second.tsv_model().element_stiffness(),

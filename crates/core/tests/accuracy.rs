@@ -1,6 +1,6 @@
 //! ROM vs full-FEM accuracy: the paper's central claim on a scaled-down case.
 
-use morestress_core::{GlobalBc, InterpolationGrid, MoreStressSimulator, SimulatorOptions};
+use morestress_core::{GlobalBc, MoreStressSimulator};
 use morestress_fem::{
     normalized_mae, sample_von_mises, solve_thermal_stress, DirichletBcs, LinearSolver,
     MaterialSet, PlaneGrid,
@@ -44,14 +44,11 @@ fn rom_error_is_small_and_converges() {
 
     let mut errors = Vec::new();
     for m in [2usize, 3, 4, 6] {
-        let sim = MoreStressSimulator::build(
-            &geom,
-            &res,
-            InterpolationGrid::new([m, m, m]),
-            &MaterialSet::tsv_defaults(),
-            &SimulatorOptions::default(),
-        )
-        .unwrap();
+        let sim = MoreStressSimulator::builder(&geom)
+            .resolution(res)
+            .interpolation([m, m, m])
+            .build()
+            .unwrap();
         let sol = sim
             .solve_array(&layout, delta_t, &GlobalBc::ClampedTopBottom)
             .unwrap();

@@ -2,24 +2,14 @@
 //! serving many thermal loads through `solve_many`, with results matching
 //! individual solves, and cross-backend agreement on the reduced system.
 
-use morestress_core::{
-    GlobalBc, InterpolationGrid, MoreStressSimulator, RomSolver, SimulatorOptions,
-};
-use morestress_fem::MaterialSet;
-use morestress_mesh::{BlockKind, BlockLayout, BlockResolution, TsvGeometry};
+use morestress_core::{GlobalBc, MoreStressSimulator, RomSolver};
+use morestress_mesh::{BlockKind, BlockLayout, TsvGeometry};
 
 fn build_sim(solver: RomSolver) -> MoreStressSimulator {
-    MoreStressSimulator::build(
-        &TsvGeometry::paper_defaults(15.0),
-        &BlockResolution::coarse(),
-        InterpolationGrid::new([3, 3, 3]),
-        &MaterialSet::tsv_defaults(),
-        &SimulatorOptions {
-            solver,
-            ..SimulatorOptions::default()
-        },
-    )
-    .expect("one-shot local stage builds")
+    MoreStressSimulator::builder(&TsvGeometry::paper_defaults(15.0))
+        .solver(solver)
+        .build()
+        .expect("one-shot local stage builds")
 }
 
 fn max_abs(v: &[f64]) -> f64 {

@@ -1,0 +1,103 @@
+//! `SimulatorBuilder` equivalence: the builder front door must
+//! reproduce the deprecated constructor paths bit for bit — same
+//! displacements, same backend resolution — so callers can migrate
+//! without re-baselining anything.
+
+#![allow(deprecated)]
+
+use morestress_core::{
+    GlobalBc, InterpolationGrid, MoreStressSimulator, RomSolver, SimulatorBuilder, SimulatorOptions,
+};
+use morestress_fem::MaterialSet;
+use morestress_mesh::{BlockKind, BlockLayout, BlockResolution, TsvGeometry};
+
+fn solve_bits(sim: &MoreStressSimulator, layout: &BlockLayout) -> Vec<u64> {
+    let solution = sim
+        .solve_array(layout, -250.0, &GlobalBc::ClampedTopBottom)
+        .expect("solve");
+    solution
+        .nodal_displacement()
+        .iter()
+        .map(|u| u.to_bits())
+        .collect()
+}
+
+#[test]
+fn builder_defaults_match_deprecated_build() {
+    let geom = TsvGeometry::paper_defaults(15.0);
+    let layout = BlockLayout::uniform(2, 2, BlockKind::Tsv);
+
+    let via_builder = MoreStressSimulator::builder(&geom)
+        .build()
+        .expect("builder");
+    let via_deprecated = MoreStressSimulator::build(
+        &geom,
+        &BlockResolution::coarse(),
+        InterpolationGrid::new([3, 3, 3]),
+        &MaterialSet::tsv_defaults(),
+        &SimulatorOptions::default(),
+    )
+    .expect("deprecated build");
+
+    assert_eq!(
+        solve_bits(&via_builder, &layout),
+        solve_bits(&via_deprecated, &layout),
+        "default builder must be bitwise identical to the old constructor"
+    );
+}
+
+#[test]
+fn builder_knobs_match_deprecated_options() {
+    let geom = TsvGeometry::paper_defaults(15.0);
+    let layout = BlockLayout::uniform(3, 2, BlockKind::Tsv);
+
+    let via_builder = MoreStressSimulator::builder(&geom)
+        .solver(RomSolver::DirectCholesky)
+        .shards(2)
+        .build()
+        .expect("builder");
+
+    let opts = SimulatorOptions {
+        solver: RomSolver::DirectCholesky,
+        shards: Some(2),
+        ..SimulatorOptions::default()
+    };
+    let via_deprecated = MoreStressSimulator::build(
+        &geom,
+        &BlockResolution::coarse(),
+        InterpolationGrid::new([3, 3, 3]),
+        &MaterialSet::tsv_defaults(),
+        &opts,
+    )
+    .expect("deprecated build");
+
+    let builder_bits = solve_bits(&via_builder, &layout);
+    assert_eq!(
+        builder_bits,
+        solve_bits(&via_deprecated, &layout),
+        "shards + solver knobs must route identically"
+    );
+}
+
+#[test]
+fn from_models_builder_matches_deprecated_wrapper() {
+    let geom = TsvGeometry::paper_defaults(15.0);
+    let layout = BlockLayout::uniform(2, 2, BlockKind::Tsv);
+
+    // One local stage, reused by both construction paths.
+    let donor = MoreStressSimulator::builder(&geom).build().expect("donor");
+    let rom = donor.tsv_model().clone();
+
+    let via_builder = SimulatorBuilder::from_models(rom.clone(), None)
+        .solver(RomSolver::DirectCholesky)
+        .build()
+        .expect("builder from_models");
+    let via_deprecated = MoreStressSimulator::from_models(rom, None, RomSolver::DirectCholesky)
+        .expect("deprecated from_models");
+
+    assert_eq!(
+        solve_bits(&via_builder, &layout),
+        solve_bits(&via_deprecated, &layout),
+        "from_models paths must agree bitwise"
+    );
+}

@@ -11,11 +11,8 @@
 //! plan) and a real decomposition; the thread axis serial vs saturated
 //! pools.
 
-use morestress_core::{
-    GlobalBc, GlobalStage, InterpolationGrid, MoreStressSimulator, RomSolver, SimulatorOptions,
-};
-use morestress_fem::MaterialSet;
-use morestress_mesh::{BlockKind, BlockLayout, BlockResolution, TsvGeometry};
+use morestress_core::{GlobalBc, GlobalStage, MoreStressSimulator, RomSolver};
+use morestress_mesh::{BlockKind, BlockLayout, TsvGeometry};
 
 /// Shard count under test: `MORESTRESS_SHARDS` when set (the CI matrix
 /// pins 1 and 4), else 4.
@@ -29,18 +26,11 @@ fn env_shards() -> usize {
 /// A simulator with both ROMs built (swaps need the dummy model) and the
 /// sharded backend hoisted.
 fn build_sim(shards: usize) -> MoreStressSimulator {
-    MoreStressSimulator::build(
-        &TsvGeometry::paper_defaults(15.0),
-        &BlockResolution::coarse(),
-        InterpolationGrid::new([3, 3, 3]),
-        &MaterialSet::tsv_defaults(),
-        &SimulatorOptions {
-            shards: Some(shards),
-            build_dummy: true,
-            ..SimulatorOptions::default()
-        },
-    )
-    .expect("simulator builds")
+    MoreStressSimulator::builder(&TsvGeometry::paper_defaults(15.0))
+        .shards(shards)
+        .build_dummy(true)
+        .build()
+        .expect("simulator builds")
 }
 
 /// From-scratch sharded reference over the same ROMs: a fresh

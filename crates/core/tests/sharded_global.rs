@@ -14,7 +14,7 @@
 
 use morestress_core::{
     GlobalBc, GlobalStage, InterpolationGrid, LocalStage, LocalStageOptions, MoreStressSimulator,
-    ReducedOrderModel, RomSolver, SimulatorOptions,
+    ReducedOrderModel, RomSolver,
 };
 use morestress_fem::MaterialSet;
 use morestress_linalg::{ShardPlan, Sharded};
@@ -140,17 +140,10 @@ fn env_shard_count_agrees_under_submodel_bcs() {
 /// simulator's `FactorCache`.
 #[test]
 fn simulator_shards_knob_routes_and_caches() {
-    let sim = MoreStressSimulator::build(
-        &TsvGeometry::paper_defaults(15.0),
-        &BlockResolution::coarse(),
-        InterpolationGrid::new([3, 3, 3]),
-        &MaterialSet::tsv_defaults(),
-        &SimulatorOptions {
-            shards: Some(env_shards()),
-            ..SimulatorOptions::default()
-        },
-    )
-    .expect("simulator builds");
+    let sim = MoreStressSimulator::builder(&TsvGeometry::paper_defaults(15.0))
+        .shards(env_shards())
+        .build()
+        .expect("simulator builds");
     let layout = BlockLayout::uniform(4, 4, BlockKind::Tsv);
     let bc = GlobalBc::ClampedTopBottom;
     let cold = sim

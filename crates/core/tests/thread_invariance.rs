@@ -16,7 +16,7 @@
 
 use morestress_core::{
     sample_array_von_mises, GlobalBc, GlobalStage, InterpolationGrid, LocalStage,
-    LocalStageOptions, MoreStressSimulator, ReducedOrderModel, RomSolver, SimulatorOptions,
+    LocalStageOptions, MoreStressSimulator, ReducedOrderModel, RomSolver,
 };
 use morestress_fem::MaterialSet;
 use morestress_linalg::{
@@ -466,18 +466,11 @@ fn full_pipeline_is_pool_size_invariant() {
     // one pool.
     let run = |cap: usize| {
         WorkPool::new(cap).install(|| {
-            let sim = MoreStressSimulator::build(
-                &TsvGeometry::paper_defaults(15.0),
-                &BlockResolution::coarse(),
-                InterpolationGrid::new([3, 3, 3]),
-                &MaterialSet::tsv_defaults(),
-                &SimulatorOptions {
-                    solver: RomSolver::DirectCholesky,
-                    build_dummy: true,
-                    ..SimulatorOptions::default()
-                },
-            )
-            .expect("simulator builds");
+            let sim = MoreStressSimulator::builder(&TsvGeometry::paper_defaults(15.0))
+                .solver(RomSolver::DirectCholesky)
+                .build_dummy(true)
+                .build()
+                .expect("simulator builds");
             let layout = BlockLayout::uniform(2, 2, BlockKind::Tsv).padded(1);
             let bc = GlobalBc::SubmodelBoundary(std::sync::Arc::new(|p: [f64; 3]| {
                 [1e-4 * p[0], -2e-4 * p[1], 5e-5 * (p[2] - 25.0)]

@@ -26,13 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("\n=== pitch = {pitch} µm ===");
 
         // One-shot stages for both fast methods.
-        let sim = MoreStressSimulator::build(
-            &geom,
-            &res,
-            InterpolationGrid::new([4, 4, 4]),
-            &mats,
-            &SimulatorOptions::default(),
-        )?;
+        let sim = MoreStressSimulator::builder(&geom)
+            .resolution(res)
+            .interpolation([4, 4, 4])
+            .materials(mats.clone())
+            .build()?;
         let superpos = SuperpositionSolver::build(&geom, &res, &mats)?;
         println!(
             "one-shot: ROM local stage {:.2?}, superposition kernel {:.2?}",

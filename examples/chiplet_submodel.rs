@@ -43,16 +43,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // One-shot stages.
-    let sim = MoreStressSimulator::build(
-        &geom,
-        &res,
-        InterpolationGrid::new([4, 4, 4]),
-        &mats,
-        &SimulatorOptions {
-            build_dummy: true,
-            ..SimulatorOptions::default()
-        },
-    )?;
+    let sim = MoreStressSimulator::builder(&geom)
+        .resolution(res)
+        .interpolation([4, 4, 4])
+        .materials(mats.clone())
+        .build_dummy(true)
+        .build()?;
     let superpos = SuperpositionSolver::build(&geom, &res, &mats)?;
 
     println!(

@@ -37,13 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "(nx,ny,nz)", "n", "local stage", "global stage", "error"
     );
     for m in 2..=6usize {
-        let sim = MoreStressSimulator::build(
-            &geom,
-            &res,
-            InterpolationGrid::new([m, m, m]),
-            &mats,
-            &SimulatorOptions::default(),
-        )?;
+        let sim = MoreStressSimulator::builder(&geom)
+            .resolution(res)
+            .interpolation([m, m, m])
+            .materials(mats.clone())
+            .build()?;
         let solution = sim.solve_array(&layout, delta_t, &GlobalBc::ClampedTopBottom)?;
         let field = sim.sample_midplane(&layout, &solution, delta_t, samples)?;
         let err = normalized_mae(&field, &reference);

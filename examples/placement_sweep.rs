@@ -25,17 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let samples = 10;
 
     let geom = TsvGeometry::paper_defaults(15.0);
-    let sim = MoreStressSimulator::build(
-        &geom,
-        &BlockResolution::coarse(),
-        InterpolationGrid::new([4, 4, 4]),
-        &MaterialSet::tsv_defaults(),
-        &SimulatorOptions {
-            shards: Some(shards),
-            build_dummy: true,
-            ..SimulatorOptions::default()
-        },
-    )?;
+    let sim = MoreStressSimulator::builder(&geom)
+        .interpolation([4, 4, 4])
+        .shards(shards)
+        .build_dummy(true)
+        .build()?;
     println!(
         "one-shot: TSV + dummy ROMs in {:.2?}",
         sim.tsv_model().local_stats.build_time

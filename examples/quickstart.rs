@@ -21,13 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // One-shot local stage (performed once per geometry/material set).
-    let sim = MoreStressSimulator::build(
-        &geom,
-        &BlockResolution::medium(),
-        InterpolationGrid::new([4, 4, 4]),
-        &MaterialSet::tsv_defaults(),
-        &SimulatorOptions::default(),
-    )?;
+    let sim = MoreStressSimulator::builder(&geom)
+        .resolution(BlockResolution::medium())
+        .interpolation([4, 4, 4])
+        .build()?;
     let stats = &sim.tsv_model().local_stats;
     println!(
         "local stage: {} fine DoFs -> {} element DoFs in {:.2?}",

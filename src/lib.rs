@@ -13,6 +13,7 @@
 //! | [`linalg`] | `morestress-linalg` | CSR, sparse Cholesky, CG, GMRES, RCM ordering, the unified `SolverBackend` layer with `FactorCache` and multi-RHS `solve_many`, and the shared `WorkPool` runtime every parallel stage runs on |
 //! | [`superpos`] | `morestress-superpos` | the linear-superposition baseline |
 //! | [`chiplet`] | `morestress-chiplet` | the coarse package model driving sub-modeling |
+//! | [`campaign`] | `morestress-campaign` | the campaign front door: YAML scenario specs, the concurrent `CampaignRunner` job scheduler, JSON results, and the `morestress` CLI |
 //!
 //! Every linear solve in the workspace — reference FEM, ROM global stage,
 //! chiplet coarse model — routes through `linalg`'s `SolverBackend` trait:
@@ -32,6 +33,21 @@
 //! donates its own thread on top. Results are independent of the cap; the
 //! `threads` knobs on the options structs only narrow a call below it.
 //!
+//! # Environment knobs
+//!
+//! Two environment variables tune the runtime without touching code; both
+//! are also printed in the `morestress campaign run` header so logs record
+//! the effective configuration:
+//!
+//! | Variable | Effect | Default |
+//! |---|---|---|
+//! | `MORESTRESS_THREADS` | Global [`WorkPool`](linalg::WorkPool) worker cap — the hard upper bound on resident workers for every parallel stage in the process. | `available_parallelism`, capped at 16 |
+//! | `MORESTRESS_SHARDS` | Shard count used by the test/CI matrices and honored by examples that read it; library code takes shard counts explicitly ([`SimulatorBuilder::shards`](rom::SimulatorBuilder::shards)). | unset (suites pick their own default) |
+//!
+//! Every solve is **bitwise identical across caps**: `MORESTRESS_THREADS`
+//! changes wall time, never results (pinned by the thread-invariance and
+//! campaign determinism suites).
+//!
 //! # Quickstart
 //!
 //! ```
@@ -40,13 +56,11 @@
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // One-shot local stage for the paper's TSV (d=5, h=50, t=0.5, p=15 µm).
 //! let geom = TsvGeometry::paper_defaults(15.0);
-//! let sim = MoreStressSimulator::build(
-//!     &geom,
-//!     &BlockResolution::coarse(),
-//!     InterpolationGrid::new([3, 3, 3]),
-//!     &MaterialSet::tsv_defaults(),
-//!     &SimulatorOptions::default(),
-//! )?;
+//! let sim = MoreStressSimulator::builder(&geom)
+//!     .resolution(BlockResolution::coarse())
+//!     .interpolation([3, 3, 3])
+//!     .materials(MaterialSet::tsv_defaults())
+//!     .build()?;
 //! // Global stage: any array size / thermal load, in milliseconds.
 //! let layout = BlockLayout::uniform(4, 4, BlockKind::Tsv);
 //! let solution = sim.solve_array(&layout, -250.0, &GlobalBc::ClampedTopBottom)?;
@@ -71,6 +85,7 @@
 //! quickstart` etc.; the paper's tables regenerate with `cargo run -p
 //! morestress-bench --bin repro --release`.
 
+pub use morestress_campaign as campaign;
 pub use morestress_chiplet as chiplet;
 pub use morestress_core as rom;
 pub use morestress_fem as fem;
@@ -80,12 +95,14 @@ pub use morestress_superpos as superpos;
 
 /// The most common imports, bundled.
 pub mod prelude {
+    pub use morestress_campaign::{CampaignReport, CampaignRunner, CampaignSpec};
     pub use morestress_chiplet::{
         standard_locations, ChipletGeometry, ChipletModel, ChipletResolution, Submodel,
     };
     pub use morestress_core::{
         sample_array_von_mises, GlobalBc, GlobalSolution, InterpolationGrid, LocalStage,
-        LocalStageOptions, MoreStressSimulator, ReducedOrderModel, RomSolver, SimulatorOptions,
+        LocalStageOptions, MoreStressSimulator, ReducedOrderModel, RomSolver, SimulatorBuilder,
+        SimulatorOptions,
     };
     pub use morestress_fem::{
         normalized_mae, sample_von_mises, solve_thermal_stress, solve_thermal_stress_many,
@@ -93,7 +110,8 @@ pub mod prelude {
         PlaneGrid, ScalarField2d, StressSample,
     };
     pub use morestress_linalg::{
-        FactorCache, PreparedSolver, SolveReport, SolverBackend, WorkPool,
+        FactorCache, FillOrdering, KernelChoice, PreparedSolver, SolveReport, SolverBackend,
+        VerifyPolicy, WorkPool,
     };
     pub use morestress_mesh::{
         array_mesh, unit_block_mesh, BlockKind, BlockLayout, BlockResolution, TsvGeometry,

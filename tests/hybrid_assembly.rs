@@ -35,17 +35,13 @@ fn checkerboard_hybrid_array_matches_full_fem() {
         sample_von_mises(&mesh, &mats, &fem.displacement, delta_t, &grid).expect("sampling");
 
     // ROM with both block kinds.
-    let sim = MoreStressSimulator::build(
-        &geom,
-        &res,
-        InterpolationGrid::new([5, 5, 5]),
-        &mats,
-        &SimulatorOptions {
-            build_dummy: true,
-            ..SimulatorOptions::default()
-        },
-    )
-    .expect("simulator");
+    let sim = MoreStressSimulator::builder(&geom)
+        .resolution(res)
+        .interpolation([5, 5, 5])
+        .materials(mats.clone())
+        .build_dummy(true)
+        .build()
+        .expect("simulator");
     let sol = sim
         .solve_array(&layout, delta_t, &GlobalBc::ClampedTopBottom)
         .expect("rom solve");
@@ -63,17 +59,12 @@ fn dummy_blocks_carry_much_less_stress() {
     let mats = MaterialSet::tsv_defaults();
     let mut layout = BlockLayout::uniform(2, 1, BlockKind::Tsv);
     layout.set_kind(1, 0, BlockKind::Dummy);
-    let sim = MoreStressSimulator::build(
-        &geom,
-        &BlockResolution::coarse(),
-        InterpolationGrid::new([4, 4, 4]),
-        &mats,
-        &SimulatorOptions {
-            build_dummy: true,
-            ..SimulatorOptions::default()
-        },
-    )
-    .expect("simulator");
+    let sim = MoreStressSimulator::builder(&geom)
+        .interpolation([4, 4, 4])
+        .materials(mats.clone())
+        .build_dummy(true)
+        .build()
+        .expect("simulator");
     let sol = sim
         .solve_array(&layout, -250.0, &GlobalBc::ClampedTopBottom)
         .expect("solve");

@@ -32,11 +32,13 @@ fn save_load_roundtrip_preserves_solutions() {
     assert_eq!(loaded.geometry(), rom.geometry());
 
     let layout = BlockLayout::uniform(2, 2, BlockKind::Tsv);
-    let a = MoreStressSimulator::from_models(rom, None, RomSolver::default())
+    let a = SimulatorBuilder::from_models(rom, None)
+        .build()
         .expect("simulator")
         .solve_array(&layout, -250.0, &GlobalBc::ClampedTopBottom)
         .expect("solve");
-    let b = MoreStressSimulator::from_models(loaded, None, RomSolver::default())
+    let b = SimulatorBuilder::from_models(loaded, None)
+        .build()
         .expect("simulator")
         .solve_array(&layout, -250.0, &GlobalBc::ClampedTopBottom)
         .expect("solve");
@@ -97,7 +99,7 @@ fn incompatible_models_are_rejected_by_simulator() {
     };
     let tsv = build(3, BlockKind::Tsv);
     let dummy_wrong_grid = build(2, BlockKind::Dummy);
-    match MoreStressSimulator::from_models(tsv, Some(dummy_wrong_grid), RomSolver::default()) {
+    match SimulatorBuilder::from_models(tsv, Some(dummy_wrong_grid)).build() {
         Err(RomError::Mismatch(_)) => {}
         other => panic!("expected Mismatch, got {:?}", other.map(|_| ())),
     }

@@ -26,14 +26,12 @@ fn rom_beats_superposition_on_dense_array() {
     )
     .expect("reference");
 
-    let sim = MoreStressSimulator::build(
-        &geom,
-        &res,
-        InterpolationGrid::new([5, 5, 5]),
-        &mats,
-        &SimulatorOptions::default(),
-    )
-    .expect("simulator");
+    let sim = MoreStressSimulator::builder(&geom)
+        .resolution(res)
+        .interpolation([5, 5, 5])
+        .materials(mats.clone())
+        .build()
+        .expect("simulator");
     let solution = sim
         .solve_array(&layout, delta_t, &GlobalBc::ClampedTopBottom)
         .expect("rom solve");
@@ -63,14 +61,9 @@ fn rom_reuses_one_local_stage_for_many_problems() {
     // The one-shot property: a single ROM answers different array sizes and
     // thermal loads; responses are linear in ΔT.
     let geom = TsvGeometry::paper_defaults(15.0);
-    let sim = MoreStressSimulator::build(
-        &geom,
-        &BlockResolution::coarse(),
-        InterpolationGrid::new([3, 3, 3]),
-        &MaterialSet::tsv_defaults(),
-        &SimulatorOptions::default(),
-    )
-    .expect("simulator");
+    let sim = MoreStressSimulator::builder(&geom)
+        .build()
+        .expect("simulator");
 
     let small = BlockLayout::uniform(2, 2, BlockKind::Tsv);
     let large = BlockLayout::uniform(6, 3, BlockKind::Tsv);
@@ -101,14 +94,11 @@ fn global_stage_cost_grows_mildly_with_array_size() {
     // orders of magnitude below fine-mesh DoFs — the root of the speedup.
     let geom = TsvGeometry::paper_defaults(15.0);
     let res = BlockResolution::coarse();
-    let sim = MoreStressSimulator::build(
-        &geom,
-        &res,
-        InterpolationGrid::new([4, 4, 4]),
-        &MaterialSet::tsv_defaults(),
-        &SimulatorOptions::default(),
-    )
-    .expect("simulator");
+    let sim = MoreStressSimulator::builder(&geom)
+        .resolution(res)
+        .interpolation([4, 4, 4])
+        .build()
+        .expect("simulator");
     let fine_dofs_per_block = sim.tsv_model().local_stats.fine_dofs;
     for size in [4usize, 8] {
         let layout = BlockLayout::uniform(size, size, BlockKind::Tsv);

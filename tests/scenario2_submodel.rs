@@ -67,17 +67,13 @@ fn rom_handles_sharp_background_better_than_superposition() {
     let sub = Submodel::new(&s.chiplet, s.locations[4], s.array_size);
     let reference = reference_at(&s, &sub, g);
 
-    let sim = MoreStressSimulator::build(
-        &s.geom,
-        &s.res,
-        InterpolationGrid::new([4, 4, 4]),
-        &s.mats,
-        &SimulatorOptions {
-            build_dummy: true,
-            ..SimulatorOptions::default()
-        },
-    )
-    .expect("simulator");
+    let sim = MoreStressSimulator::builder(&s.geom)
+        .resolution(s.res)
+        .interpolation([4, 4, 4])
+        .materials(s.mats.clone())
+        .build_dummy(true)
+        .build()
+        .expect("simulator");
     let bc = GlobalBc::SubmodelBoundary(sub.boundary_displacement(&s.chiplet));
     let sol = sim.solve_array(&s.layout, -250.0, &bc).expect("rom solve");
     let rom_field = sim
@@ -112,17 +108,13 @@ fn rom_submodel_error_converges_with_interpolation_order() {
     let reference = reference_at(&s, &sub, g);
     let mut errors = Vec::new();
     for m in [3usize, 6] {
-        let sim = MoreStressSimulator::build(
-            &s.geom,
-            &s.res,
-            InterpolationGrid::new([m, m, m]),
-            &s.mats,
-            &SimulatorOptions {
-                build_dummy: true,
-                ..SimulatorOptions::default()
-            },
-        )
-        .expect("simulator");
+        let sim = MoreStressSimulator::builder(&s.geom)
+            .resolution(s.res)
+            .interpolation([m, m, m])
+            .materials(s.mats.clone())
+            .build_dummy(true)
+            .build()
+            .expect("simulator");
         let bc = GlobalBc::SubmodelBoundary(sub.boundary_displacement(&s.chiplet));
         let sol = sim.solve_array(&s.layout, -250.0, &bc).expect("rom solve");
         let field = sim
@@ -206,17 +198,13 @@ fn dummy_padding_moves_boundary_error_away_from_the_core() {
     let err_near = mae(&near, &truth_core);
 
     // ROM on the padded box: boundary one ring away from the core.
-    let sim = MoreStressSimulator::build(
-        &s.geom,
-        &s.res,
-        InterpolationGrid::new([4, 4, 4]),
-        &s.mats,
-        &SimulatorOptions {
-            build_dummy: true,
-            ..SimulatorOptions::default()
-        },
-    )
-    .expect("simulator");
+    let sim = MoreStressSimulator::builder(&s.geom)
+        .resolution(s.res)
+        .interpolation([4, 4, 4])
+        .materials(s.mats.clone())
+        .build_dummy(true)
+        .build()
+        .expect("simulator");
     let sub = Submodel::new(&s.chiplet, padded_origin, padded_size);
     let bc = GlobalBc::SubmodelBoundary(sub.boundary_displacement(&s.chiplet));
     let sol = sim.solve_array(&padded, -250.0, &bc).expect("rom solve");
